@@ -1,0 +1,109 @@
+//! Criterion benchmarks of LRA placement latency per algorithm and
+//! cluster size — the measured counterpart of Fig. 11a — plus the task
+//! scheduler's per-heartbeat allocation cost (requirement R4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medea_cluster::{ApplicationId, ClusterState, NodeGroupId, NodeId, Resources, Tag};
+use medea_constraints::PlacementConstraint;
+use medea_core::{
+    LraAlgorithm, LraRequest, LraScheduler, TaskJobRequest, TaskScheduler,
+};
+
+fn workload() -> Vec<LraRequest> {
+    (0..2u64)
+        .map(|i| {
+            LraRequest::uniform(
+                ApplicationId(100 + i),
+                10,
+                Resources::new(2048, 1),
+                vec![Tag::new("w")],
+                vec![
+                    PlacementConstraint::cardinality("w", "w", 0, 1, NodeGroupId::node()),
+                    PlacementConstraint::affinity(
+                        medea_constraints::TagExpr::and([
+                            Tag::new("w"),
+                            Tag::app_id(ApplicationId(100 + i)),
+                        ]),
+                        medea_constraints::TagExpr::and([
+                            Tag::new("w"),
+                            Tag::app_id(ApplicationId(100 + i)),
+                        ]),
+                        NodeGroupId::rack(),
+                    ),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn bench_lra_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lra_placement_latency");
+    group.sample_size(10);
+    let algorithms = [
+        LraAlgorithm::NodeCandidates,
+        LraAlgorithm::TagPopularity,
+        LraAlgorithm::Serial,
+        LraAlgorithm::JKube,
+        LraAlgorithm::Yarn,
+    ];
+    for &nodes in &[100usize, 500] {
+        let cluster = ClusterState::homogeneous(nodes, Resources::new(16 * 1024, 16), 10);
+        let reqs = workload();
+        for &alg in &algorithms {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), nodes),
+                &(&cluster, &reqs),
+                |b, (cluster, reqs)| {
+                    let scheduler = LraScheduler::new(alg);
+                    b.iter(|| scheduler.place(cluster, reqs, &[]));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_ilp_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_placement_latency");
+    group.sample_size(10);
+    for &nodes in &[100usize, 500] {
+        let cluster = ClusterState::homogeneous(nodes, Resources::new(16 * 1024, 16), 10);
+        let reqs = workload();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nodes),
+            &(&cluster, &reqs),
+            |b, (cluster, reqs)| {
+                let scheduler = LraScheduler::new(LraAlgorithm::Ilp);
+                b.iter(|| scheduler.place(cluster, reqs, &[]));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_task_heartbeat(c: &mut Criterion) {
+    c.bench_function("task_heartbeat_allocation", |b| {
+        b.iter_batched(
+            || {
+                let cluster = ClusterState::homogeneous(100, Resources::new(16 * 1024, 64), 10);
+                let mut ts = TaskScheduler::single_queue();
+                ts.submit(
+                    TaskJobRequest::new(ApplicationId(1), Resources::new(512, 1), 32),
+                    0,
+                )
+                .unwrap();
+                (cluster, ts)
+            },
+            |(mut cluster, mut ts)| ts.on_heartbeat(&mut cluster, NodeId(0), 1),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lra_placement,
+    bench_ilp_placement,
+    bench_task_heartbeat
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks of the MILP solver on scheduler-shaped
+//! models: LP relaxations and full branch-and-bound solves of placement
+//! problems like those Medea's LRA scheduler emits (supports Fig. 11a's
+//! latency claims at the solver level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medea_solver::{Cmp, Milp, Problem, Simplex};
+
+/// Builds an assignment-like placement model: `containers` binaries per
+/// `nodes` candidates with capacity rows and an anti-affinity-style cap.
+fn placement_model(containers: usize, nodes: usize) -> Problem {
+    let mut p = Problem::maximize();
+    let x: Vec<Vec<_>> = (0..containers)
+        .map(|i| {
+            (0..nodes)
+                .map(|n| p.add_binary(0.0, format!("x{i}_{n}")))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let s = p.add_binary(1.0, "s");
+    // Each container at most once; all-or-nothing.
+    let mut all = Vec::new();
+    for row in &x {
+        p.add_constraint(row.iter().map(|&v| (v, 1.0)), Cmp::Le, 1.0);
+        all.extend(row.iter().map(|&v| (v, 1.0)));
+    }
+    all.push((s, -(containers as f64)));
+    p.add_constraint(all, Cmp::Eq, 0.0);
+    // Capacity: at most 2 containers per node.
+    for n in 0..nodes {
+        p.add_constraint((0..containers).map(|i| (x[i][n], 1.0)), Cmp::Le, 2.0);
+    }
+    // Symmetry breaking like the scheduler's.
+    for w in x.windows(2) {
+        let mut terms = Vec::new();
+        for n in 0..nodes {
+            terms.push((w[0][n], (n + 1) as f64));
+            terms.push((w[1][n], -((n + 1) as f64)));
+        }
+        p.add_constraint(terms, Cmp::Le, 0.0);
+    }
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_relaxation");
+    for &(containers, nodes) in &[(10usize, 16usize), (20, 32), (26, 48)] {
+        let p = placement_model(containers, nodes);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{containers}x{nodes}")),
+            &p,
+            |b, p| b.iter(|| Simplex::new(p).solve()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_exact");
+    group.sample_size(10);
+    for &(containers, nodes) in &[(8usize, 12usize), (12, 16)] {
+        let p = placement_model(containers, nodes);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{containers}x{nodes}")),
+            &p,
+            |b, p| b.iter(|| Milp::new(p).solve().unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_milp);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! Figure 8: application resilience over 15 days — CDF of the maximum
+//! per-LRA container unavailability per hour, for Medea vs J-Kube
+//! placements with service-unit anti-affinity constraints (§7.3).
+//!
+//! The cluster is split into 25 service units with uneven pre-existing
+//! load; LRAs of 100 containers each request spreading across SUs via a
+//! cardinality constraint (J-Kube ignores cardinality, so it spreads only
+//! as far as least-allocated scoring happens to take it). Hourly machine
+//! unavailability comes from the synthetic SU failure trace.
+
+use medea_bench::{f2, Report};
+use medea_cluster::{
+    ApplicationId, ClusterState, ExecutionKind, NodeGroupId, NodeId, Resources, Tag,
+};
+use medea_constraints::{Cardinality, PlacementConstraint, TagExpr};
+use medea_core::{LraAlgorithm, LraRequest, LraScheduler};
+use medea_sim::{fill_with_batch, Cdf, FailureParams, UnavailabilityTrace};
+
+const SUS: usize = 25;
+const NODES_PER_SU: usize = 20;
+const LRAS: usize = 10;
+const CONTAINERS: usize = 100;
+
+fn build_cluster(seed: u64) -> ClusterState {
+    let n = SUS * NODES_PER_SU;
+    let mut cluster = ClusterState::homogeneous(n, Resources::new(16 * 1024, 32), 10);
+    // Register service units as a node group.
+    let sus: Vec<Vec<NodeId>> = (0..SUS)
+        .map(|su| {
+            (0..NODES_PER_SU)
+                .map(|i| NodeId((su * NODES_PER_SU + i) as u32))
+                .collect()
+        })
+        .collect();
+    cluster.register_group(NodeGroupId::service_unit(), sus);
+    // Uneven pre-existing load so least-allocated packing is non-uniform:
+    // fill even-numbered SUs more heavily.
+    fill_with_batch(&mut cluster, 0.35, seed);
+    for su in 0..SUS {
+        if su % 2 == 0 {
+            for i in 0..NODES_PER_SU / 2 {
+                let node = NodeId((su * NODES_PER_SU + i) as u32);
+                let _ = cluster.allocate(
+                    ApplicationId(8_000_000 + su as u64),
+                    node,
+                    &medea_cluster::ContainerRequest::new(Resources::new(10 * 1024, 4), []),
+                    ExecutionKind::Task,
+                );
+            }
+        }
+    }
+    cluster
+}
+
+/// Places the LRA fleet; returns per-LRA container counts per SU.
+fn place_fleet(alg: LraAlgorithm) -> Vec<Vec<u32>> {
+    let mut cluster = build_cluster(5);
+    // Medea`s tag-popularity heuristic is used (the paper`s 100-
+    // container LRAs exceed what our CPLEX substitute handles per batch);
+    // the *constraint handling* is what differs: J-Kube drops cardinality.
+    let scheduler = LraScheduler::new(alg);
+    let mut deployed_constraints = Vec::new();
+    let mut per_lra = Vec::new();
+    for i in 0..LRAS {
+        let app = ApplicationId(100 + i as u64);
+        let spread = PlacementConstraint::new(
+            TagExpr::and([Tag::new("svc"), Tag::app_id(app)]),
+            TagExpr::and([Tag::new("svc"), Tag::app_id(app)]),
+            Cardinality::at_most(4),
+            NodeGroupId::service_unit(),
+        );
+        let req = LraRequest::uniform(
+            app,
+            CONTAINERS,
+            Resources::new(1024, 1),
+            vec![Tag::new("svc")],
+            vec![spread.clone()],
+        );
+        let out = scheduler.place(&cluster, &[req.clone()], &deployed_constraints);
+        let mut counts = vec![0u32; SUS];
+        if let Some(pl) = out[0].placement() {
+            for (c, &n) in req.containers.iter().zip(&pl.nodes) {
+                let _ = cluster.allocate(app, n, c, ExecutionKind::LongRunning);
+                counts[n.0 as usize / NODES_PER_SU] += 1;
+            }
+            deployed_constraints.extend(req.constraints.iter().cloned());
+        } else {
+            eprintln!("warning: {alg} failed to place LRA {i}");
+        }
+        per_lra.push(counts);
+    }
+    per_lra
+}
+
+fn worst_case_series(trace: &UnavailabilityTrace, fleet: &[Vec<u32>]) -> Vec<f64> {
+    (0..trace.hours())
+        .map(|h| {
+            fleet
+                .iter()
+                .map(|counts| trace.app_unavailability(h, counts))
+                .fold(0.0, f64::max)
+                * 100.0
+        })
+        .collect()
+}
+
+fn main() {
+    let trace = UnavailabilityTrace::generate(&FailureParams::default(), 15);
+
+    let medea = place_fleet(LraAlgorithm::TagPopularity);
+    let jkube = place_fleet(LraAlgorithm::JKube);
+
+    let spread_of = |fleet: &[Vec<u32>]| -> f64 {
+        // Mean of each LRA's maximum per-SU concentration.
+        fleet
+            .iter()
+            .map(|c| *c.iter().max().unwrap_or(&0) as f64)
+            .sum::<f64>()
+            / fleet.len() as f64
+    };
+    println!(
+        "mean max-containers-per-SU: MEDEA={:.1}, J-KUBE={:.1}",
+        spread_of(&medea),
+        spread_of(&jkube)
+    );
+
+    let m_series = worst_case_series(&trace, &medea);
+    let j_series = worst_case_series(&trace, &jkube);
+    let m_cdf = Cdf::new(m_series.iter().copied());
+    let j_cdf = Cdf::new(j_series.iter().copied());
+
+    let mut report = Report::new(
+        "fig8",
+        "CDF of max container unavailability per LRA (%), 15 days",
+        &["quantile", "MEDEA", "J-KUBE"],
+    );
+    for q in [0.05, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+        report.push(vec![
+            format!("{q:.2}"),
+            f2(m_cdf.quantile(q)),
+            f2(j_cdf.quantile(q)),
+        ]);
+    }
+    report.finish();
+
+    let med_gain = (1.0 - m_cdf.quantile(0.5) / j_cdf.quantile(0.5)) * 100.0;
+    let max_gain = (1.0 - m_cdf.quantile(1.0) / j_cdf.quantile(1.0)) * 100.0;
+    println!(
+        "\nPaper claims: Medea improves median unavailability by ~16% and \
+         maximum by ~24% vs J-Kube. Measured: median {med_gain:+.0}%, \
+         maximum {max_gain:+.0}%.",
+    );
+}

@@ -1,0 +1,318 @@
+//! Figure 9: constraint violations (%) under four sweeps (§7.4):
+//! (a) LRA cluster utilization 10–90%;
+//! (b) task-based utilization 10–60% with LRAs at 10%;
+//! (c) scheduling periodicity 1–6 (LRAs considered per cycle);
+//! (d) inter-application constraint complexity 1–10.
+//!
+//! Cluster: simulated 100 nodes x <16 GB, 16 cores> in 10 racks (scaled
+//! from the paper's 500 nodes; see EXPERIMENTS.md). HBase instances carry
+//! the §7.1 constraints. Pass a subfigure letter (`a`..`d`) as the first
+//! argument to run one sweep; default runs all four.
+
+use medea_bench::{deploy_lras, pct, Report};
+use medea_cluster::{ApplicationId, ClusterState, NodeGroupId, Resources, Tag};
+use medea_constraints::{Cardinality, PlacementConstraint, TagExpr};
+use medea_core::{LraAlgorithm, LraRequest};
+use medea_sim::fill_with_batch;
+
+const ALGOS: [LraAlgorithm; 5] = [
+    LraAlgorithm::Ilp,
+    LraAlgorithm::NodeCandidates,
+    LraAlgorithm::TagPopularity,
+    LraAlgorithm::JKube,
+    LraAlgorithm::Serial,
+];
+
+fn cluster() -> ClusterState {
+    ClusterState::homogeneous(100, Resources::new(16 * 1024, 16), 10)
+}
+
+/// The Fig. 9a/10 workload: HBase-like instances of 8 workers with a
+/// capacity-matched 6-per-node cap, so that violation-free placements
+/// exist across the whole sweep (see EXPERIMENTS.md: the paper's literal
+/// 2-per-node cap bounds satisfiable worker memory at 25% of the cluster,
+/// which would saturate every scheduler above ~30% utilization).
+pub fn fig9a_workload(n: usize, first_id: u64) -> Vec<LraRequest> {
+    (0..n)
+        .map(|i| medea_sim::apps::hbase_like(ApplicationId(first_id + i as u64), 8, 6))
+        .collect()
+}
+
+/// Instances that fit a utilization fraction, bounded by both memory and
+/// the cardinality cap (6 workers per node).
+pub fn fig9a_count(cluster: &ClusterState, fraction: f64) -> usize {
+    let per_instance = 8 * 2048 + 3 * 1024; // 8 workers + master/thrift/sec
+    let memory_cap = cluster.total_capacity().memory_mb / per_instance;
+    let worker_cap = cluster.num_nodes() as u64 * 6 / 8;
+    ((memory_cap.min(worker_cap)) as f64 * fraction) as usize
+}
+
+/// (a) violations vs LRA utilization: deploy incrementally, snapshotting
+/// the violation fraction as utilization crosses each checkpoint.
+fn fig9a() {
+    let checkpoints = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let mut report = Report::new(
+        "fig9a",
+        "Constraint violations (%) vs LRA cluster utilization",
+        &["lra_util_pct", "MEDEA-ILP", "MEDEA-NC", "MEDEA-TP", "J-KUBE", "Serial"],
+    );
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); ALGOS.len()];
+    for (ai, &alg) in ALGOS.iter().enumerate() {
+        let base = cluster();
+        let total = fig9a_count(&base, 0.9);
+        let reqs = fig9a_workload(total, 100);
+        // Deploy in checkpointed stages so one pass yields all points.
+        let mut state = base;
+        let mut deployed_so_far = 0usize;
+        let mut constraints = Vec::new();
+        for &cp in &checkpoints {
+            let want = fig9a_count(&cluster(), cp).min(total);
+            let stage = &reqs[deployed_so_far..want];
+            let res = deploy_lras(state, alg, stage, 2);
+            state = res.state;
+            constraints.extend(res.constraints);
+            deployed_so_far = want;
+            let stats = medea_constraints::violation_stats(&state, constraints.iter());
+            series[ai].push(stats.violating_fraction());
+        }
+        eprintln!("fig9a: {alg} done");
+    }
+    for (i, &cp) in checkpoints.iter().enumerate() {
+        let mut row = vec![format!("{:.0}", cp * 100.0)];
+        for s in &series {
+            row.push(pct(s[i]));
+        }
+        report.push(row);
+    }
+    report.finish();
+}
+
+/// (b) violations vs task-based utilization (LRAs fixed at 10%).
+fn fig9b() {
+    let task_utils = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let mut report = Report::new(
+        "fig9b",
+        "Constraint violations (%) vs task-based utilization (LRAs at 10%)",
+        &["task_util_pct", "MEDEA-ILP", "MEDEA-NC", "MEDEA-TP", "J-KUBE", "Serial"],
+    );
+    for &tu in &task_utils {
+        let mut row = vec![format!("{:.0}", tu * 100.0)];
+        for &alg in &ALGOS {
+            let mut state = cluster();
+            fill_with_batch(&mut state, tu, 17);
+            let n = fig9a_count(&state, 0.12);
+            let reqs = fig9a_workload(n, 500);
+            let res = deploy_lras(state, alg, &reqs, 2);
+            row.push(pct(res.violations().violating_fraction()));
+        }
+        report.push(row);
+        eprintln!("fig9b: task util {tu} done");
+    }
+    report.finish();
+}
+
+/// (c) violations vs periodicity (LRAs per scheduling cycle), LRAs at 10%.
+///
+/// Violations are measured *at placement time* (immediately after each
+/// batch commits): our greedy schedulers score the effect of a placement
+/// on previously deployed subjects, so a consumer whose producer arrives
+/// one cycle later gets "repaired" — an improvement over the paper's
+/// implementation that would otherwise flatten this figure. At-placement
+/// violations equal the paper's end-state metric for a repair-free
+/// scheduler. See EXPERIMENTS.md.
+fn fig9c() {
+    let periodicities = [1usize, 2, 3, 4, 5, 6];
+    let mut report = Report::new(
+        "fig9c",
+        "Constraint violations at placement time (%) vs scheduling periodicity",
+        &["periodicity", "MEDEA-ILP", "MEDEA-NC", "MEDEA-TP", "J-KUBE", "Serial"],
+    );
+    for &p in &periodicities {
+        let mut row = vec![p.to_string()];
+        for &alg in &ALGOS {
+            // Paired consumer-then-producer submissions at staggered
+            // distances: the consumer's inter-app affinity is satisfiable
+            // at placement time only when the producer lands in the same
+            // cycle, so larger cycles co-schedule more pairs.
+            let reqs = paired_affinity_workload(8, 900);
+            let mut state = cluster();
+            let mut checked = 0usize;
+            let mut violated = 0usize;
+            let mut deployed_constraints: Vec<PlacementConstraint> = Vec::new();
+            for batch in reqs.chunks(p.max(1)) {
+                let res = deploy_lras(state, alg, batch, p);
+                state = res.state;
+                // Measure this batch's own constraints immediately after
+                // its commit (at-placement violations).
+                let batch_constraints: Vec<_> =
+                    batch.iter().flat_map(|r| r.constraints.clone()).collect();
+                let stats =
+                    medea_constraints::violation_stats(&state, batch_constraints.iter());
+                violated += stats.containers_violating;
+                // Denominator: every LRA container placed, as in the
+                // paper's "percentage of containers" metric.
+                checked += batch.iter().map(|r| r.num_containers()).sum::<usize>();
+                deployed_constraints.extend(batch_constraints);
+            }
+            let frac = if checked == 0 {
+                0.0
+            } else {
+                violated as f64 / checked as f64
+            };
+            row.push(pct(frac));
+        }
+        report.push(row);
+        eprintln!("fig9c: periodicity {p} done");
+    }
+    report.finish();
+}
+
+/// Pairs of LRAs where the *first-submitted* has rack affinity to the
+/// second (a forward reference): only a scheduler that considers both
+/// requests in one cycle can satisfy it deliberately — with periodicity 1
+/// the consumer is placed before its producer exists (§7.4: "the
+/// importance of considering multiple container requests at a time for
+/// satisfying inter-application constraints").
+fn paired_affinity_workload(pairs: usize, first_id: u64) -> Vec<LraRequest> {
+    let mut consumers = Vec::new();
+    let mut producers = Vec::new();
+    for i in 0..pairs {
+        let cons_app = ApplicationId(first_id + 2 * i as u64);
+        let prod_app = ApplicationId(first_id + 2 * i as u64 + 1);
+        let ptag = Tag::new(format!("prod{i}"));
+        let ctag = Tag::new(format!("cons{i}"));
+        // Consumer submitted first, referencing the future producer.
+        consumers.push(LraRequest::uniform(
+            cons_app,
+            5,
+            Resources::new(2048, 1),
+            vec![ctag.clone()],
+            vec![PlacementConstraint::affinity(
+                TagExpr::tag(ctag),
+                TagExpr::tag(ptag.clone()),
+                NodeGroupId::rack(),
+            )],
+        ));
+        producers.push(LraRequest::uniform(
+            prod_app,
+            5,
+            Resources::new(2048, 1),
+            vec![ptag],
+            vec![],
+        ));
+    }
+    // Stagger producer arrivals 1-3 positions behind their consumers so
+    // that successively larger scheduling cycles co-schedule successively
+    // more pairs (no parity artifacts), and interleave unconstrained
+    // filler services (as in a real mixed submission stream).
+    let mut reqs = Vec::new();
+    let mut pending: Vec<(usize, LraRequest)> = Vec::new();
+    for (i, c) in consumers.into_iter().enumerate() {
+        reqs.push(c);
+        reqs.push(LraRequest::uniform(
+            ApplicationId(first_id + 1000 + i as u64),
+            5,
+            Resources::new(1024, 1),
+            vec![Tag::new(format!("filler{i}"))],
+            vec![],
+        ));
+        pending.push((reqs.len() + (i % 3), producers[i].clone()));
+        pending.retain(|(at, p)| {
+            if *at <= reqs.len() {
+                reqs.push(p.clone());
+                false
+            } else {
+                true
+            }
+        });
+    }
+    for (_, p) in pending {
+        reqs.push(p);
+    }
+    reqs
+}
+
+/// (d) violations vs constraint complexity: inter-application cardinality
+/// chains involving up to X LRAs.
+fn fig9d() {
+    let complexities = [1usize, 2, 4, 6, 8, 10];
+    let mut report = Report::new(
+        "fig9d",
+        "Constraint violations (%) vs inter-application constraint complexity",
+        &["complexity", "MEDEA-ILP", "MEDEA-NC", "MEDEA-TP", "J-KUBE", "Serial"],
+    );
+    for &x in &complexities {
+        let mut row = vec![x.to_string()];
+        for &alg in &ALGOS {
+            let state = cluster();
+            // Three groups of X mutually-referencing LRAs; the batch holds
+            // a whole group, so batch-aware schedulers see all references.
+            let reqs: Vec<LraRequest> = (0..3)
+                .flat_map(|g| complexity_group(x, 2000 + 100 * g, g as usize))
+                .collect();
+            let res = deploy_lras(state, alg, &reqs, x.max(2));
+            row.push(pct(res.violations().violating_fraction()));
+        }
+        report.push(row);
+        eprintln!("fig9d: complexity {x} done");
+    }
+    report.finish();
+}
+
+/// A group of `x` LRAs with *circular* inter-application constraints:
+/// LRA i has rack affinity to LRA (i+1) mod x and a node-cardinality cap
+/// toward it. The forward references mean one-at-a-time scheduling cannot
+/// plan for them; a batch scheduler sees the whole group at once.
+fn complexity_group(x: usize, first_id: u64, group: usize) -> Vec<LraRequest> {
+    let x = x.max(1);
+    let mut reqs = Vec::new();
+    for i in 0..x {
+        let app = ApplicationId(first_id + i as u64);
+        let tag = Tag::new(format!("g{group}c{i}"));
+        let mut constraints = Vec::new();
+        if x > 1 {
+            let next = Tag::new(format!("g{group}c{}", (i + 1) % x));
+            constraints.push(PlacementConstraint::affinity(
+                TagExpr::tag(tag.clone()),
+                TagExpr::tag(next.clone()),
+                NodeGroupId::rack(),
+            ));
+            constraints.push(PlacementConstraint::new(
+                tag.clone(),
+                next,
+                Cardinality::at_most(2),
+                NodeGroupId::node(),
+            ));
+        }
+        reqs.push(LraRequest::uniform(
+            app,
+            4,
+            Resources::new(2048, 1),
+            vec![tag],
+            constraints,
+        ));
+    }
+    reqs
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match which.as_str() {
+        "a" => fig9a(),
+        "b" => fig9b(),
+        "c" => fig9c(),
+        "d" => fig9d(),
+        _ => {
+            fig9a();
+            fig9b();
+            fig9c();
+            fig9d();
+        }
+    }
+    println!(
+        "\nPaper claims: Medea-ILP keeps violations under ~10% everywhere \
+         (near zero in 9a even at 90% utilization); the heuristics sit in \
+         the 10-20% band; J-Kube and Serial are worst; batching (9c) and \
+         lookahead matter most for inter-application constraints (9d)."
+    );
+}

@@ -1,0 +1,15 @@
+//! Experiment harness for the Medea reproduction: shared scaffolding used
+//! by the per-figure binaries in `src/bin/` and the criterion benches.
+//!
+//! Run any experiment with
+//! `cargo run --release -p medea-bench --bin <target>`; see DESIGN.md §8
+//! for the experiment index (every table and figure of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod output;
+mod scenarios;
+
+pub use output::{f2, f3, pct, Report};
+pub use scenarios::{deploy_lras, hbase_count_for_utilization, lra_mix, DeployResult};

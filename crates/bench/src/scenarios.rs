@@ -1,0 +1,159 @@
+//! Shared experiment scaffolding: deploy LRA mixes with a chosen
+//! algorithm and measure the §7.4 global-objective metrics.
+
+use std::time::{Duration, Instant};
+
+use medea_cluster::{ApplicationId, ClusterState, ExecutionKind};
+use medea_constraints::{violation_stats, PlacementConstraint, ViolationStats};
+use medea_core::{LraAlgorithm, LraRequest, LraScheduler};
+use medea_sim::apps;
+
+/// Result of statically deploying a list of LRAs.
+#[derive(Debug)]
+pub struct DeployResult {
+    /// Final cluster state.
+    pub state: ClusterState,
+    /// Active constraints of all successfully deployed LRAs.
+    pub constraints: Vec<PlacementConstraint>,
+    /// Applications deployed.
+    pub deployed: Vec<ApplicationId>,
+    /// Requests that could not be placed.
+    pub unplaced: usize,
+    /// Wall-clock placement time per batch.
+    pub batch_times: Vec<Duration>,
+}
+
+impl DeployResult {
+    /// Violation statistics over the deployed constraints.
+    pub fn violations(&self) -> ViolationStats {
+        violation_stats(&self.state, self.constraints.iter())
+    }
+
+    /// Mean per-LRA scheduling latency (batch time / batch size).
+    pub fn mean_lra_latency(&self) -> Duration {
+        if self.batch_times.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.batch_times.iter().sum();
+        total / self.batch_times.len() as u32
+    }
+}
+
+/// Deploys `requests` onto `cluster` in batches of `batch_size` (the
+/// paper's *periodicity*: how many LRAs each scheduling cycle considers),
+/// committing successful placements and accumulating constraints.
+pub fn deploy_lras(
+    mut cluster: ClusterState,
+    algorithm: LraAlgorithm,
+    requests: &[LraRequest],
+    batch_size: usize,
+) -> DeployResult {
+    let scheduler = LraScheduler::new(algorithm);
+    let mut constraints: Vec<PlacementConstraint> = Vec::new();
+    let mut deployed = Vec::new();
+    let mut unplaced = 0usize;
+    let mut batch_times = Vec::new();
+
+    for batch in requests.chunks(batch_size.max(1)) {
+        let t0 = Instant::now();
+        let outcomes = scheduler.place(&cluster, batch, &constraints);
+        batch_times.push(t0.elapsed());
+        for (req, outcome) in batch.iter().zip(outcomes) {
+            match outcome.placement() {
+                Some(pl) => {
+                    let mut ok = true;
+                    let mut ids = Vec::new();
+                    for (c, &n) in req.containers.iter().zip(&pl.nodes) {
+                        match cluster.allocate(req.app, n, c, ExecutionKind::LongRunning) {
+                            Ok(id) => ids.push(id),
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        deployed.push(req.app);
+                        constraints.extend(req.constraints.iter().cloned());
+                    } else {
+                        for id in ids {
+                            let _ = cluster.release(id);
+                        }
+                        unplaced += 1;
+                    }
+                }
+                None => unplaced += 1,
+            }
+        }
+    }
+    DeployResult {
+        state: cluster,
+        constraints,
+        deployed,
+        unplaced,
+        batch_times,
+    }
+}
+
+/// An alternating HBase/TensorFlow mix of `n` instances (the §7.4
+/// workload uses HBase instances; §7.2 mixes both).
+pub fn lra_mix(n: usize, hbase_fraction: f64, first_app_id: u64) -> Vec<LraRequest> {
+    let n_hbase = (n as f64 * hbase_fraction).round() as usize;
+    (0..n)
+        .map(|i| {
+            let app = ApplicationId(first_app_id + i as u64);
+            if i < n_hbase {
+                apps::hbase_instance(app, 10)
+            } else {
+                apps::tensorflow_instance(app)
+            }
+        })
+        .collect()
+}
+
+/// How many HBase instances (10 workers + 3 aux ≈ 23.25 GB each) fit a
+/// target fraction of the cluster's memory.
+pub fn hbase_count_for_utilization(cluster: &ClusterState, fraction: f64) -> usize {
+    let per_instance = apps::hbase_instance(ApplicationId(0), 10)
+        .total_resources()
+        .memory_mb;
+    let budget = cluster.total_capacity().memory_mb as f64 * fraction;
+    (budget / per_instance as f64).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_cluster::Resources;
+
+    #[test]
+    fn deploy_commits_and_counts() {
+        let cluster = ClusterState::homogeneous(20, Resources::new(16 * 1024, 16), 4);
+        let reqs = lra_mix(4, 0.5, 100);
+        let res = deploy_lras(cluster, LraAlgorithm::NodeCandidates, &reqs, 2);
+        assert_eq!(res.deployed.len() + res.unplaced, 4);
+        assert!(res.deployed.len() >= 3, "most should place");
+        assert_eq!(res.batch_times.len(), 2);
+        let v = res.violations();
+        assert!(v.containers_checked > 0);
+    }
+
+    #[test]
+    fn utilization_sizing() {
+        let cluster = ClusterState::homogeneous(100, Resources::new(16 * 1024, 16), 10);
+        let n = hbase_count_for_utilization(&cluster, 0.5);
+        // 100 * 16 GB * 0.5 = 800 GB; instance = 23.25 GB -> 34.
+        assert!((30..40).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn mix_fractions() {
+        let reqs = lra_mix(10, 1.0, 0);
+        assert_eq!(reqs.len(), 10);
+        // All HBase at fraction 1.0: 13 containers each.
+        assert!(reqs.iter().all(|r| r.num_containers() == 13));
+        let mixed = lra_mix(10, 0.5, 0);
+        let tf = mixed.iter().filter(|r| r.num_containers() == 11).count();
+        assert_eq!(tf, 5);
+    }
+}

@@ -1,0 +1,83 @@
+//! Containers, container requests, and application identities.
+
+use std::fmt;
+
+use crate::resources::Resources;
+use crate::tags::Tag;
+
+/// Identifier of an application (LRA or task-based job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ApplicationId(pub u64);
+
+impl fmt::Display for ApplicationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app_{:06}", self.0)
+    }
+}
+
+/// Identifier of an allocated container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContainerId(pub u64);
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "container_{:08}", self.0)
+    }
+}
+
+/// Whether a container is long-running (LRA) or a short task.
+///
+/// The distinction routes requests between Medea's two schedulers (§3):
+/// LRA requests carry placement constraints and go through the LRA
+/// scheduler; task requests go straight to the task-based scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionKind {
+    /// Long-running container (hours to months).
+    LongRunning,
+    /// Short-lived task container (seconds to minutes).
+    Task,
+}
+
+/// A single container request: resource demand plus the tags the container
+/// will carry once allocated (§4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerRequest {
+    /// Resource demand of the container.
+    pub resources: Resources,
+    /// Tags the container carries; the scheduler automatically adds the
+    /// `appid:` tag of the owning application.
+    pub tags: Vec<Tag>,
+}
+
+impl ContainerRequest {
+    /// Creates a request with the given demand and tags.
+    pub fn new(resources: Resources, tags: impl IntoIterator<Item = Tag>) -> Self {
+        ContainerRequest {
+            resources,
+            tags: tags.into_iter().collect(),
+        }
+    }
+
+    /// Returns `true` if the request carries the given tag.
+    pub fn has_tag(&self, tag: &Tag) -> bool {
+        self.tags.contains(tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_tags() {
+        let r = ContainerRequest::new(Resources::new(2048, 1), [Tag::new("hb"), Tag::new("hb_rs")]);
+        assert!(r.has_tag(&Tag::new("hb")));
+        assert!(!r.has_tag(&Tag::new("hb_m")));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ApplicationId(23).to_string(), "app_000023");
+        assert_eq!(ContainerId(7).to_string(), "container_00000007");
+    }
+}

@@ -1,0 +1,74 @@
+//! Cluster nodes.
+
+use std::fmt;
+
+use crate::resources::Resources;
+use crate::tags::Tag;
+
+/// Identifier of a cluster node (dense index into the cluster state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node_{:04}", self.0)
+    }
+}
+
+/// Static description of a cluster node.
+///
+/// Dynamic state (free resources, running containers, dynamic tags) lives
+/// in [`crate::ClusterState`]; the static tags here model machine
+/// attributes such as `gpu` or `ssd` (§4.1: "a subset of a node tag set can
+/// also be defined statically ... our tag model can also express the static
+/// machine attributes offered by existing schedulers").
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Node identifier.
+    pub id: NodeId,
+    /// Hostname for diagnostics.
+    pub hostname: String,
+    /// Total allocatable resources.
+    pub capacity: Resources,
+    /// Static machine-attribute tags (e.g. `gpu`).
+    pub static_tags: Vec<Tag>,
+}
+
+impl Node {
+    /// Creates a node with the given capacity and no static tags.
+    pub fn new(id: NodeId, capacity: Resources) -> Self {
+        Node {
+            id,
+            hostname: format!("host-{:04}", id.0),
+            capacity,
+            static_tags: Vec::new(),
+        }
+    }
+
+    /// Adds static machine-attribute tags.
+    pub fn with_static_tags(mut self, tags: impl IntoIterator<Item = Tag>) -> Self {
+        self.static_tags.extend(tags);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let n = Node::new(NodeId(3), Resources::new(1024, 4))
+            .with_static_tags([Tag::new("gpu")]);
+        assert_eq!(n.id.index(), 3);
+        assert_eq!(n.hostname, "host-0003");
+        assert_eq!(n.static_tags, vec![Tag::new("gpu")]);
+    }
+}

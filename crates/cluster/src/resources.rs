@@ -1,0 +1,214 @@
+//! Container resource vectors.
+//!
+//! The paper's ILP uses a single scalar per node "for simplicity" (§5.2,
+//! footnote 6) but the evaluated deployment allocates `<memory, vcores>`
+//! containers (§7.1). We model the two-dimensional vector everywhere and
+//! expose the scalar projection ([`Resources::scalar`]) that the ILP uses.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A resource vector: memory in MB and virtual cores.
+///
+/// # Examples
+///
+/// ```
+/// use medea_cluster::Resources;
+///
+/// let node = Resources::new(16 * 1024, 8);
+/// let container = Resources::new(2 * 1024, 1);
+/// assert!(container.fits_in(&node));
+/// assert_eq!(node.checked_sub(&container).unwrap().memory_mb, 14 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Resources {
+    /// Memory in megabytes.
+    pub memory_mb: u64,
+    /// Virtual cores.
+    pub vcores: u32,
+}
+
+impl Resources {
+    /// Creates a resource vector.
+    pub const fn new(memory_mb: u64, vcores: u32) -> Self {
+        Resources { memory_mb, vcores }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Resources = Resources::new(0, 0);
+
+    /// Returns `true` if both components are zero.
+    pub fn is_zero(&self) -> bool {
+        self.memory_mb == 0 && self.vcores == 0
+    }
+
+    /// Returns `true` if `self` fits within `capacity` component-wise.
+    pub fn fits_in(&self, capacity: &Resources) -> bool {
+        self.memory_mb <= capacity.memory_mb && self.vcores <= capacity.vcores
+    }
+
+    /// Component-wise subtraction; `None` if any component underflows.
+    pub fn checked_sub(&self, other: &Resources) -> Option<Resources> {
+        Some(Resources {
+            memory_mb: self.memory_mb.checked_sub(other.memory_mb)?,
+            vcores: self.vcores.checked_sub(other.vcores)?,
+        })
+    }
+
+    /// Component-wise subtraction saturating at zero.
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            memory_mb: self.memory_mb.saturating_sub(other.memory_mb),
+            vcores: self.vcores.saturating_sub(other.vcores),
+        }
+    }
+
+    /// Component-wise minimum.
+    pub fn min(&self, other: &Resources) -> Resources {
+        Resources {
+            memory_mb: self.memory_mb.min(other.memory_mb),
+            vcores: self.vcores.min(other.vcores),
+        }
+    }
+
+    /// Multiplies both components by an integer factor.
+    pub fn times(&self, k: u64) -> Resources {
+        Resources {
+            memory_mb: self.memory_mb * k,
+            vcores: (self.vcores as u64 * k).min(u32::MAX as u64) as u32,
+        }
+    }
+
+    /// Scalar projection used by the ILP capacity rows (memory, per the
+    /// paper's single-scalar simplification; see module docs).
+    pub fn scalar(&self) -> f64 {
+        self.memory_mb as f64
+    }
+
+    /// Dominant utilization share of `self` relative to `capacity`, in
+    /// `[0, 1]` (used for load metrics and least-allocated scoring).
+    ///
+    /// Returns `0.0` when `capacity` is zero in both components.
+    pub fn dominant_share(&self, capacity: &Resources) -> f64 {
+        let mem = if capacity.memory_mb > 0 {
+            self.memory_mb as f64 / capacity.memory_mb as f64
+        } else {
+            0.0
+        };
+        let cpu = if capacity.vcores > 0 {
+            self.vcores as f64 / capacity.vcores as f64
+        } else {
+            0.0
+        };
+        mem.max(cpu)
+    }
+
+    /// Memory share of `self` relative to `capacity`, in `[0, 1]`.
+    pub fn memory_share(&self, capacity: &Resources) -> f64 {
+        if capacity.memory_mb == 0 {
+            0.0
+        } else {
+            self.memory_mb as f64 / capacity.memory_mb as f64
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            memory_mb: self.memory_mb + rhs.memory_mb,
+            vcores: self.vcores + rhs.vcores,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        self.memory_mb += rhs.memory_mb;
+        self.vcores += rhs.vcores;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`Resources::checked_sub`] when the
+    /// operands are not known to be ordered.
+    fn sub(self, rhs: Resources) -> Resources {
+        self.checked_sub(&rhs)
+            .expect("resource subtraction underflow")
+    }
+}
+
+impl SubAssign for Resources {
+    fn sub_assign(&mut self, rhs: Resources) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{} MB, {} vcores>", self.memory_mb, self.vcores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_requires_both_components() {
+        let cap = Resources::new(1024, 2);
+        assert!(Resources::new(1024, 2).fits_in(&cap));
+        assert!(!Resources::new(1025, 1).fits_in(&cap));
+        assert!(!Resources::new(512, 3).fits_in(&cap));
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        let a = Resources::new(100, 1);
+        let b = Resources::new(200, 0);
+        assert_eq!(a.checked_sub(&b), None);
+        assert_eq!(b.checked_sub(&a), None); // vcores underflow
+        assert_eq!(
+            Resources::new(200, 2).checked_sub(&a),
+            Some(Resources::new(100, 1))
+        );
+    }
+
+    #[test]
+    fn dominant_share_picks_max() {
+        let cap = Resources::new(1000, 10);
+        let u = Resources::new(500, 8);
+        assert!((u.dominant_share(&cap) - 0.8).abs() < 1e-12);
+        let u2 = Resources::new(900, 1);
+        assert!((u2.dominant_share(&cap) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_share_zero_capacity() {
+        assert_eq!(Resources::new(5, 5).dominant_share(&Resources::ZERO), 0.0);
+    }
+
+    #[test]
+    fn sum_and_times() {
+        let total: Resources = vec![Resources::new(1, 1); 5].into_iter().sum();
+        assert_eq!(total, Resources::new(5, 5));
+        assert_eq!(Resources::new(2, 3).times(4), Resources::new(8, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = Resources::new(1, 0) - Resources::new(2, 0);
+    }
+}

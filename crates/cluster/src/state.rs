@@ -1,0 +1,643 @@
+//! Live cluster state: allocations, free resources, and dynamic tag sets.
+//!
+//! `ClusterState` is the single source of truth shared by Medea's two
+//! schedulers (§3, Fig. 4 "Cluster State"): the task-based scheduler
+//! performs *all* actual allocations against it, which is how Medea avoids
+//! the conflicting-placement problem of multi-level schedulers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::container::{ApplicationId, ContainerId, ContainerRequest, ExecutionKind};
+use crate::groups::{NodeGroupId, NodeGroups};
+use crate::node::{Node, NodeId};
+use crate::resources::Resources;
+use crate::tags::{Tag, TagMultiset};
+
+/// A live, allocated container.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Container identifier.
+    pub id: ContainerId,
+    /// Owning application.
+    pub app: ApplicationId,
+    /// Hosting node.
+    pub node: NodeId,
+    /// Allocated resources.
+    pub resources: Resources,
+    /// Tags carried by this container (includes the automatic `appid:`).
+    pub tags: Vec<Tag>,
+    /// Long-running or task container.
+    pub kind: ExecutionKind,
+}
+
+/// Errors from allocation and release operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The node id is out of range.
+    UnknownNode(NodeId),
+    /// The container id is not currently allocated.
+    UnknownContainer(ContainerId),
+    /// The node lacks free resources for the request.
+    InsufficientResources {
+        /// Target node.
+        node: NodeId,
+        /// Free resources at the time of the request.
+        free: Resources,
+        /// Requested resources.
+        requested: Resources,
+    },
+    /// The node is marked unavailable (failed, upgrading).
+    NodeUnavailable(NodeId),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ClusterError::UnknownContainer(c) => write!(f, "unknown container {c}"),
+            ClusterError::InsufficientResources {
+                node,
+                free,
+                requested,
+            } => write!(
+                f,
+                "insufficient resources on {node}: free {free}, requested {requested}"
+            ),
+            ClusterError::NodeUnavailable(n) => write!(f, "node {n} is unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Per-node dynamic state.
+#[derive(Debug, Clone)]
+struct NodeState {
+    free: Resources,
+    tags: TagMultiset,
+    containers: Vec<ContainerId>,
+    available: bool,
+}
+
+/// Aggregate utilization metrics used by the global-objective experiments
+/// (§7.4): fragmentation and load imbalance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationStats {
+    /// Fraction of *fragmented* nodes: free resources below the
+    /// fragmentation threshold while the node is not fully utilized.
+    pub fragmented_fraction: f64,
+    /// Coefficient of variation of per-node memory utilization.
+    pub memory_cv: f64,
+    /// Mean per-node memory utilization in `[0, 1]`.
+    pub mean_memory_utilization: f64,
+}
+
+/// Live cluster state: nodes, groups, and allocations.
+///
+/// # Examples
+///
+/// ```
+/// use medea_cluster::{ClusterState, Node, NodeId, Resources, ContainerRequest,
+///     ApplicationId, ExecutionKind, Tag};
+///
+/// let nodes = (0..4).map(|i| Node::new(NodeId(i), Resources::new(8192, 8)));
+/// let mut cluster = ClusterState::new(nodes, 2);
+/// let req = ContainerRequest::new(Resources::new(2048, 1), [Tag::new("hb")]);
+/// let c = cluster
+///     .allocate(ApplicationId(1), NodeId(0), &req, ExecutionKind::LongRunning)
+///     .unwrap();
+/// assert_eq!(cluster.gamma(NodeId(0), &Tag::new("hb")), 1);
+/// cluster.release(c).unwrap();
+/// assert_eq!(cluster.gamma(NodeId(0), &Tag::new("hb")), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    nodes: Vec<Node>,
+    node_state: Vec<NodeState>,
+    groups: NodeGroups,
+    allocations: HashMap<ContainerId, Allocation>,
+    app_containers: HashMap<ApplicationId, Vec<ContainerId>>,
+    next_container: u64,
+    /// Per-group, per-set tag multisets, maintained incrementally on
+    /// allocate/release so that `γ_𝒮(t)` queries over racks and other
+    /// large node sets are O(1) instead of O(|𝒮|). Rebuilt whenever the
+    /// group registry changes (see [`ClusterState::register_group`]).
+    group_tags: HashMap<NodeGroupId, Vec<TagMultiset>>,
+    /// Threshold below which a non-idle node counts as fragmented
+    /// (default: 2 GB / 1 core, the paper's §7.4 definition).
+    pub fragmentation_threshold: Resources,
+}
+
+impl ClusterState {
+    /// Creates a cluster from nodes, registering a `rack` partition with
+    /// `racks` racks.
+    pub fn new(nodes: impl IntoIterator<Item = Node>, racks: usize) -> Self {
+        let nodes: Vec<Node> = nodes.into_iter().collect();
+        let mut groups = NodeGroups::new(nodes.len());
+        groups.register_partition(NodeGroupId::rack(), racks);
+        Self::with_groups(nodes, groups)
+    }
+
+    /// Creates a cluster with a custom group registry.
+    pub fn with_groups(nodes: Vec<Node>, groups: NodeGroups) -> Self {
+        let node_state = nodes
+            .iter()
+            .map(|n| NodeState {
+                free: n.capacity,
+                tags: n.static_tags.iter().cloned().collect(),
+                containers: Vec::new(),
+                available: true,
+            })
+            .collect();
+        let mut state = ClusterState {
+            nodes,
+            node_state,
+            groups,
+            allocations: HashMap::new(),
+            app_containers: HashMap::new(),
+            next_container: 0,
+            group_tags: HashMap::new(),
+            fragmentation_threshold: Resources::new(2048, 1),
+        };
+        state.rebuild_group_tags();
+        state
+    }
+
+    /// Registers (or replaces) a node group and refreshes the per-set tag
+    /// caches. Use this instead of mutating the registry directly so the
+    /// `γ_𝒮` caches stay coherent.
+    pub fn register_group(&mut self, group: NodeGroupId, node_sets: Vec<Vec<NodeId>>) {
+        self.groups.register(group, node_sets);
+        self.rebuild_group_tags();
+    }
+
+    /// Rebuilds every group's per-set tag multiset from current state.
+    fn rebuild_group_tags(&mut self) {
+        let group_ids: Vec<NodeGroupId> = self.groups.group_ids().cloned().collect();
+        self.group_tags.clear();
+        for g in group_ids {
+            let Ok(sets) = self.groups.sets_of(&g) else { continue };
+            let multisets: Vec<TagMultiset> = sets
+                .iter()
+                .map(|members| {
+                    let sets: Vec<&TagMultiset> = members
+                        .iter()
+                        .filter_map(|n| self.node_state.get(n.index()).map(|s| &s.tags))
+                        .collect();
+                    TagMultiset::union(sets)
+                })
+                .collect();
+            self.group_tags.insert(g, multisets);
+        }
+    }
+
+    /// `γ_𝒮(t)` for set `set_idx` of `group`, O(1) for registered groups
+    /// (falls back to scanning the set's members otherwise). The implicit
+    /// `node` group delegates to [`ClusterState::gamma`].
+    pub fn gamma_in_set(&self, group: &NodeGroupId, set_idx: usize, tag: &Tag) -> u32 {
+        if group == &NodeGroupId::node() {
+            return self.gamma(NodeId(set_idx as u32), tag);
+        }
+        if let Some(sets) = self.group_tags.get(group) {
+            return sets.get(set_idx).map(|m| m.count(tag)).unwrap_or(0);
+        }
+        self.groups
+            .set_members(group, set_idx)
+            .map(|members| self.gamma_set(&members, tag))
+            .unwrap_or(0)
+    }
+
+    /// Builds a homogeneous cluster: `n` nodes of equal `capacity` in
+    /// `racks` racks (the shape of every experiment in §7).
+    pub fn homogeneous(n: usize, capacity: Resources, racks: usize) -> Self {
+        ClusterState::new(
+            (0..n).map(|i| Node::new(NodeId(i as u32), capacity)),
+            racks,
+        )
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// Returns the static description of a node.
+    pub fn node(&self, id: NodeId) -> Result<&Node, ClusterError> {
+        self.nodes.get(id.index()).ok_or(ClusterError::UnknownNode(id))
+    }
+
+    /// Returns the node-group registry.
+    pub fn groups(&self) -> &NodeGroups {
+        &self.groups
+    }
+
+    /// Free resources on a node.
+    pub fn free(&self, id: NodeId) -> Result<Resources, ClusterError> {
+        self.node_state
+            .get(id.index())
+            .map(|s| s.free)
+            .ok_or(ClusterError::UnknownNode(id))
+    }
+
+    /// Whether a node is currently available for scheduling.
+    pub fn is_available(&self, id: NodeId) -> bool {
+        self.node_state
+            .get(id.index())
+            .map(|s| s.available)
+            .unwrap_or(false)
+    }
+
+    /// Marks a node available or unavailable (failures, upgrades §2.3).
+    ///
+    /// Unavailability does not release containers: the resilience
+    /// experiments count containers on unavailable nodes as unavailable.
+    pub fn set_available(&mut self, id: NodeId, available: bool) -> Result<(), ClusterError> {
+        self.node_state
+            .get_mut(id.index())
+            .map(|s| s.available = available)
+            .ok_or(ClusterError::UnknownNode(id))
+    }
+
+    /// The dynamic tag multiset of a node (`𝒯_n` with cardinalities, §4.1).
+    pub fn node_tags(&self, id: NodeId) -> Result<&TagMultiset, ClusterError> {
+        self.node_state
+            .get(id.index())
+            .map(|s| &s.tags)
+            .ok_or(ClusterError::UnknownNode(id))
+    }
+
+    /// Tag cardinality `γ_n(t)` on a node (0 for unknown nodes).
+    pub fn gamma(&self, id: NodeId, tag: &Tag) -> u32 {
+        self.node_state
+            .get(id.index())
+            .map(|s| s.tags.count(tag))
+            .unwrap_or(0)
+    }
+
+    /// Tag cardinality `γ_𝒮(t)` over a set of nodes (§4.1 tag-set union).
+    pub fn gamma_set(&self, set: &[NodeId], tag: &Tag) -> u32 {
+        set.iter().map(|&n| self.gamma(n, tag)).sum()
+    }
+
+    /// Containers currently on a node.
+    pub fn containers_on(&self, id: NodeId) -> Result<&[ContainerId], ClusterError> {
+        self.node_state
+            .get(id.index())
+            .map(|s| s.containers.as_slice())
+            .ok_or(ClusterError::UnknownNode(id))
+    }
+
+    /// Containers of an application, in allocation order.
+    pub fn app_containers(&self, app: ApplicationId) -> &[ContainerId] {
+        self.app_containers
+            .get(&app)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Looks up a live allocation.
+    pub fn allocation(&self, id: ContainerId) -> Result<&Allocation, ClusterError> {
+        self.allocations
+            .get(&id)
+            .ok_or(ClusterError::UnknownContainer(id))
+    }
+
+    /// All live allocations in arbitrary order.
+    pub fn allocations(&self) -> impl Iterator<Item = &Allocation> {
+        self.allocations.values()
+    }
+
+    /// Number of live containers.
+    pub fn num_containers(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Allocates a container on a node, updating free resources and the
+    /// node's tag multiset (the `appid:` tag is attached automatically).
+    pub fn allocate(
+        &mut self,
+        app: ApplicationId,
+        node: NodeId,
+        request: &ContainerRequest,
+        kind: ExecutionKind,
+    ) -> Result<ContainerId, ClusterError> {
+        let state = self
+            .node_state
+            .get_mut(node.index())
+            .ok_or(ClusterError::UnknownNode(node))?;
+        if !state.available {
+            return Err(ClusterError::NodeUnavailable(node));
+        }
+        if !request.resources.fits_in(&state.free) {
+            return Err(ClusterError::InsufficientResources {
+                node,
+                free: state.free,
+                requested: request.resources,
+            });
+        }
+        let mut tags = request.tags.clone();
+        let auto = Tag::app_id(app);
+        if !tags.contains(&auto) {
+            tags.push(auto);
+        }
+        state.free = state
+            .free
+            .checked_sub(&request.resources)
+            .expect("fits_in checked above");
+        state.tags.add_all(tags.iter().cloned());
+        // Maintain the per-group γ caches.
+        for (g, sets) in self.group_tags.iter_mut() {
+            if let Ok(indices) = self.groups.sets_containing(g, node) {
+                for si in indices {
+                    if let Some(m) = sets.get_mut(si) {
+                        m.add_all(tags.iter().cloned());
+                    }
+                }
+            }
+        }
+        let state = self
+            .node_state
+            .get_mut(node.index())
+            .expect("checked above");
+        let id = ContainerId(self.next_container);
+        self.next_container += 1;
+        state.containers.push(id);
+        self.allocations.insert(
+            id,
+            Allocation {
+                id,
+                app,
+                node,
+                resources: request.resources,
+                tags,
+                kind,
+            },
+        );
+        self.app_containers.entry(app).or_default().push(id);
+        Ok(id)
+    }
+
+    /// Releases a container, returning its resources and removing its tags.
+    pub fn release(&mut self, id: ContainerId) -> Result<Allocation, ClusterError> {
+        let alloc = self
+            .allocations
+            .remove(&id)
+            .ok_or(ClusterError::UnknownContainer(id))?;
+        let state = &mut self.node_state[alloc.node.index()];
+        state.free += alloc.resources;
+        state.tags.remove_all(alloc.tags.iter());
+        state.containers.retain(|&c| c != id);
+        // Maintain the per-group γ caches.
+        for (g, sets) in self.group_tags.iter_mut() {
+            if let Ok(indices) = self.groups.sets_containing(g, alloc.node) {
+                for si in indices {
+                    if let Some(m) = sets.get_mut(si) {
+                        m.remove_all(alloc.tags.iter());
+                    }
+                }
+            }
+        }
+        if let Some(v) = self.app_containers.get_mut(&alloc.app) {
+            v.retain(|&c| c != id);
+            if v.is_empty() {
+                self.app_containers.remove(&alloc.app);
+            }
+        }
+        Ok(alloc)
+    }
+
+    /// Releases every container of an application; returns how many were
+    /// released.
+    pub fn release_app(&mut self, app: ApplicationId) -> usize {
+        let ids: Vec<ContainerId> = self.app_containers(app).to_vec();
+        let n = ids.len();
+        for id in ids {
+            let _ = self.release(id);
+        }
+        n
+    }
+
+    /// Cluster-wide total capacity.
+    pub fn total_capacity(&self) -> Resources {
+        self.nodes.iter().map(|n| n.capacity).sum()
+    }
+
+    /// Cluster-wide free resources (available nodes only).
+    pub fn total_free(&self) -> Resources {
+        self.node_state
+            .iter()
+            .filter(|s| s.available)
+            .map(|s| s.free)
+            .sum()
+    }
+
+    /// Memory utilization of one node in `[0, 1]`.
+    pub fn memory_utilization(&self, id: NodeId) -> f64 {
+        let cap = self.nodes[id.index()].capacity;
+        let free = self.node_state[id.index()].free;
+        cap.saturating_sub(&free).memory_share(&cap)
+    }
+
+    /// Computes fragmentation and load-imbalance statistics (§7.4: a node
+    /// is fragmented when it has less than the threshold free and is not
+    /// fully utilized; load imbalance is the CV of memory utilization).
+    pub fn utilization_stats(&self) -> UtilizationStats {
+        let n = self.nodes.len().max(1);
+        let mut fragmented = 0usize;
+        let mut utils = Vec::with_capacity(n);
+        for (node, state) in self.nodes.iter().zip(&self.node_state) {
+            let used = node.capacity.saturating_sub(&state.free);
+            let util = used.memory_share(&node.capacity);
+            utils.push(util);
+            let below = !self.fragmentation_threshold.fits_in(&state.free);
+            let fully_used = state.free.memory_mb == 0 || state.free.vcores == 0;
+            if below && !fully_used {
+                fragmented += 1;
+            }
+        }
+        let mean = utils.iter().sum::<f64>() / n as f64;
+        let var = utils.iter().map(|u| (u - mean) * (u - mean)).sum::<f64>() / n as f64;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        UtilizationStats {
+            fragmented_fraction: fragmented as f64 / n as f64,
+            memory_cv: cv,
+            mean_memory_utilization: mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> ClusterState {
+        ClusterState::homogeneous(4, Resources::new(8192, 8), 2)
+    }
+
+    fn req(mem: u64, tags: &[&str]) -> ContainerRequest {
+        ContainerRequest::new(
+            Resources::new(mem, 1),
+            tags.iter().map(|t| Tag::new(*t)),
+        )
+    }
+
+    #[test]
+    fn allocate_updates_free_and_tags() {
+        let mut c = small_cluster();
+        let id = c
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(2048, &["hb", "hb_m"]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
+        assert_eq!(c.free(NodeId(0)).unwrap(), Resources::new(6144, 7));
+        assert_eq!(c.gamma(NodeId(0), &Tag::new("hb")), 1);
+        assert_eq!(c.gamma(NodeId(0), &Tag::new("appid:1")), 1);
+        assert_eq!(c.containers_on(NodeId(0)).unwrap(), &[id]);
+        assert_eq!(c.app_containers(ApplicationId(1)), &[id]);
+    }
+
+    #[test]
+    fn release_restores_everything() {
+        let mut c = small_cluster();
+        let id = c
+            .allocate(
+                ApplicationId(1),
+                NodeId(1),
+                &req(1024, &["tf"]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
+        let alloc = c.release(id).unwrap();
+        assert_eq!(alloc.node, NodeId(1));
+        assert_eq!(c.free(NodeId(1)).unwrap(), Resources::new(8192, 8));
+        assert_eq!(c.gamma(NodeId(1), &Tag::new("tf")), 0);
+        assert!(c.containers_on(NodeId(1)).unwrap().is_empty());
+        assert!(c.app_containers(ApplicationId(1)).is_empty());
+        assert!(matches!(
+            c.release(id),
+            Err(ClusterError::UnknownContainer(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut c = small_cluster();
+        let big = req(9000, &[]);
+        let err = c
+            .allocate(ApplicationId(1), NodeId(0), &big, ExecutionKind::Task)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientResources { .. }));
+    }
+
+    #[test]
+    fn vcore_capacity_is_enforced() {
+        let mut c = small_cluster();
+        for _ in 0..8 {
+            c.allocate(ApplicationId(1), NodeId(0), &req(64, &[]), ExecutionKind::Task)
+                .unwrap();
+        }
+        let err = c
+            .allocate(ApplicationId(1), NodeId(0), &req(64, &[]), ExecutionKind::Task)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InsufficientResources { .. }));
+    }
+
+    #[test]
+    fn unavailable_nodes_reject_allocations() {
+        let mut c = small_cluster();
+        c.set_available(NodeId(2), false).unwrap();
+        let err = c
+            .allocate(ApplicationId(1), NodeId(2), &req(64, &[]), ExecutionKind::Task)
+            .unwrap_err();
+        assert_eq!(err, ClusterError::NodeUnavailable(NodeId(2)));
+        c.set_available(NodeId(2), true).unwrap();
+        assert!(c
+            .allocate(ApplicationId(1), NodeId(2), &req(64, &[]), ExecutionKind::Task)
+            .is_ok());
+    }
+
+    #[test]
+    fn duplicate_tags_accumulate_gamma() {
+        let mut c = small_cluster();
+        for _ in 0..3 {
+            c.allocate(
+                ApplicationId(7),
+                NodeId(0),
+                &req(512, &["hb", "hb_rs"]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
+        }
+        assert_eq!(c.gamma(NodeId(0), &Tag::new("hb")), 3);
+        assert_eq!(c.gamma(NodeId(0), &Tag::new("hb_rs")), 3);
+        let rack0: Vec<NodeId> = c
+            .groups()
+            .set_members(&NodeGroupId::rack(), 0)
+            .unwrap();
+        assert_eq!(c.gamma_set(&rack0, &Tag::new("hb")), 3);
+    }
+
+    #[test]
+    fn release_app_drops_all() {
+        let mut c = small_cluster();
+        for n in 0..3u32 {
+            c.allocate(
+                ApplicationId(5),
+                NodeId(n),
+                &req(256, &["s"]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
+        }
+        assert_eq!(c.release_app(ApplicationId(5)), 3);
+        assert_eq!(c.num_containers(), 0);
+        assert_eq!(c.total_free(), c.total_capacity());
+    }
+
+    #[test]
+    fn fragmentation_stats() {
+        let mut c = ClusterState::homogeneous(2, Resources::new(4096, 4), 1);
+        // Node 0: leave 1 GB free (< 2 GB threshold, not fully used).
+        c.allocate(ApplicationId(1), NodeId(0), &req(3072, &[]), ExecutionKind::Task)
+            .unwrap();
+        let stats = c.utilization_stats();
+        assert!((stats.fragmented_fraction - 0.5).abs() < 1e-12);
+        assert!(stats.mean_memory_utilization > 0.0);
+        assert!(stats.memory_cv > 0.0);
+    }
+
+    #[test]
+    fn fully_used_node_is_not_fragmented() {
+        let mut c = ClusterState::homogeneous(1, Resources::new(4096, 4), 1);
+        c.allocate(
+            ApplicationId(1),
+            NodeId(0),
+            &ContainerRequest::new(Resources::new(4096, 4), []),
+            ExecutionKind::Task,
+        )
+        .unwrap();
+        let stats = c.utilization_stats();
+        assert_eq!(stats.fragmented_fraction, 0.0);
+    }
+
+    #[test]
+    fn static_tags_present_at_startup() {
+        let nodes = vec![
+            Node::new(NodeId(0), Resources::new(1024, 2)).with_static_tags([Tag::new("gpu")]),
+            Node::new(NodeId(1), Resources::new(1024, 2)),
+        ];
+        let groups = NodeGroups::new(2);
+        let c = ClusterState::with_groups(nodes, groups);
+        assert_eq!(c.gamma(NodeId(0), &Tag::new("gpu")), 1);
+        assert_eq!(c.gamma(NodeId(1), &Tag::new("gpu")), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Container tags and tag multisets (the paper's §4.1 tag model).
+//!
+//! Tags are cheap-to-clone interned strings attached to container requests.
+//! A node's *tag set* is the union of the tags of the containers currently
+//! running on it, with multiplicity: the *tag cardinality function*
+//! `γ_n(t)` counts how many containers on node `n` carry tag `t`.
+//! [`TagMultiset`] implements exactly that bookkeeping, and extends to node
+//! sets (racks, upgrade domains) by multiset union.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::container::ApplicationId;
+
+/// An interned container tag, e.g. `hb`, `hb_m`, or `appid:0023`.
+///
+/// Cloning is cheap (reference counted). Tags compare by string value.
+///
+/// # Examples
+///
+/// ```
+/// use medea_cluster::Tag;
+///
+/// let a = Tag::new("hb");
+/// let b = Tag::new("hb");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "hb");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(Arc<str>);
+
+impl Tag {
+    /// Creates a tag from a string.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Tag(Arc::from(s.as_ref()))
+    }
+
+    /// The predefined per-application tag `appid:<id>` (paper §4.2: "we
+    /// automatically attach some predefined tags to each container, e.g.,
+    /// the ID of the LRA that it belongs to").
+    pub fn app_id(app: ApplicationId) -> Self {
+        Tag::new(format!("appid:{}", app.0))
+    }
+
+    /// Returns the tag's string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns `true` if this tag is in the reserved `appid:` namespace.
+    pub fn is_app_id(&self) -> bool {
+        self.0.starts_with("appid:")
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Tag {
+    fn from(s: &str) -> Self {
+        Tag::new(s)
+    }
+}
+
+impl From<String> for Tag {
+    fn from(s: String) -> Self {
+        Tag::new(s)
+    }
+}
+
+/// A multiset of tags: the tag cardinality function `γ` of §4.1.
+///
+/// # Examples
+///
+/// ```
+/// use medea_cluster::{Tag, TagMultiset};
+///
+/// // Two HBase containers on one node: a master and a region server.
+/// let mut gamma = TagMultiset::new();
+/// gamma.add_all([Tag::new("hb"), Tag::new("hb_m")]);
+/// gamma.add_all([Tag::new("hb"), Tag::new("hb_rs")]);
+/// assert_eq!(gamma.count(&Tag::new("hb")), 2);
+/// assert_eq!(gamma.count(&Tag::new("hb_m")), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TagMultiset {
+    counts: HashMap<Tag, u32>,
+}
+
+impl TagMultiset {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        TagMultiset::default()
+    }
+
+    /// Adds one occurrence of a tag.
+    pub fn add(&mut self, tag: Tag) {
+        *self.counts.entry(tag).or_insert(0) += 1;
+    }
+
+    /// Adds one occurrence of each tag in the iterator.
+    pub fn add_all(&mut self, tags: impl IntoIterator<Item = Tag>) {
+        for t in tags {
+            self.add(t);
+        }
+    }
+
+    /// Removes one occurrence of a tag.
+    ///
+    /// Returns `false` (leaving the multiset unchanged) if the tag is not
+    /// present — the caller is expected to keep allocation bookkeeping
+    /// consistent, so this signals a logic error upstream.
+    pub fn remove(&mut self, tag: &Tag) -> bool {
+        match self.counts.get_mut(tag) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(tag);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes one occurrence of each tag in the iterator; returns `false`
+    /// if any tag was missing (all removals are still attempted).
+    pub fn remove_all<'a>(&mut self, tags: impl IntoIterator<Item = &'a Tag>) -> bool {
+        let mut ok = true;
+        for t in tags {
+            ok &= self.remove(t);
+        }
+        ok
+    }
+
+    /// The cardinality `γ(t)` of a tag.
+    pub fn count(&self, tag: &Tag) -> u32 {
+        self.counts.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if the tag occurs at least once.
+    pub fn contains(&self, tag: &Tag) -> bool {
+        self.count(tag) > 0
+    }
+
+    /// Number of distinct tags.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` if no tags are present.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over `(tag, cardinality)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tag, u32)> {
+        self.counts.iter().map(|(t, &c)| (t, c))
+    }
+
+    /// Multiset union (component-wise sum), used to derive the tag set of
+    /// a node group from its member nodes.
+    pub fn merge(&mut self, other: &TagMultiset) {
+        for (t, c) in other.iter() {
+            *self.counts.entry(t.clone()).or_insert(0) += c;
+        }
+    }
+
+    /// Returns the union of the given multisets.
+    pub fn union<'a>(sets: impl IntoIterator<Item = &'a TagMultiset>) -> TagMultiset {
+        let mut out = TagMultiset::new();
+        for s in sets {
+            out.merge(s);
+        }
+        out
+    }
+}
+
+impl FromIterator<Tag> for TagMultiset {
+    fn from_iter<I: IntoIterator<Item = Tag>>(iter: I) -> Self {
+        let mut m = TagMultiset::new();
+        m.add_all(iter);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Tag {
+        Tag::new(s)
+    }
+
+    #[test]
+    fn paper_example_gamma() {
+        // §4.1 example: master {hb, hb_m} and region server {hb, hb_rs} on
+        // node n1 give γ(hb)=2, γ(hb_m)=γ(hb_rs)=1.
+        let mut n1 = TagMultiset::new();
+        n1.add_all([t("hb"), t("hb_m")]);
+        n1.add_all([t("hb"), t("hb_rs")]);
+        assert_eq!(n1.count(&t("hb")), 2);
+        assert_eq!(n1.count(&t("hb_m")), 1);
+        assert_eq!(n1.count(&t("hb_rs")), 1);
+        assert_eq!(n1.count(&t("spark")), 0);
+
+        // Rack r1 = n1 ∪ n2 where n2 has {hb, hb_rs}: γ_r1(hb)=3.
+        let n2: TagMultiset = [t("hb"), t("hb_rs")].into_iter().collect();
+        let r1 = TagMultiset::union([&n1, &n2]);
+        assert_eq!(r1.count(&t("hb")), 3);
+        assert_eq!(r1.count(&t("hb_m")), 1);
+        assert_eq!(r1.count(&t("hb_rs")), 2);
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut m = TagMultiset::new();
+        m.add(t("a"));
+        m.add(t("a"));
+        assert!(m.remove(&t("a")));
+        assert_eq!(m.count(&t("a")), 1);
+        assert!(m.remove(&t("a")));
+        assert_eq!(m.count(&t("a")), 0);
+        assert!(!m.remove(&t("a")));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn remove_all_reports_missing() {
+        let mut m: TagMultiset = [t("x")].into_iter().collect();
+        assert!(!m.remove_all([&t("x"), &t("y")]));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn app_id_namespace() {
+        let tag = Tag::app_id(ApplicationId(23));
+        assert_eq!(tag.as_str(), "appid:23");
+        assert!(tag.is_app_id());
+        assert!(!t("hb").is_app_id());
+    }
+}

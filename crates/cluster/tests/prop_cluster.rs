@@ -1,0 +1,164 @@
+//! Property tests for cluster-state bookkeeping invariants.
+
+use medea_cluster::{
+    ApplicationId, ClusterState, ContainerId, ContainerRequest, ExecutionKind, NodeId, Resources,
+    Tag,
+};
+use proptest::prelude::*;
+
+/// A random sequence of allocate/release operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { app: u64, node: u32, mem: u64, tags: Vec<u8> },
+    Release { idx: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..4u64, 0..6u32, 1..2048u64, prop::collection::vec(0..5u8, 0..3))
+            .prop_map(|(app, node, mem, tags)| Op::Alloc { app, node, mem, tags }),
+        1 => (0..64usize).prop_map(|idx| Op::Release { idx }),
+    ]
+}
+
+fn tag_name(t: u8) -> Tag {
+    Tag::new(format!("t{t}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Under any allocate/release sequence: free + allocated == capacity on
+    /// every node, gamma counts match live containers exactly, and
+    /// releasing everything restores the pristine state.
+    #[test]
+    fn bookkeeping_is_exact(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let capacity = Resources::new(16 * 1024, 64);
+        let mut cluster = ClusterState::homogeneous(6, capacity, 2);
+        let mut live: Vec<ContainerId> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Alloc { app, node, mem, tags } => {
+                    let req = ContainerRequest::new(
+                        Resources::new(*mem, 1),
+                        tags.iter().map(|&t| tag_name(t)),
+                    );
+                    if let Ok(id) = cluster.allocate(
+                        ApplicationId(*app),
+                        NodeId(*node),
+                        &req,
+                        ExecutionKind::LongRunning,
+                    ) {
+                        live.push(id);
+                    }
+                }
+                Op::Release { idx } => {
+                    if !live.is_empty() {
+                        let id = live.remove(idx % live.len());
+                        cluster.release(id).unwrap();
+                    }
+                }
+            }
+
+            // Invariant 1: per-node free + sum(allocated) == capacity.
+            for n in cluster.node_ids() {
+                let allocated: Resources = cluster
+                    .containers_on(n)
+                    .unwrap()
+                    .iter()
+                    .map(|&c| cluster.allocation(c).unwrap().resources)
+                    .sum();
+                prop_assert_eq!(cluster.free(n).unwrap() + allocated, capacity);
+            }
+
+            // Invariant 2: gamma equals tags of live containers per node.
+            for n in cluster.node_ids() {
+                for t in 0..5u8 {
+                    let tag = tag_name(t);
+                    let expected: u32 = cluster
+                        .containers_on(n)
+                        .unwrap()
+                        .iter()
+                        .map(|&c| {
+                            cluster
+                                .allocation(c)
+                                .unwrap()
+                                .tags
+                                .iter()
+                                .filter(|x| **x == tag)
+                                .count() as u32
+                        })
+                        .sum();
+                    prop_assert_eq!(cluster.gamma(n, &tag), expected);
+                }
+            }
+        }
+
+        // Invariant 3: releasing everything restores pristine state.
+        for id in live {
+            cluster.release(id).unwrap();
+        }
+        prop_assert_eq!(cluster.num_containers(), 0);
+        prop_assert_eq!(cluster.total_free(), cluster.total_capacity());
+        for n in cluster.node_ids() {
+            prop_assert!(cluster.node_tags(n).unwrap().is_empty());
+        }
+    }
+
+    /// The incrementally-maintained per-group γ caches always agree with
+    /// a from-scratch scan of the set's members.
+    #[test]
+    fn group_gamma_cache_is_coherent(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        use medea_cluster::NodeGroupId;
+        let capacity = Resources::new(16 * 1024, 64);
+        let mut cluster = ClusterState::homogeneous(6, capacity, 2);
+        // A custom overlapping group exercises multi-membership updates.
+        cluster.register_group(
+            NodeGroupId::new("zone"),
+            vec![
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)],
+            ],
+        );
+        let mut live: Vec<ContainerId> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Alloc { app, node, mem, tags } => {
+                    let req = ContainerRequest::new(
+                        Resources::new(*mem, 1),
+                        tags.iter().map(|&t| tag_name(t)),
+                    );
+                    if let Ok(id) = cluster.allocate(
+                        ApplicationId(*app),
+                        NodeId(*node),
+                        &req,
+                        ExecutionKind::LongRunning,
+                    ) {
+                        live.push(id);
+                    }
+                }
+                Op::Release { idx } => {
+                    if !live.is_empty() {
+                        let id = live.remove(idx % live.len());
+                        cluster.release(id).unwrap();
+                    }
+                }
+            }
+            for group in [NodeGroupId::rack(), NodeGroupId::new("zone")] {
+                let sets = cluster.groups().sets_of(&group).unwrap();
+                for (si, members) in sets.iter().enumerate() {
+                    for t in 0..5u8 {
+                        let tag = tag_name(t);
+                        let cached = cluster.gamma_in_set(&group, si, &tag);
+                        let scanned = cluster.gamma_set(members, &tag);
+                        prop_assert_eq!(
+                            cached, scanned,
+                            "cache drift: group {} set {} tag {}", group, si, tag
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

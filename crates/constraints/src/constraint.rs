@@ -1,0 +1,460 @@
+//! Placement constraints: `C = {subject_tag, tag_constraint, node_group}`
+//! with cardinalities, DNF compounds, and soft weights (§4.2).
+
+use std::fmt;
+
+use medea_cluster::{NodeGroupId, Tag};
+
+use crate::expr::TagExpr;
+
+/// Cardinality interval `[cmin, cmax]` of a tag constraint.
+///
+/// Affinity is `[1, ∞]`, anti-affinity `[0, 0]`, and anything else is a
+/// generic cardinality constraint (§4.2 cases i–iii).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cardinality {
+    /// Minimum number of matching containers in the node set.
+    pub min: u32,
+    /// Maximum number of matching containers; `None` means unbounded.
+    pub max: Option<u32>,
+}
+
+impl Cardinality {
+    /// Affinity: at least one matching container (`cmin=1, cmax=∞`).
+    pub const fn affinity() -> Self {
+        Cardinality { min: 1, max: None }
+    }
+
+    /// Anti-affinity: no matching containers (`cmin=0, cmax=0`).
+    pub const fn anti_affinity() -> Self {
+        Cardinality {
+            min: 0,
+            max: Some(0),
+        }
+    }
+
+    /// Generic cardinality `[min, max]`.
+    pub const fn range(min: u32, max: u32) -> Self {
+        Cardinality {
+            min,
+            max: Some(max),
+        }
+    }
+
+    /// At most `max` matching containers.
+    pub const fn at_most(max: u32) -> Self {
+        Cardinality {
+            min: 0,
+            max: Some(max),
+        }
+    }
+
+    /// At least `min` matching containers.
+    pub const fn at_least(min: u32) -> Self {
+        Cardinality { min, max: None }
+    }
+
+    /// Returns `true` if `count` satisfies the interval.
+    pub fn satisfied_by(&self, count: u32) -> bool {
+        count >= self.min && self.max.map_or(true, |m| count <= m)
+    }
+
+    /// Violation extent of `count` against this interval, normalized per
+    /// the paper's Eq. 8 with division guarded by `max(c, 1)` (see
+    /// DESIGN.md §5 note 3).
+    pub fn violation_extent(&self, count: u32) -> f64 {
+        let below = self.min.saturating_sub(count) as f64 / self.min.max(1) as f64;
+        let above = match self.max {
+            Some(m) => count.saturating_sub(m) as f64 / m.max(1) as f64,
+            None => 0.0,
+        };
+        below + above
+    }
+
+    /// Returns `true` if this interval is at least as restrictive as
+    /// `other` (narrower or equal on both ends) — the §5.2 rule for letting
+    /// operator constraints override application constraints.
+    pub fn is_more_restrictive_than(&self, other: &Cardinality) -> bool {
+        let min_ok = self.min >= other.min;
+        let max_ok = match (self.max, other.max) {
+            (Some(a), Some(b)) => a <= b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => true,
+        };
+        min_ok && max_ok
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(m) => write!(f, "[{}, {}]", self.min, m),
+            None => write!(f, "[{}, ∞]", self.min),
+        }
+    }
+}
+
+/// A leaf tag constraint `{c_tag, cmin, cmax}` (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TagConstraint {
+    /// Target tag expression whose cardinality is constrained.
+    pub target: TagExpr,
+    /// Cardinality interval.
+    pub cardinality: Cardinality,
+}
+
+impl TagConstraint {
+    /// Creates a leaf constraint.
+    pub fn new(target: impl Into<TagExpr>, cardinality: Cardinality) -> Self {
+        TagConstraint {
+            target: target.into(),
+            cardinality,
+        }
+    }
+}
+
+impl fmt::Display for TagConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper's literal syntax `{c_tag, cmin, cmax}`, accepted back
+        // by `parse_constraint`.
+        match self.cardinality.max {
+            Some(m) => write!(f, "{{{}, {}, {}}}", self.target, self.cardinality.min, m),
+            None => write!(f, "{{{}, {}, ∞}}", self.target, self.cardinality.min),
+        }
+    }
+}
+
+/// A boolean combination of tag constraints in disjunctive normal form:
+/// a disjunction of conjunctions of leaves (§4.2 "compound constraints ...
+/// specified in disjunctive normal form").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TagConstraintExpr {
+    /// DNF: at least one conjunct must be fully satisfied.
+    pub conjuncts: Vec<Vec<TagConstraint>>,
+}
+
+impl TagConstraintExpr {
+    /// A single leaf.
+    pub fn leaf(c: TagConstraint) -> Self {
+        TagConstraintExpr {
+            conjuncts: vec![vec![c]],
+        }
+    }
+
+    /// A conjunction of leaves (one DNF conjunct).
+    pub fn all(cs: impl IntoIterator<Item = TagConstraint>) -> Self {
+        TagConstraintExpr {
+            conjuncts: vec![cs.into_iter().collect()],
+        }
+    }
+
+    /// A disjunction of conjunctions.
+    pub fn any(conjuncts: impl IntoIterator<Item = Vec<TagConstraint>>) -> Self {
+        TagConstraintExpr {
+            conjuncts: conjuncts.into_iter().collect(),
+        }
+    }
+
+    /// Returns `true` if the expression has no conjuncts (trivially true).
+    pub fn is_trivial(&self) -> bool {
+        self.conjuncts.is_empty() || self.conjuncts.iter().any(|c| c.is_empty())
+    }
+
+    /// Iterates over all leaves across conjuncts.
+    pub fn leaves(&self) -> impl Iterator<Item = &TagConstraint> {
+        self.conjuncts.iter().flatten()
+    }
+}
+
+impl From<TagConstraint> for TagConstraintExpr {
+    fn from(c: TagConstraint) -> Self {
+        TagConstraintExpr::leaf(c)
+    }
+}
+
+/// Weight at or above which a soft constraint is treated as hard.
+///
+/// §4.2: "By default the constraints in Medea are soft ... Medea can
+/// emulate hard constraints through the use of weight values."
+pub const HARD_WEIGHT: f64 = 1.0e3;
+
+/// A full placement constraint `{subject_tag, tag_constraint, node_group}`.
+///
+/// Semantics (§4.2): each container matching `subject` must be placed on a
+/// node belonging to a node set `S` of `group` such that the tag constraint
+/// holds for the tag-cardinality function of `S`.
+///
+/// # Examples
+///
+/// ```
+/// use medea_constraints::{PlacementConstraint, TagExpr, Cardinality};
+/// use medea_cluster::{NodeGroupId, Tag};
+///
+/// // Caa = {storm, {hb, 0, 0}, upgrade_domain}: every storm container in a
+/// // different upgrade domain from all hb containers.
+/// let caa = PlacementConstraint::new(
+///     TagExpr::tag(Tag::new("storm")),
+///     TagExpr::tag(Tag::new("hb")),
+///     Cardinality::anti_affinity(),
+///     NodeGroupId::upgrade_domain(),
+/// );
+/// assert!(!caa.is_hard());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementConstraint {
+    /// Containers subject to the constraint.
+    pub subject: TagExpr,
+    /// Tag-constraint expression that must hold in the subject's node set.
+    pub expr: TagConstraintExpr,
+    /// Node group whose sets the constraint ranges over.
+    pub group: NodeGroupId,
+    /// Soft-constraint weight (relative importance); `>= HARD_WEIGHT`
+    /// emulates a hard constraint.
+    pub weight: f64,
+}
+
+impl PlacementConstraint {
+    /// Creates a simple (single-leaf) constraint with weight 1.
+    pub fn new(
+        subject: impl Into<TagExpr>,
+        target: impl Into<TagExpr>,
+        cardinality: Cardinality,
+        group: NodeGroupId,
+    ) -> Self {
+        PlacementConstraint {
+            subject: subject.into(),
+            expr: TagConstraintExpr::leaf(TagConstraint::new(target, cardinality)),
+            group,
+            weight: 1.0,
+        }
+    }
+
+    /// Creates a compound (DNF) constraint with weight 1.
+    pub fn compound(
+        subject: impl Into<TagExpr>,
+        expr: TagConstraintExpr,
+        group: NodeGroupId,
+    ) -> Self {
+        PlacementConstraint {
+            subject: subject.into(),
+            expr,
+            group,
+            weight: 1.0,
+        }
+    }
+
+    /// Affinity shorthand: each subject container collocated (within a
+    /// `group` set) with at least one target container.
+    pub fn affinity(
+        subject: impl Into<TagExpr>,
+        target: impl Into<TagExpr>,
+        group: NodeGroupId,
+    ) -> Self {
+        Self::new(subject, target, Cardinality::affinity(), group)
+    }
+
+    /// Anti-affinity shorthand: no target container in the subject's set.
+    pub fn anti_affinity(
+        subject: impl Into<TagExpr>,
+        target: impl Into<TagExpr>,
+        group: NodeGroupId,
+    ) -> Self {
+        Self::new(subject, target, Cardinality::anti_affinity(), group)
+    }
+
+    /// Cardinality shorthand: between `min` and `max` target containers in
+    /// the subject's set.
+    pub fn cardinality(
+        subject: impl Into<TagExpr>,
+        target: impl Into<TagExpr>,
+        min: u32,
+        max: u32,
+        group: NodeGroupId,
+    ) -> Self {
+        Self::new(subject, target, Cardinality::range(min, max), group)
+    }
+
+    /// Sets the soft-constraint weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Marks the constraint as hard (sets the weight to [`HARD_WEIGHT`]).
+    pub fn hard(mut self) -> Self {
+        self.weight = HARD_WEIGHT;
+        self
+    }
+
+    /// Returns `true` if the constraint emulates a hard constraint.
+    pub fn is_hard(&self) -> bool {
+        self.weight >= HARD_WEIGHT
+    }
+
+    /// Returns `true` if the constraint is *intra-application in form*:
+    /// subject and every target share an `appid:` tag.
+    pub fn is_intra_app(&self) -> bool {
+        let subject_app = self.subject.tags().iter().find(|t| t.is_app_id());
+        match subject_app {
+            None => false,
+            Some(app) => self
+                .expr
+                .leaves()
+                .all(|l| l.target.tags().contains(app)),
+        }
+    }
+
+    /// All tags mentioned by the constraint (subject and targets); used by
+    /// the tag-popularity heuristic (§5.3).
+    pub fn mentioned_tags(&self) -> Vec<Tag> {
+        let mut tags: Vec<Tag> = self.subject.tags().to_vec();
+        for leaf in self.expr.leaves() {
+            tags.extend(leaf.target.tags().iter().cloned());
+        }
+        tags.sort();
+        tags.dedup();
+        tags
+    }
+}
+
+impl fmt::Display for PlacementConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}, ", self.subject)?;
+        let mut first_c = true;
+        for conj in &self.expr.conjuncts {
+            if !first_c {
+                write!(f, " ∨ ")?;
+            }
+            first_c = false;
+            let mut first_l = true;
+            for leaf in conj {
+                if !first_l {
+                    write!(f, " ∧ ")?;
+                }
+                first_l = false;
+                write!(f, "{leaf}")?;
+            }
+        }
+        write!(f, ", {}}}", self.group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_cluster::Tag;
+
+    #[test]
+    fn cardinality_shorthands() {
+        assert_eq!(Cardinality::affinity(), Cardinality { min: 1, max: None });
+        assert_eq!(
+            Cardinality::anti_affinity(),
+            Cardinality { min: 0, max: Some(0) }
+        );
+        assert!(Cardinality::affinity().satisfied_by(3));
+        assert!(!Cardinality::affinity().satisfied_by(0));
+        assert!(Cardinality::anti_affinity().satisfied_by(0));
+        assert!(!Cardinality::anti_affinity().satisfied_by(1));
+        assert!(Cardinality::range(3, 10).satisfied_by(5));
+        assert!(!Cardinality::range(3, 10).satisfied_by(2));
+        assert!(!Cardinality::range(3, 10).satisfied_by(11));
+    }
+
+    #[test]
+    fn violation_extent_normalization() {
+        // Anti-affinity violated by 2 extra containers: 2 / max(0,1) = 2.
+        assert!((Cardinality::anti_affinity().violation_extent(2) - 2.0).abs() < 1e-12);
+        // Cardinality [0,5] with 6 placed: 1/5 (footnote-3 "extent").
+        assert!((Cardinality::at_most(5).violation_extent(6) - 0.2).abs() < 1e-12);
+        // Affinity satisfied: 0.
+        assert_eq!(Cardinality::affinity().violation_extent(1), 0.0);
+        // Min 4 with only 1 present: 3/4.
+        assert!((Cardinality::at_least(4).violation_extent(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrictiveness_ordering() {
+        let op = Cardinality::range(0, 3);
+        let app = Cardinality::range(0, 5);
+        assert!(op.is_more_restrictive_than(&app));
+        assert!(!app.is_more_restrictive_than(&op));
+        assert!(Cardinality::range(2, 4).is_more_restrictive_than(&Cardinality::range(1, 5)));
+        assert!(!Cardinality::range(0, 4).is_more_restrictive_than(&Cardinality::range(1, 5)));
+        assert!(Cardinality::at_most(2).is_more_restrictive_than(&Cardinality::at_most(2)));
+        assert!(Cardinality::at_most(2).is_more_restrictive_than(&Cardinality { min: 0, max: None }));
+    }
+
+    #[test]
+    fn paper_constraint_examples_render() {
+        // Caf = {storm, {hb ∧ mem, 1, ∞}, node}.
+        let caf = PlacementConstraint::new(
+            TagExpr::tag(Tag::new("storm")),
+            TagExpr::and([Tag::new("hb"), Tag::new("mem")]),
+            Cardinality::affinity(),
+            NodeGroupId::node(),
+        );
+        assert_eq!(caf.to_string(), "{storm, {hb ∧ mem, 1, ∞}, node}");
+        // Cca = {storm, {spark, 0, 5}, rack}.
+        let cca = PlacementConstraint::new(
+            "storm",
+            "spark",
+            Cardinality::at_most(5),
+            NodeGroupId::rack(),
+        );
+        assert_eq!(cca.to_string(), "{storm, {spark, 0, 5}, rack}");
+    }
+
+    #[test]
+    fn hard_weight_emulation() {
+        let c = PlacementConstraint::anti_affinity("a", "b", NodeGroupId::node());
+        assert!(!c.is_hard());
+        assert!(c.clone().hard().is_hard());
+        assert!(c.with_weight(5e3).is_hard());
+    }
+
+    #[test]
+    fn intra_app_detection() {
+        use medea_cluster::ApplicationId;
+        let app = Tag::app_id(ApplicationId(23));
+        let intra = PlacementConstraint::affinity(
+            TagExpr::and([app.clone(), Tag::new("storm")]),
+            TagExpr::and([app.clone(), Tag::new("storm")]),
+            NodeGroupId::rack(),
+        );
+        assert!(intra.is_intra_app());
+        let inter = PlacementConstraint::affinity(
+            TagExpr::and([app, Tag::new("storm")]),
+            TagExpr::tag(Tag::new("hb")),
+            NodeGroupId::rack(),
+        );
+        assert!(!inter.is_intra_app());
+    }
+
+    #[test]
+    fn mentioned_tags_dedup() {
+        let c = PlacementConstraint::new(
+            TagExpr::and([Tag::new("a"), Tag::new("b")]),
+            TagExpr::and([Tag::new("b"), Tag::new("c")]),
+            Cardinality::affinity(),
+            NodeGroupId::node(),
+        );
+        let tags = c.mentioned_tags();
+        assert_eq!(tags, vec![Tag::new("a"), Tag::new("b"), Tag::new("c")]);
+    }
+
+    #[test]
+    fn dnf_construction() {
+        let e = TagConstraintExpr::any([
+            vec![TagConstraint::new("a", Cardinality::affinity())],
+            vec![
+                TagConstraint::new("b", Cardinality::anti_affinity()),
+                TagConstraint::new("c", Cardinality::at_most(2)),
+            ],
+        ]);
+        assert_eq!(e.conjuncts.len(), 2);
+        assert_eq!(e.leaves().count(), 3);
+        assert!(!e.is_trivial());
+        assert!(TagConstraintExpr::any(Vec::<Vec<TagConstraint>>::new()).is_trivial());
+    }
+}

@@ -1,0 +1,233 @@
+//! Tag expressions: conjunctions of container tags (§4.2).
+//!
+//! The paper's `subject_tag` and `c_tag` are "a tag (or conjunction of
+//! tags)"; negation is explicitly unsupported ("we do not support negation
+//! yet"). A [`TagExpr`] therefore holds one or more tags that must *all*
+//! be present on a container for it to match.
+
+use std::fmt;
+
+use medea_cluster::{Allocation, ClusterState, NodeId, Tag};
+
+/// A conjunction of tags; matches containers carrying all of them.
+///
+/// # Examples
+///
+/// ```
+/// use medea_constraints::TagExpr;
+/// use medea_cluster::Tag;
+///
+/// let e = TagExpr::and([Tag::new("hb"), Tag::new("mem")]);
+/// assert!(e.matches_tags(&[Tag::new("hb"), Tag::new("mem"), Tag::new("x")]));
+/// assert!(!e.matches_tags(&[Tag::new("hb")]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagExpr {
+    tags: Vec<Tag>,
+}
+
+impl TagExpr {
+    /// A single-tag expression.
+    pub fn tag(tag: impl Into<Tag>) -> Self {
+        TagExpr {
+            tags: vec![tag.into()],
+        }
+    }
+
+    /// A conjunction of tags (duplicates removed, order normalized).
+    pub fn and(tags: impl IntoIterator<Item = Tag>) -> Self {
+        let mut tags: Vec<Tag> = tags.into_iter().collect();
+        tags.sort();
+        tags.dedup();
+        TagExpr { tags }
+    }
+
+    /// The tags of the conjunction, sorted.
+    pub fn tags(&self) -> &[Tag] {
+        &self.tags
+    }
+
+    /// Returns `true` if the expression has no tags (matches everything).
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Returns `true` if every tag of the expression occurs in `tags`.
+    pub fn matches_tags(&self, tags: &[Tag]) -> bool {
+        self.tags.iter().all(|t| tags.contains(t))
+    }
+
+    /// Returns `true` if the given live allocation matches.
+    pub fn matches_allocation(&self, alloc: &Allocation) -> bool {
+        self.matches_tags(&alloc.tags)
+    }
+
+    /// Counts matching containers on a node, optionally excluding one
+    /// container (the ILP's `t_ij != t_is js` self-exclusion).
+    ///
+    /// For single-tag expressions this is the O(1) tag-cardinality lookup
+    /// `γ_n(t)`; conjunctions require walking the node's containers.
+    pub fn cardinality_on_node(
+        &self,
+        state: &ClusterState,
+        node: NodeId,
+        exclude: Option<medea_cluster::ContainerId>,
+    ) -> u32 {
+        if self.tags.len() == 1 && exclude.is_none() {
+            return state.gamma(node, &self.tags[0]);
+        }
+        let Ok(containers) = state.containers_on(node) else {
+            return 0;
+        };
+        containers
+            .iter()
+            .filter(|&&c| Some(c) != exclude)
+            .filter(|&&c| {
+                state
+                    .allocation(c)
+                    .map(|a| self.matches_allocation(a))
+                    .unwrap_or(false)
+            })
+            .count() as u32
+    }
+
+    /// Counts matching containers over a node set (`γ_𝒮` for this
+    /// expression), optionally excluding one container.
+    pub fn cardinality_on_set(
+        &self,
+        state: &ClusterState,
+        set: &[NodeId],
+        exclude: Option<medea_cluster::ContainerId>,
+    ) -> u32 {
+        set.iter()
+            .map(|&n| self.cardinality_on_node(state, n, exclude))
+            .sum()
+    }
+
+    /// Counts matching containers in set `set_idx` of a registered node
+    /// group — O(1) for single-tag expressions via the cluster's
+    /// incrementally-maintained per-set `γ` caches, falling back to a
+    /// member scan for conjunctions.
+    pub fn cardinality_in_group_set(
+        &self,
+        state: &ClusterState,
+        group: &medea_cluster::NodeGroupId,
+        set_idx: usize,
+        exclude: Option<medea_cluster::ContainerId>,
+    ) -> u32 {
+        if self.tags.len() == 1 {
+            let mut count = state.gamma_in_set(group, set_idx, &self.tags[0]);
+            if let Some(x) = exclude {
+                if let Ok(a) = state.allocation(x) {
+                    let in_set = state
+                        .groups()
+                        .sets_containing(group, a.node)
+                        .map(|v| v.contains(&set_idx))
+                        .unwrap_or(false);
+                    if in_set && self.matches_allocation(a) {
+                        count = count.saturating_sub(1);
+                    }
+                }
+            }
+            return count;
+        }
+        let members = state.groups().set_members(group, set_idx).unwrap_or_default();
+        self.cardinality_on_set(state, &members, exclude)
+    }
+}
+
+impl fmt::Display for TagExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for t in &self.tags {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            first = false;
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Tag> for TagExpr {
+    fn from(t: Tag) -> Self {
+        TagExpr::tag(t)
+    }
+}
+
+impl From<&str> for TagExpr {
+    fn from(s: &str) -> Self {
+        TagExpr::tag(Tag::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_cluster::{
+        ApplicationId, ClusterState, ContainerRequest, ExecutionKind, Resources,
+    };
+
+    fn cluster_with_containers() -> ClusterState {
+        let mut c = ClusterState::homogeneous(2, Resources::new(8192, 8), 1);
+        let mk = |tags: &[&str]| {
+            ContainerRequest::new(Resources::new(256, 1), tags.iter().map(|t| Tag::new(*t)))
+        };
+        c.allocate(ApplicationId(1), NodeId(0), &mk(&["hb", "hb_m"]), ExecutionKind::LongRunning)
+            .unwrap();
+        c.allocate(ApplicationId(1), NodeId(0), &mk(&["hb", "hb_rs"]), ExecutionKind::LongRunning)
+            .unwrap();
+        c.allocate(ApplicationId(2), NodeId(1), &mk(&["hb", "hb_rs"]), ExecutionKind::LongRunning)
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn single_tag_uses_gamma() {
+        let c = cluster_with_containers();
+        let e = TagExpr::tag(Tag::new("hb"));
+        assert_eq!(e.cardinality_on_node(&c, NodeId(0), None), 2);
+        assert_eq!(e.cardinality_on_node(&c, NodeId(1), None), 1);
+    }
+
+    #[test]
+    fn conjunction_counts_containers_not_tags() {
+        let c = cluster_with_containers();
+        let e = TagExpr::and([Tag::new("hb"), Tag::new("hb_rs")]);
+        assert_eq!(e.cardinality_on_node(&c, NodeId(0), None), 1);
+        let set = [NodeId(0), NodeId(1)];
+        assert_eq!(e.cardinality_on_set(&c, &set, None), 2);
+    }
+
+    #[test]
+    fn exclusion_skips_the_subject() {
+        let c = cluster_with_containers();
+        let first = c.containers_on(NodeId(0)).unwrap()[0];
+        let e = TagExpr::tag(Tag::new("hb"));
+        assert_eq!(e.cardinality_on_node(&c, NodeId(0), Some(first)), 1);
+    }
+
+    #[test]
+    fn appid_expressions_restrict_to_one_app() {
+        let c = cluster_with_containers();
+        let e = TagExpr::and([Tag::new("hb"), Tag::app_id(ApplicationId(2))]);
+        assert_eq!(e.cardinality_on_node(&c, NodeId(0), None), 0);
+        assert_eq!(e.cardinality_on_node(&c, NodeId(1), None), 1);
+    }
+
+    #[test]
+    fn normalization_dedups_and_sorts() {
+        let a = TagExpr::and([Tag::new("b"), Tag::new("a"), Tag::new("b")]);
+        let b = TagExpr::and([Tag::new("a"), Tag::new("b")]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "a ∧ b");
+    }
+
+    #[test]
+    fn unknown_node_counts_zero() {
+        let c = cluster_with_containers();
+        let e = TagExpr::tag(Tag::new("hb"));
+        assert_eq!(e.cardinality_on_node(&c, NodeId(99), None), 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The constraint manager: Medea's central store for tags, node groups,
+//! and placement constraints (§3, Fig. 6).
+//!
+//! All constraints — from application owners and from the cluster operator
+//! — are registered here, giving the LRA scheduler a global view of every
+//! active constraint. The manager also implements the §5.2 conflict rule:
+//! *cluster operator constraints override application constraints, as long
+//! as they are more restrictive*.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use medea_cluster::{ApplicationId, NodeGroups};
+use parking_lot::RwLock;
+
+use crate::constraint::{Cardinality, PlacementConstraint};
+
+/// Where a constraint came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintSource {
+    /// Submitted by an application owner together with the application.
+    Application(ApplicationId),
+    /// Registered by the cluster operator.
+    Operator,
+}
+
+/// A stored constraint with its provenance.
+#[derive(Debug, Clone)]
+pub struct StoredConstraint {
+    /// Provenance of the constraint.
+    pub source: ConstraintSource,
+    /// The constraint itself.
+    pub constraint: PlacementConstraint,
+}
+
+/// Errors raised when registering constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// The constraint references a node group that is not registered.
+    UnknownNodeGroup(String),
+    /// The constraint has an empty subject expression.
+    EmptySubject,
+    /// A cardinality interval has `min > max`.
+    InvalidCardinality {
+        /// Offending minimum.
+        min: u32,
+        /// Offending maximum.
+        max: u32,
+    },
+    /// The weight is not a positive finite number.
+    InvalidWeight,
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::UnknownNodeGroup(g) => write!(f, "unknown node group '{g}'"),
+            ConstraintError::EmptySubject => write!(f, "constraint subject is empty"),
+            ConstraintError::InvalidCardinality { min, max } => {
+                write!(f, "invalid cardinality [{min}, {max}]")
+            }
+            ConstraintError::InvalidWeight => write!(f, "weight must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+/// Validates a constraint against a node-group registry.
+pub fn validate_constraint(
+    constraint: &PlacementConstraint,
+    groups: &NodeGroups,
+) -> Result<(), ConstraintError> {
+    if constraint.subject.is_empty() {
+        return Err(ConstraintError::EmptySubject);
+    }
+    if !groups.is_registered(&constraint.group) {
+        return Err(ConstraintError::UnknownNodeGroup(
+            constraint.group.as_str().to_string(),
+        ));
+    }
+    for leaf in constraint.expr.leaves() {
+        if let Cardinality {
+            min,
+            max: Some(max),
+        } = leaf.cardinality
+        {
+            if min > max {
+                return Err(ConstraintError::InvalidCardinality { min, max });
+            }
+        }
+    }
+    if !(constraint.weight.is_finite() && constraint.weight > 0.0) {
+        return Err(ConstraintError::InvalidWeight);
+    }
+    Ok(())
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    app: HashMap<ApplicationId, Vec<PlacementConstraint>>,
+    operator: Vec<PlacementConstraint>,
+}
+
+/// Central, thread-safe store of all active placement constraints.
+///
+/// # Examples
+///
+/// ```
+/// use medea_constraints::{ConstraintManager, PlacementConstraint};
+/// use medea_cluster::{ApplicationId, NodeGroupId, NodeGroups};
+///
+/// let groups = NodeGroups::new(8);
+/// let cm = ConstraintManager::new();
+/// let c = PlacementConstraint::anti_affinity("hb_rs", "hb_rs", NodeGroupId::node());
+/// cm.register_app(ApplicationId(1), vec![c], &groups).unwrap();
+/// assert_eq!(cm.active().len(), 1);
+/// cm.remove_app(ApplicationId(1));
+/// assert!(cm.active().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct ConstraintManager {
+    inner: RwLock<Inner>,
+}
+
+impl ConstraintManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        ConstraintManager::default()
+    }
+
+    /// Validates and stores an application's constraints (step 2 of the
+    /// LRA life-cycle in Fig. 6). Replaces any previous registration for
+    /// the same application. On error nothing is stored.
+    pub fn register_app(
+        &self,
+        app: ApplicationId,
+        constraints: Vec<PlacementConstraint>,
+        groups: &NodeGroups,
+    ) -> Result<(), ConstraintError> {
+        for c in &constraints {
+            validate_constraint(c, groups)?;
+        }
+        self.inner.write().app.insert(app, constraints);
+        Ok(())
+    }
+
+    /// Removes an application's constraints (application finished).
+    pub fn remove_app(&self, app: ApplicationId) {
+        self.inner.write().app.remove(&app);
+    }
+
+    /// Validates and adds a cluster-operator constraint.
+    pub fn register_operator(
+        &self,
+        constraint: PlacementConstraint,
+        groups: &NodeGroups,
+    ) -> Result<(), ConstraintError> {
+        validate_constraint(&constraint, groups)?;
+        self.inner.write().operator.push(constraint);
+        Ok(())
+    }
+
+    /// Removes all operator constraints.
+    pub fn clear_operator(&self) {
+        self.inner.write().operator.clear();
+    }
+
+    /// Constraints of one application, if registered.
+    pub fn app_constraints(&self, app: ApplicationId) -> Vec<PlacementConstraint> {
+        self.inner
+            .read()
+            .app
+            .get(&app)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of registered applications.
+    pub fn num_apps(&self) -> usize {
+        self.inner.read().app.len()
+    }
+
+    /// Returns every stored constraint with provenance, applying the §5.2
+    /// conflict rule: an application constraint is dropped when an
+    /// operator constraint with the same subject, target, and group is
+    /// more restrictive on every leaf.
+    pub fn active(&self) -> Vec<StoredConstraint> {
+        let inner = self.inner.read();
+        let mut out: Vec<StoredConstraint> = Vec::new();
+        for (app, cs) in &inner.app {
+            for c in cs {
+                let overridden = inner.operator.iter().any(|op| overrides(op, c));
+                if !overridden {
+                    out.push(StoredConstraint {
+                        source: ConstraintSource::Application(*app),
+                        constraint: c.clone(),
+                    });
+                }
+            }
+        }
+        for c in &inner.operator {
+            out.push(StoredConstraint {
+                source: ConstraintSource::Operator,
+                constraint: c.clone(),
+            });
+        }
+        out
+    }
+
+    /// Returns the effective constraints (without provenance).
+    pub fn active_constraints(&self) -> Vec<PlacementConstraint> {
+        self.active().into_iter().map(|s| s.constraint).collect()
+    }
+}
+
+/// Returns `true` if operator constraint `op` overrides application
+/// constraint `app`: same shape (subject, group, and leaf targets) and at
+/// least as restrictive cardinalities everywhere.
+fn overrides(op: &PlacementConstraint, app: &PlacementConstraint) -> bool {
+    if op.subject != app.subject || op.group != app.group {
+        return false;
+    }
+    // Compare only single-conjunct constraints leaf-by-leaf; compound
+    // shapes are conservatively considered non-conflicting.
+    let (Some(opc), Some(appc)) = (only_conjunct(op), only_conjunct(app)) else {
+        return false;
+    };
+    if opc.len() != appc.len() {
+        return false;
+    }
+    appc.iter().all(|al| {
+        opc.iter().any(|ol| {
+            ol.target == al.target && ol.cardinality.is_more_restrictive_than(&al.cardinality)
+        })
+    })
+}
+
+fn only_conjunct(c: &PlacementConstraint) -> Option<&[crate::constraint::TagConstraint]> {
+    if c.expr.conjuncts.len() == 1 {
+        Some(&c.expr.conjuncts[0])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Cardinality;
+    use medea_cluster::NodeGroupId;
+
+    fn groups() -> NodeGroups {
+        let mut g = NodeGroups::new(8);
+        g.register_partition(NodeGroupId::rack(), 2);
+        g
+    }
+
+    #[test]
+    fn register_and_remove() {
+        let cm = ConstraintManager::new();
+        let g = groups();
+        let c = PlacementConstraint::affinity("a", "b", NodeGroupId::rack());
+        cm.register_app(ApplicationId(1), vec![c.clone()], &g).unwrap();
+        cm.register_operator(
+            PlacementConstraint::anti_affinity("x", "x", NodeGroupId::node()),
+            &g,
+        )
+        .unwrap();
+        assert_eq!(cm.active().len(), 2);
+        assert_eq!(cm.app_constraints(ApplicationId(1)), vec![c]);
+        cm.remove_app(ApplicationId(1));
+        assert_eq!(cm.active().len(), 1);
+        cm.clear_operator();
+        assert!(cm.active().is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_unknown_group() {
+        let cm = ConstraintManager::new();
+        let g = groups();
+        let c = PlacementConstraint::affinity("a", "b", NodeGroupId::new("nonexistent"));
+        let err = cm.register_app(ApplicationId(1), vec![c], &g).unwrap_err();
+        assert!(matches!(err, ConstraintError::UnknownNodeGroup(_)));
+        assert_eq!(cm.num_apps(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_cardinality_and_weight() {
+        let g = groups();
+        let bad = PlacementConstraint::new(
+            "a",
+            "b",
+            Cardinality::range(5, 2),
+            NodeGroupId::node(),
+        );
+        assert!(matches!(
+            validate_constraint(&bad, &g),
+            Err(ConstraintError::InvalidCardinality { min: 5, max: 2 })
+        ));
+        let neg = PlacementConstraint::affinity("a", "b", NodeGroupId::node()).with_weight(-1.0);
+        assert!(matches!(
+            validate_constraint(&neg, &g),
+            Err(ConstraintError::InvalidWeight)
+        ));
+    }
+
+    #[test]
+    fn operator_overrides_when_more_restrictive() {
+        // §5.2 example: app wants at least 4 spark per rack; operator
+        // caps at 3. But "at least 4" vs "no more than 3" differ in shape.
+        // The documented rule compares same-shape constraints: app allows
+        // [0,5] spark per rack, operator restricts to [0,3].
+        let cm = ConstraintManager::new();
+        let g = groups();
+        let app = PlacementConstraint::cardinality("spark", "spark", 0, 5, NodeGroupId::rack());
+        let op = PlacementConstraint::cardinality("spark", "spark", 0, 3, NodeGroupId::rack());
+        cm.register_app(ApplicationId(9), vec![app], &g).unwrap();
+        cm.register_operator(op, &g).unwrap();
+        let active = cm.active();
+        // The app constraint is overridden: only the operator one remains.
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].source, ConstraintSource::Operator);
+    }
+
+    #[test]
+    fn less_restrictive_operator_does_not_override() {
+        let cm = ConstraintManager::new();
+        let g = groups();
+        let app = PlacementConstraint::cardinality("spark", "spark", 0, 2, NodeGroupId::rack());
+        let op = PlacementConstraint::cardinality("spark", "spark", 0, 10, NodeGroupId::rack());
+        cm.register_app(ApplicationId(9), vec![app], &g).unwrap();
+        cm.register_operator(op, &g).unwrap();
+        assert_eq!(cm.active().len(), 2);
+    }
+
+    #[test]
+    fn different_groups_do_not_conflict() {
+        let cm = ConstraintManager::new();
+        let g = groups();
+        let app = PlacementConstraint::cardinality("s", "s", 0, 2, NodeGroupId::node());
+        let op = PlacementConstraint::cardinality("s", "s", 0, 1, NodeGroupId::rack());
+        cm.register_app(ApplicationId(1), vec![app], &g).unwrap();
+        cm.register_operator(op, &g).unwrap();
+        assert_eq!(cm.active().len(), 2);
+    }
+
+    #[test]
+    fn reregistering_app_replaces() {
+        let cm = ConstraintManager::new();
+        let g = groups();
+        let c1 = PlacementConstraint::affinity("a", "b", NodeGroupId::rack());
+        let c2 = PlacementConstraint::anti_affinity("a", "b", NodeGroupId::rack());
+        cm.register_app(ApplicationId(1), vec![c1], &g).unwrap();
+        cm.register_app(ApplicationId(1), vec![c2.clone()], &g).unwrap();
+        assert_eq!(cm.app_constraints(ApplicationId(1)), vec![c2]);
+    }
+}

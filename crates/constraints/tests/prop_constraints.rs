@@ -1,0 +1,100 @@
+//! Property tests for the constraint language: parser/printer round
+//! trips, cardinality algebra, and violation-extent invariants.
+
+use medea_cluster::{NodeGroupId, Tag};
+use medea_constraints::{
+    parse_constraint, Cardinality, PlacementConstraint, TagConstraint, TagConstraintExpr, TagExpr,
+};
+use proptest::prelude::*;
+
+fn tag_strategy() -> impl Strategy<Value = Tag> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(Tag::new)
+}
+
+fn tag_expr_strategy() -> impl Strategy<Value = TagExpr> {
+    prop::collection::vec(tag_strategy(), 1..3).prop_map(TagExpr::and)
+}
+
+fn cardinality_strategy() -> impl Strategy<Value = Cardinality> {
+    (0u32..6, prop::option::of(0u32..10)).prop_map(|(min, max)| Cardinality {
+        min,
+        max: max.map(|m| m.max(min)),
+    })
+}
+
+fn constraint_strategy() -> impl Strategy<Value = PlacementConstraint> {
+    (
+        tag_expr_strategy(),
+        prop::collection::vec(
+            prop::collection::vec((tag_expr_strategy(), cardinality_strategy()), 1..3),
+            1..3,
+        ),
+        prop::sample::select(vec!["node", "rack", "upgrade_domain"]),
+    )
+        .prop_map(|(subject, dnf, group)| {
+            let expr = TagConstraintExpr::any(dnf.into_iter().map(|conj| {
+                conj.into_iter()
+                    .map(|(t, c)| TagConstraint::new(t, c))
+                    .collect::<Vec<_>>()
+            }));
+            PlacementConstraint::compound(subject, expr, NodeGroupId::new(group))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display emits the paper syntax, which the parser accepts back,
+    /// yielding an identical constraint.
+    #[test]
+    fn display_parse_roundtrip(c in constraint_strategy()) {
+        let printed = c.to_string();
+        let reparsed = parse_constraint(&printed)
+            .unwrap_or_else(|e| panic!("cannot reparse '{printed}': {e}"));
+        prop_assert_eq!(c, reparsed);
+    }
+
+    /// A count satisfies the interval iff its violation extent is zero,
+    /// and the extent grows monotonically with the distance outside.
+    #[test]
+    fn extent_iff_unsatisfied(card in cardinality_strategy(), count in 0u32..20) {
+        let satisfied = card.satisfied_by(count);
+        let extent = card.violation_extent(count);
+        prop_assert_eq!(satisfied, extent == 0.0);
+        prop_assert!(extent >= 0.0);
+        // Monotonicity below cmin: moving further under the minimum never
+        // shrinks the extent.
+        if count > 0 && count < card.min {
+            prop_assert!(card.violation_extent(count - 1) >= extent);
+        }
+        // Monotonicity above cmax.
+        if let Some(max) = card.max {
+            if count > max {
+                prop_assert!(card.violation_extent(count + 1) >= extent);
+            }
+        }
+    }
+
+    /// Restrictiveness is a partial order compatible with satisfaction:
+    /// anything satisfying the more restrictive interval satisfies the
+    /// less restrictive one.
+    #[test]
+    fn restrictive_implies_satisfaction_subset(
+        a in cardinality_strategy(),
+        b in cardinality_strategy(),
+        count in 0u32..20,
+    ) {
+        if a.is_more_restrictive_than(&b) && a.satisfied_by(count) {
+            prop_assert!(b.satisfied_by(count));
+        }
+    }
+
+    /// Tag expressions are canonical: construction order never matters.
+    #[test]
+    fn tag_expr_is_canonical(mut tags in prop::collection::vec(tag_strategy(), 1..5)) {
+        let a = TagExpr::and(tags.clone());
+        tags.reverse();
+        let b = TagExpr::and(tags);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! Scheduler capability matrix (paper Table 1): support for requirements
+//! R1–R4 across existing schedulers and Medea.
+//!
+//! The rows for external systems (Borg, Mesos, ...) reproduce the paper's
+//! literature assessment; the rows for the algorithms implemented in this
+//! crate (`Medea`, `J-Kube`, `YARN`) are derived from the code via
+//! [`implemented_capabilities`], so the table stays honest about what this
+//! reproduction actually does.
+
+use std::fmt;
+
+use crate::lra::LraAlgorithm;
+
+/// Support level of a capability (Table 1 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// Full, explicit support (✓).
+    Full,
+    /// Implicit support through static machine attributes (✧).
+    Implicit,
+    /// Partially supported (✽).
+    Partial,
+    /// Not supported (–).
+    None,
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Support::Full => "yes",
+            Support::Implicit => "impl",
+            Support::Partial => "part",
+            Support::None => "-",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct CapabilityRow {
+    /// System name.
+    pub system: &'static str,
+    /// R1: affinity constraints between containers.
+    pub affinity: Support,
+    /// R1: anti-affinity constraints.
+    pub anti_affinity: Support,
+    /// R1: cardinality constraints.
+    pub cardinality: Support,
+    /// R1: intra-application constraints.
+    pub intra: Support,
+    /// R1: inter-application constraints.
+    pub inter: Support,
+    /// R2: high-level (cluster-agnostic) constraints.
+    pub high_level: Support,
+    /// R3: global optimization objectives.
+    pub global_objectives: Support,
+    /// R4: low-latency container allocation.
+    pub low_latency: Support,
+}
+
+/// The paper's Table 1, verbatim.
+pub fn paper_table1() -> Vec<CapabilityRow> {
+    use Support::*;
+    vec![
+        CapabilityRow { system: "YARN", affinity: Implicit, anti_affinity: None, cardinality: None, intra: Implicit, inter: None, high_level: None, global_objectives: None, low_latency: Full },
+        CapabilityRow { system: "Slider", affinity: Implicit, anti_affinity: Implicit, cardinality: None, intra: Implicit, inter: None, high_level: None, global_objectives: None, low_latency: None },
+        CapabilityRow { system: "Borg", affinity: Implicit, anti_affinity: Implicit, cardinality: None, intra: Implicit, inter: Implicit, high_level: None, global_objectives: Partial, low_latency: Full },
+        CapabilityRow { system: "Kubernetes", affinity: Full, anti_affinity: Full, cardinality: None, intra: Full, inter: Full, high_level: Full, global_objectives: Partial, low_latency: Full },
+        CapabilityRow { system: "Mesos", affinity: Implicit, anti_affinity: None, cardinality: None, intra: Implicit, inter: None, high_level: None, global_objectives: None, low_latency: None },
+        CapabilityRow { system: "Marathon", affinity: Full, anti_affinity: Full, cardinality: Full, intra: Full, inter: None, high_level: None, global_objectives: None, low_latency: None },
+        CapabilityRow { system: "Aurora", affinity: Implicit, anti_affinity: Full, cardinality: Full, intra: Full, inter: None, high_level: None, global_objectives: None, low_latency: None },
+        CapabilityRow { system: "TetriSched", affinity: Implicit, anti_affinity: Implicit, cardinality: Implicit, intra: Full, inter: None, high_level: None, global_objectives: Partial, low_latency: Full },
+        CapabilityRow { system: "Medea", affinity: Full, anti_affinity: Full, cardinality: Full, intra: Full, inter: Full, high_level: Full, global_objectives: Full, low_latency: Full },
+    ]
+}
+
+/// Capabilities of the algorithms implemented in this crate, derived from
+/// their actual behaviour.
+pub fn implemented_capabilities(alg: LraAlgorithm) -> CapabilityRow {
+    use Support::*;
+    match alg {
+        LraAlgorithm::Ilp | LraAlgorithm::NodeCandidates | LraAlgorithm::TagPopularity => {
+            CapabilityRow {
+                system: match alg {
+                    LraAlgorithm::Ilp => "Medea (ILP)",
+                    LraAlgorithm::NodeCandidates => "Medea (NC)",
+                    _ => "Medea (TP)",
+                },
+                affinity: Full,
+                anti_affinity: Full,
+                cardinality: Full,
+                intra: Full,
+                inter: Full,
+                high_level: Full,
+                // Only the ILP *optimizes* global objectives; the
+                // heuristics approximate them greedily.
+                global_objectives: if alg == LraAlgorithm::Ilp { Full } else { Partial },
+                low_latency: Full,
+            }
+        }
+        LraAlgorithm::Serial => CapabilityRow {
+            system: "Serial",
+            affinity: Full,
+            anti_affinity: Full,
+            cardinality: Full,
+            intra: Full,
+            inter: Full,
+            high_level: Full,
+            global_objectives: Partial,
+            low_latency: Full,
+        },
+        LraAlgorithm::JKube => CapabilityRow {
+            system: "J-Kube",
+            affinity: Full,
+            anti_affinity: Full,
+            cardinality: None,
+            intra: Full,
+            inter: Full,
+            high_level: Full,
+            global_objectives: Partial,
+            low_latency: Full,
+        },
+        LraAlgorithm::JKubePlusPlus => CapabilityRow {
+            system: "J-Kube++",
+            affinity: Full,
+            anti_affinity: Full,
+            cardinality: Full,
+            intra: Full,
+            inter: Full,
+            high_level: Full,
+            global_objectives: Partial,
+            low_latency: Full,
+        },
+        LraAlgorithm::Yarn => CapabilityRow {
+            system: "YARN",
+            affinity: None,
+            anti_affinity: None,
+            cardinality: None,
+            intra: None,
+            inter: None,
+            high_level: None,
+            global_objectives: None,
+            low_latency: Full,
+        },
+    }
+}
+
+/// Renders a capability table as fixed-width text.
+pub fn render_table(rows: &[CapabilityRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}\n",
+        "System", "aff", "anti", "card", "intra", "inter", "high", "glob", "lat"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5}\n",
+            r.system,
+            r.affinity.to_string(),
+            r.anti_affinity.to_string(),
+            r.cardinality.to_string(),
+            r.intra.to_string(),
+            r.inter.to_string(),
+            r.high_level.to_string(),
+            r.global_objectives.to_string(),
+            r.low_latency.to_string(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_has_nine_rows_with_medea_full() {
+        let t = paper_table1();
+        assert_eq!(t.len(), 9);
+        let medea = t.last().unwrap();
+        assert_eq!(medea.system, "Medea");
+        for s in [
+            medea.affinity,
+            medea.anti_affinity,
+            medea.cardinality,
+            medea.intra,
+            medea.inter,
+            medea.high_level,
+            medea.global_objectives,
+            medea.low_latency,
+        ] {
+            assert_eq!(s, Support::Full);
+        }
+    }
+
+    #[test]
+    fn jkube_lacks_cardinality_and_plus_plus_has_it() {
+        assert_eq!(
+            implemented_capabilities(LraAlgorithm::JKube).cardinality,
+            Support::None
+        );
+        assert_eq!(
+            implemented_capabilities(LraAlgorithm::JKubePlusPlus).cardinality,
+            Support::Full
+        );
+    }
+
+    #[test]
+    fn yarn_is_constraint_unaware() {
+        let y = implemented_capabilities(LraAlgorithm::Yarn);
+        assert_eq!(y.affinity, Support::None);
+        assert_eq!(y.low_latency, Support::Full);
+    }
+
+    #[test]
+    fn table_renders() {
+        let s = render_table(&paper_table1());
+        assert!(s.contains("Kubernetes"));
+        assert!(s.lines().count() == 10);
+    }
+}

@@ -1,0 +1,1311 @@
+//! ILP-based LRA placement (§5.2, Fig. 5).
+//!
+//! The formulation follows the paper with the corrections documented in
+//! DESIGN.md §5: the violation component enters the objective negatively,
+//! the big-M activation uses a proper subject-presence indicator per
+//! (constraint, node set), and Eq. 8's normalization guards `max(c, 1)`.
+//!
+//! Two engineering devices keep the CPLEX-free solve tractable without
+//! changing the optimum's structure:
+//!
+//! 1. **Node equivalence classes** — nodes with identical free resources,
+//!    tag multisets, and group memberships are interchangeable, so only
+//!    `min(|class|, T_total)` representatives of each class enter the
+//!    model (a placement on a representative expands to any class member).
+//! 2. **Constraint relevance filtering** — constraints whose subject and
+//!    target tags cannot match any newly requested container are dropped:
+//!    their violation status is a constant the placement cannot change.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use medea_cluster::{ClusterState, NodeId};
+use medea_constraints::{PlacementConstraint, TagConstraint};
+use medea_solver::{Cmp, Milp, Problem, VarId, VarKind};
+
+use crate::objective::ObjectiveWeights;
+use crate::request::{LraPlacement, LraRequest, PlacementOutcome};
+
+/// Configuration of the ILP scheduler.
+#[derive(Debug, Clone)]
+pub struct IlpConfig {
+    /// Objective weights (Eq. 1).
+    pub weights: ObjectiveWeights,
+    /// Wall-clock budget per solve; the best incumbent is used on timeout.
+    pub time_limit: Duration,
+    /// Branch-and-bound node limit per solve.
+    pub node_limit: usize,
+    /// Maximum candidate nodes in the model (equivalence-class capped).
+    pub max_candidates: usize,
+    /// Relative optimality gap at which the solve may stop early.
+    pub gap: f64,
+    /// Ablation toggle: add symmetry-breaking rows for identical
+    /// containers (on by default; see DESIGN.md §5).
+    pub symmetry_breaking: bool,
+    /// Ablation toggle: seed branch and bound with the greedy heuristic's
+    /// placement (on by default; makes the solve anytime).
+    pub mip_start: bool,
+}
+
+impl Default for IlpConfig {
+    fn default() -> Self {
+        IlpConfig {
+            weights: ObjectiveWeights::default(),
+            time_limit: Duration::from_secs(2),
+            node_limit: 2_000,
+            max_candidates: 32,
+            gap: 0.02,
+            symmetry_breaking: true,
+            mip_start: true,
+        }
+    }
+}
+
+/// Internal description of one new container in the model.
+struct NewContainer {
+    /// Index of the owning request in `requests`.
+    req_idx: usize,
+    /// Index of the container within its request.
+    cont_idx: usize,
+    /// Effective tags (request tags + automatic `appid:`).
+    tags: Vec<medea_cluster::Tag>,
+    /// Demand.
+    resources: medea_cluster::Resources,
+}
+
+/// Places a batch of LRAs by solving the Fig. 5 ILP.
+///
+/// `deployed_constraints` are the active constraints of already-deployed
+/// LRAs and the cluster operator (from the constraint manager); the new
+/// requests' own constraints are taken from the requests themselves.
+pub fn place_with_ilp(
+    state: &ClusterState,
+    requests: &[LraRequest],
+    deployed_constraints: &[PlacementConstraint],
+    cfg: &IlpConfig,
+) -> Vec<PlacementOutcome> {
+    if requests.is_empty() {
+        return Vec::new();
+    }
+
+    // Flatten new containers with their effective tags.
+    let mut new_containers: Vec<NewContainer> = Vec::new();
+    for (ri, r) in requests.iter().enumerate() {
+        for (ci, c) in r.containers.iter().enumerate() {
+            let mut tags = c.tags.clone();
+            let auto = medea_cluster::Tag::app_id(r.app);
+            if !tags.contains(&auto) {
+                tags.push(auto);
+            }
+            new_containers.push(NewContainer {
+                req_idx: ri,
+                cont_idx: ci,
+                tags,
+                resources: c.resources,
+            });
+        }
+    }
+    let t_total = new_containers.len();
+    if t_total == 0 {
+        return requests
+            .iter()
+            .map(|r| {
+                PlacementOutcome::Placed(LraPlacement {
+                    app: r.app,
+                    nodes: Vec::new(),
+                })
+            })
+            .collect();
+    }
+
+    // Active constraints: deployed + the new requests', relevance-filtered
+    // and deduplicated (several HBase instances all submit the same
+    // inter-application cardinality constraint, which would otherwise
+    // multiply the model's rows).
+    let mut active: Vec<PlacementConstraint> = Vec::new();
+    for c in deployed_constraints
+        .iter()
+        .chain(requests.iter().flat_map(|r| r.constraints.iter()))
+    {
+        let relevant = new_containers.iter().any(|nc| {
+            c.subject.matches_tags(&nc.tags)
+                || c.expr.leaves().any(|l| l.target.matches_tags(&nc.tags))
+        });
+        if relevant && !active.contains(c) {
+            active.push(c.clone());
+        }
+    }
+
+    // MIP start: run the node-candidates heuristic on the full state; its
+    // chosen nodes anchor the candidate set (so the model's search space
+    // provably contains the heuristic solution), and its placement becomes
+    // the initial incumbent — making the solve anytime: with any deadline
+    // the result is heuristic-or-better.
+    let heuristic = crate::heuristics::HeuristicScheduler::new(
+        crate::heuristics::Ordering::NodeCandidates,
+    )
+    .place(state, requests, deployed_constraints);
+    let heuristic_nodes: Vec<NodeId> = {
+        let mut v: Vec<NodeId> = heuristic
+            .iter()
+            .filter_map(|o| o.placement())
+            .flat_map(|p| p.nodes.iter().copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+
+    // Make sure the candidate budget can at least hold the heuristic's
+    // node set (a fully spread placement uses one node per container).
+    let max_candidates = cfg.max_candidates.max((t_total + 4).min(96));
+    let candidates = select_candidates(
+        state,
+        &new_containers,
+        &active,
+        &heuristic_nodes,
+        max_candidates,
+        t_total,
+    );
+    if candidates.is_empty() {
+        return requests
+            .iter()
+            .map(|r| PlacementOutcome::Unplaced { app: r.app })
+            .collect();
+    }
+
+    let model = build_model(state, requests, &new_containers, &candidates, &active, cfg);
+
+    let start = assignment_from_outcomes(requests, &heuristic, &candidates);
+
+    let mut milp = Milp::new(&model.problem)
+        .time_limit(cfg.time_limit)
+        .node_limit(cfg.node_limit)
+        .gap(cfg.gap);
+    if cfg.mip_start {
+        if let Some((assignment, placed)) = start {
+            let point = initial_point(
+                &model,
+                state,
+                &candidates,
+                &new_containers,
+                &assignment,
+                &placed,
+                cfg,
+            );
+            milp = milp.with_incumbent(point);
+        }
+    }
+    let solution = milp.solve();
+
+    let Ok(sol) = solution else {
+        return requests
+            .iter()
+            .map(|r| PlacementOutcome::Unplaced { app: r.app })
+            .collect();
+    };
+    if !sol.has_solution() {
+        return requests
+            .iter()
+            .map(|r| PlacementOutcome::Unplaced { app: r.app })
+            .collect();
+    }
+
+    // Extract placements.
+    let mut outcomes = Vec::with_capacity(requests.len());
+    for (ri, r) in requests.iter().enumerate() {
+        let placed = sol.value(model.s_vars[ri]).round() as i64 == 1;
+        if !placed {
+            outcomes.push(PlacementOutcome::Unplaced { app: r.app });
+            continue;
+        }
+        let mut nodes = vec![NodeId(u32::MAX); r.containers.len()];
+        let mut complete = true;
+        for (gci, nc) in new_containers.iter().enumerate() {
+            if nc.req_idx != ri {
+                continue;
+            }
+            let mut found = None;
+            for (ni, &cand) in candidates.iter().enumerate() {
+                if sol.value(model.x_vars[gci][ni]).round() as i64 == 1 {
+                    found = Some(cand);
+                    break;
+                }
+            }
+            match found {
+                Some(n) => nodes[nc.cont_idx] = n,
+                None => complete = false,
+            }
+        }
+        if complete {
+            outcomes.push(PlacementOutcome::Placed(LraPlacement { app: r.app, nodes }));
+        } else {
+            outcomes.push(PlacementOutcome::Unplaced { app: r.app });
+        }
+    }
+    outcomes
+}
+
+/// Converts heuristic placement outcomes into the per-container candidate
+/// assignment (`assignment[gci] = Some(candidate index)`) and per-request
+/// placed flags. Returns `None` if the heuristic placed nothing or used a
+/// node outside the candidate set.
+fn assignment_from_outcomes(
+    requests: &[LraRequest],
+    outcomes: &[PlacementOutcome],
+    candidates: &[NodeId],
+) -> Option<(Vec<Option<usize>>, Vec<bool>)> {
+    let mut assignment: Vec<Option<usize>> = Vec::new();
+    let mut placed_flags = Vec::with_capacity(requests.len());
+    let mut any_placed = false;
+    for (ri, r) in requests.iter().enumerate() {
+        match outcomes[ri].placement() {
+            Some(pl) => {
+                any_placed = true;
+                placed_flags.push(true);
+                // Candidate index per container.
+                let mut cand_idx: Vec<usize> = Vec::with_capacity(pl.nodes.len());
+                for &node in &pl.nodes {
+                    let ni = candidates.iter().position(|&c| c == node)?;
+                    cand_idx.push(ni);
+                }
+                // Canonicalize: identical containers are interchangeable,
+                // and the model's symmetry-breaking rows require their
+                // candidate indices to be non-decreasing — sort each
+                // maximal run of identical containers.
+                let mut run_start = 0;
+                for ci in 1..=r.containers.len() {
+                    let run_ends = ci == r.containers.len()
+                        || r.containers[ci].resources != r.containers[run_start].resources
+                        || r.containers[ci].tags != r.containers[run_start].tags;
+                    if run_ends {
+                        cand_idx[run_start..ci].sort_unstable();
+                        run_start = ci;
+                    }
+                }
+                assignment.extend(cand_idx.into_iter().map(Some));
+            }
+            None => {
+                placed_flags.push(false);
+                assignment.extend(std::iter::repeat(None).take(r.containers.len()));
+            }
+        }
+    }
+    if any_placed {
+        Some((assignment, placed_flags))
+    } else {
+        None
+    }
+}
+
+/// Constructs a complete feasible point of the model from a heuristic
+/// placement: `X`/`S` from the assignment, `z` from residual free memory,
+/// `b` from subject presence, `y` as the least-violated conjunct, and the
+/// violation variables as the exact shortfall/excess of each leaf.
+fn initial_point(
+    model: &Model,
+    state: &ClusterState,
+    candidates: &[NodeId],
+    new_containers: &[NewContainer],
+    assignment: &[Option<usize>],
+    placed: &[bool],
+    cfg: &IlpConfig,
+) -> Vec<f64> {
+    let mut v = vec![0.0; model.problem.num_vars()];
+    // X and S.
+    for (gci, a) in assignment.iter().enumerate() {
+        if let Some(ni) = a {
+            v[model.x_vars[gci][*ni].index()] = 1.0;
+        }
+    }
+    for (ri, &ok) in placed.iter().enumerate() {
+        v[model.s_vars[ri].index()] = if ok { 1.0 } else { 0.0 };
+    }
+    // z: free memory after placement >= rmin.
+    let rmin = cfg.weights.rmin.memory_mb as f64;
+    for (ni, &cand) in candidates.iter().enumerate() {
+        let free = state
+            .free(cand)
+            .map(|f| f.memory_mb as f64)
+            .unwrap_or(0.0);
+        let used: f64 = assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == Some(ni))
+            .map(|(gci, _)| new_containers[gci].resources.memory_mb as f64)
+            .sum();
+        v[model.z_vars[ni].index()] = if used + rmin <= free { 1.0 } else { 0.0 };
+    }
+    // Constraint blocks.
+    for block in &model.blocks {
+        let new_subject_in_set = block.new_subjects.iter().any(|&gci| {
+            assignment[gci].map_or(false, |ni| block.cand_in_set.contains(&ni))
+        });
+        let active = block.existing_subjects > 0 || new_subject_in_set;
+        v[block.b.index()] = if active { 1.0 } else { 0.0 };
+        if !active {
+            continue; // Rows are slack; viol and y stay 0.
+        }
+        // Pick the conjunct with the smallest total violation.
+        let mut best_d = 0;
+        let mut best_viol = f64::INFINITY;
+        let viol_of = |leaf: &LeafInfo| -> (f64, f64) {
+            let count = leaf.existing_targets
+                + leaf
+                    .new_targets
+                    .iter()
+                    .filter(|&&gci| {
+                        assignment[gci].map_or(false, |ni| block.cand_in_set.contains(&ni))
+                    })
+                    .count() as f64;
+            let need = leaf.cmin as f64 + leaf.self_m;
+            let shortfall = if leaf.cmin > 0 { (need - count).max(0.0) } else { 0.0 };
+            let excess = match leaf.cmax {
+                Some(cmax) => (count - cmax as f64 - leaf.self_m).max(0.0),
+                None => 0.0,
+            };
+            (shortfall, excess)
+        };
+        for (d, conjunct) in block.conjuncts.iter().enumerate() {
+            let total: f64 = conjunct
+                .iter()
+                .map(|l| {
+                    let (s, e) = viol_of(l);
+                    s + e
+                })
+                .sum();
+            if total < best_viol {
+                best_viol = total;
+                best_d = d;
+            }
+        }
+        for (d, conjunct) in block.conjuncts.iter().enumerate() {
+            if let Some(y) = block.y_vars[d] {
+                v[y.index()] = if d == best_d { 1.0 } else { 0.0 };
+            }
+            if d != best_d && block.y_vars[d].is_some() {
+                continue; // Inactive conjunct: rows slack, viols 0.
+            }
+            for leaf in conjunct {
+                let (shortfall, excess) = viol_of(leaf);
+                if let Some(vmin) = leaf.vmin {
+                    v[vmin.index()] = shortfall;
+                }
+                if let Some(vmax) = leaf.vmax {
+                    v[vmax.index()] = excess;
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Selects candidate nodes by equivalence class (see module docs).
+///
+/// Three priorities shape the candidate set:
+/// 1. the nodes chosen by the greedy heuristic (guaranteeing the model's
+///    search space contains the MIP-start solution);
+/// 2. nodes already hosting containers that match a target leaf of an
+///    active constraint (affinity targets live there — they must be in
+///    the model or affinity can never be satisfied);
+/// 3. the *freest* equivalence classes, round-robin across classes for
+///    diversity (so consecutive scheduling cycles do not keep re-packing
+///    the same nodes).
+fn select_candidates(
+    state: &ClusterState,
+    new_containers: &[NewContainer],
+    active: &[PlacementConstraint],
+    heuristic_nodes: &[NodeId],
+    max_candidates: usize,
+    t_total: usize,
+) -> Vec<NodeId> {
+    let min_demand = new_containers
+        .iter()
+        .map(|c| c.resources)
+        .fold(None::<medea_cluster::Resources>, |acc, r| {
+            Some(match acc {
+                None => r,
+                Some(a) => a.min(&r),
+            })
+        })
+        .unwrap_or(medea_cluster::Resources::ZERO);
+
+    let usable = |n: NodeId| {
+        state.is_available(n)
+            && state
+                .free(n)
+                .map(|f| min_demand.fits_in(&f))
+                .unwrap_or(false)
+    };
+
+    // Priority 1: nodes the greedy heuristic chose.
+    let mut out: Vec<NodeId> = heuristic_nodes
+        .iter()
+        .copied()
+        .filter(|&n| usable(n))
+        .collect();
+    out.truncate(max_candidates);
+
+    // Priority 2: nodes hosting affinity targets of active constraints.
+    let target_budget = (out.len() + max_candidates / 4).min(max_candidates);
+    'outer: for c in active {
+        for leaf in c.expr.leaves() {
+            // Only minimum-cardinality (affinity-like) leaves require the
+            // target's current hosts to be in the model.
+            if leaf.cardinality.min == 0 {
+                continue;
+            }
+            for n in state.node_ids() {
+                if out.len() >= target_budget {
+                    break 'outer;
+                }
+                if usable(n)
+                    && !out.contains(&n)
+                    && leaf.target.cardinality_on_node(state, n, None) > 0
+                {
+                    out.push(n);
+                }
+            }
+        }
+    }
+
+    // Priority 2: equivalence classes ordered by free memory (descending).
+    let mut classes: HashMap<String, Vec<NodeId>> = HashMap::new();
+    let group_ids: Vec<_> = state.groups().group_ids().cloned().collect();
+    for n in state.node_ids() {
+        if !usable(n) || out.contains(&n) {
+            continue;
+        }
+        let free = state.free(n).unwrap_or(medea_cluster::Resources::ZERO);
+        let mut key = format!("f{}c{}", free.memory_mb, free.vcores);
+        let mut tags: Vec<String> = state
+            .node_tags(n)
+            .map(|m| m.iter().map(|(t, c)| format!("{t}:{c}")).collect())
+            .unwrap_or_default();
+        tags.sort();
+        key.push_str(&tags.join(","));
+        for g in &group_ids {
+            let sets = state.groups().sets_containing(g, n).unwrap_or_default();
+            key.push_str(&format!("|{g}={sets:?}"));
+        }
+        classes.entry(key).or_default().push(n);
+    }
+    let mut per_class: Vec<Vec<NodeId>> = classes
+        .into_values()
+        .map(|mut v| {
+            v.sort();
+            v.truncate(t_total);
+            v
+        })
+        .collect();
+    // Freest classes first; node id breaks ties deterministically.
+    per_class.sort_by_key(|v| {
+        let n = v[0];
+        let free = state.free(n).unwrap_or(medea_cluster::Resources::ZERO);
+        (std::cmp::Reverse(free.memory_mb), n)
+    });
+    let mut i = 0;
+    while out.len() < max_candidates {
+        let mut any = false;
+        for class in &per_class {
+            if let Some(&n) = class.get(i) {
+                any = true;
+                if !out.contains(&n) {
+                    out.push(n);
+                    if out.len() >= max_candidates {
+                        break;
+                    }
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        i += 1;
+    }
+    out.sort();
+    out
+}
+
+/// Handles to the model's variables for extraction.
+struct Model {
+    problem: Problem,
+    /// `x_vars[global container idx][candidate idx]`.
+    x_vars: Vec<Vec<VarId>>,
+    /// `s_vars[request idx]` (Eq. 4 all-or-nothing indicators).
+    s_vars: Vec<VarId>,
+    /// Fragmentation indicators per candidate.
+    z_vars: Vec<VarId>,
+    /// Constraint blocks per (constraint, node set), for incumbent
+    /// construction.
+    blocks: Vec<SetBlock>,
+}
+
+/// Metadata of one (constraint, node set) block of rows.
+struct SetBlock {
+    b: VarId,
+    existing_subjects: usize,
+    new_subjects: Vec<usize>,
+    cand_in_set: Vec<usize>,
+    y_vars: Vec<Option<VarId>>,
+    /// `conjuncts[d]` = leaves of DNF conjunct `d`.
+    conjuncts: Vec<Vec<LeafInfo>>,
+}
+
+/// Metadata of one leaf's rows inside a block.
+struct LeafInfo {
+    vmin: Option<VarId>,
+    vmax: Option<VarId>,
+    existing_targets: f64,
+    self_m: f64,
+    cmin: u32,
+    cmax: Option<u32>,
+    /// Global container indices matching the target expression.
+    new_targets: Vec<usize>,
+}
+
+/// Builds the Fig. 5 ILP over the candidate nodes.
+fn build_model(
+    state: &ClusterState,
+    requests: &[LraRequest],
+    new_containers: &[NewContainer],
+    candidates: &[NodeId],
+    active: &[PlacementConstraint],
+    cfg: &IlpConfig,
+) -> Model {
+    let k = requests.len();
+    let n_cand = candidates.len();
+    let m_norm = active.len().max(1);
+    let w = &cfg.weights;
+
+    let mut p = Problem::maximize();
+
+    // X_ijn.
+    let x_vars: Vec<Vec<VarId>> = new_containers
+        .iter()
+        .enumerate()
+        .map(|(gci, _)| {
+            (0..n_cand)
+                .map(|ni| p.add_binary(0.0, format!("x_{gci}_{ni}")))
+                .collect()
+        })
+        .collect();
+
+    // S_i with objective weight w1 / k (Eq. 1 first component).
+    let s_vars: Vec<VarId> = (0..k)
+        .map(|ri| p.add_binary(w.w1 / k as f64, format!("s_{ri}")))
+        .collect();
+
+    // z_n with objective weight w3 / N (Eq. 1 third component).
+    let z_vars: Vec<VarId> = (0..n_cand)
+        .map(|ni| p.add_binary(w.w3 / n_cand as f64, format!("z_{ni}")))
+        .collect();
+
+    // Eq. 2: each container placed at most once.
+    for x_row in &x_vars {
+        p.add_constraint(x_row.iter().map(|&v| (v, 1.0)), Cmp::Le, 1.0);
+    }
+
+    // Eq. 3: capacity per candidate (memory and vcores rows).
+    for (ni, &cand) in candidates.iter().enumerate() {
+        let free = state.free(cand).unwrap_or(medea_cluster::Resources::ZERO);
+        let mem_terms: Vec<_> = new_containers
+            .iter()
+            .enumerate()
+            .map(|(gci, nc)| (x_vars[gci][ni], nc.resources.memory_mb as f64))
+            .collect();
+        p.add_constraint(mem_terms, Cmp::Le, free.memory_mb as f64);
+        let cpu_terms: Vec<_> = new_containers
+            .iter()
+            .enumerate()
+            .map(|(gci, nc)| (x_vars[gci][ni], nc.resources.vcores as f64))
+            .collect();
+        p.add_constraint(cpu_terms, Cmp::Le, free.vcores as f64);
+    }
+
+    // Eq. 4: all-or-nothing per LRA.
+    for (ri, r) in requests.iter().enumerate() {
+        let t_i = r.containers.len() as f64;
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for (gci, nc) in new_containers.iter().enumerate() {
+            if nc.req_idx == ri {
+                for &xv in &x_vars[gci] {
+                    terms.push((xv, 1.0));
+                }
+            }
+        }
+        terms.push((s_vars[ri], -t_i));
+        p.add_constraint(terms, Cmp::Eq, 0.0);
+    }
+
+    // Symmetry breaking (not in the paper; CPLEX handles symmetric models
+    // internally): identical containers of the same LRA are assigned
+    // non-decreasing candidate indices, which prunes the factorially many
+    // equivalent placements from branch and bound without excluding any
+    // distinct solution.
+    for ri in 0..(if cfg.symmetry_breaking { k } else { 0 }) {
+        let group: Vec<usize> = new_containers
+            .iter()
+            .enumerate()
+            .filter(|(_, nc)| nc.req_idx == ri)
+            .map(|(gci, _)| gci)
+            .collect();
+        for pair in group.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let identical = new_containers[a].resources == new_containers[b].resources
+                && new_containers[a].tags == new_containers[b].tags;
+            if !identical {
+                continue;
+            }
+            let mut terms: Vec<(VarId, f64)> = Vec::with_capacity(2 * n_cand);
+            for ni in 0..n_cand {
+                terms.push((x_vars[a][ni], (ni + 1) as f64));
+                terms.push((x_vars[b][ni], -((ni + 1) as f64)));
+            }
+            p.add_constraint(terms, Cmp::Le, 0.0);
+        }
+    }
+
+    // Eq. 5: fragmentation indicators. z_n = 1 requires that after the
+    // placement the node keeps >= rmin free:
+    //     sum(mem_ij X_ijn) + rmin * z_n <= free_n.
+    let rmin = w.rmin.memory_mb as f64;
+    for (ni, &cand) in candidates.iter().enumerate() {
+        let free = state.free(cand).unwrap_or(medea_cluster::Resources::ZERO);
+        let mut terms: Vec<(VarId, f64)> = new_containers
+            .iter()
+            .enumerate()
+            .map(|(gci, nc)| (x_vars[gci][ni], nc.resources.memory_mb as f64))
+            .collect();
+        terms.push((z_vars[ni], rmin));
+        p.add_constraint(terms, Cmp::Le, free.memory_mb as f64);
+    }
+
+    // Eqs. 6-8: one indicator per (constraint, node set), with the
+    // corrected big-M activation (DESIGN.md §5).
+    let mut blocks: Vec<SetBlock> = Vec::new();
+    for constraint in active {
+        let Ok(num_sets) = state.groups().num_sets(&constraint.group) else {
+            continue;
+        };
+        // New subjects / targets-per-leaf membership, precomputed.
+        let new_subjects: Vec<usize> = new_containers
+            .iter()
+            .enumerate()
+            .filter(|(_, nc)| constraint.subject.matches_tags(&nc.tags))
+            .map(|(gci, _)| gci)
+            .collect();
+
+        for set_idx in 0..num_sets {
+            let Ok(members) = state.groups().set_members(&constraint.group, set_idx) else {
+                continue;
+            };
+            let cand_in_set: Vec<usize> = candidates
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| members.contains(c))
+                .map(|(ni, _)| ni)
+                .collect();
+            if cand_in_set.is_empty() {
+                continue;
+            }
+            // Existing subjects already inside the set.
+            let existing_subjects = members
+                .iter()
+                .flat_map(|&n| state.containers_on(n).unwrap_or(&[]).iter())
+                .filter(|&&c| {
+                    state
+                        .allocation(c)
+                        .map(|a| constraint.subject.matches_allocation(a))
+                        .unwrap_or(false)
+                })
+                .count();
+            if new_subjects.is_empty() && existing_subjects == 0 {
+                continue;
+            }
+
+            // b: subject-presence indicator for this set.
+            let b = if existing_subjects > 0 {
+                p.add_var(VarKind::Binary, 1.0, 1.0, 0.0, format!("b_{set_idx}"))
+            } else {
+                p.add_binary(0.0, format!("b_{set_idx}"))
+            };
+            // Link: sum of new-subject placements in the set <= |subjects| b.
+            if !new_subjects.is_empty() {
+                let mut terms: Vec<(VarId, f64)> = Vec::new();
+                for &gci in &new_subjects {
+                    for &ni in &cand_in_set {
+                        terms.push((x_vars[gci][ni], 1.0));
+                    }
+                }
+                terms.push((b, -(new_subjects.len() as f64)));
+                p.add_constraint(terms, Cmp::Le, 0.0);
+            }
+
+            // DNF: indicator y_d per conjunct; sum(y_d) >= b.
+            let multi = constraint.expr.conjuncts.len() > 1;
+            let y_vars: Vec<Option<VarId>> = constraint
+                .expr
+                .conjuncts
+                .iter()
+                .enumerate()
+                .map(|(d, _)| {
+                    if multi {
+                        Some(p.add_binary(0.0, format!("y_{set_idx}_{d}")))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if multi {
+                let mut terms: Vec<(VarId, f64)> = y_vars
+                    .iter()
+                    .map(|y| (y.unwrap(), 1.0))
+                    .collect();
+                terms.push((b, -1.0));
+                p.add_constraint(terms, Cmp::Ge, 0.0);
+            }
+
+            let mut conjunct_infos = Vec::with_capacity(constraint.expr.conjuncts.len());
+            for (d, conjunct) in constraint.expr.conjuncts.iter().enumerate() {
+                let mut leaf_infos = Vec::with_capacity(conjunct.len());
+                for (li, leaf) in conjunct.iter().enumerate() {
+                    leaf_infos.push(add_leaf_rows(
+                        &mut p,
+                        state,
+                        constraint,
+                        leaf,
+                        &members,
+                        &cand_in_set,
+                        new_containers,
+                        &new_subjects,
+                        &x_vars,
+                        b,
+                        y_vars[d],
+                        w.w2 / m_norm as f64,
+                        &format!("{set_idx}_{d}_{li}"),
+                    ));
+                }
+                conjunct_infos.push(leaf_infos);
+            }
+            blocks.push(SetBlock {
+                b,
+                existing_subjects,
+                new_subjects: new_subjects.clone(),
+                cand_in_set,
+                y_vars,
+                conjuncts: conjunct_infos,
+            });
+        }
+    }
+
+    Model {
+        problem: p,
+        x_vars,
+        s_vars,
+        z_vars,
+        blocks,
+    }
+}
+
+/// Adds the Eq. 6 (min) and Eq. 7 (max) rows for one leaf tag constraint
+/// on one node set, with violation variables charged per Eq. 8.
+#[allow(clippy::too_many_arguments)]
+fn add_leaf_rows(
+    p: &mut Problem,
+    state: &ClusterState,
+    constraint: &PlacementConstraint,
+    leaf: &TagConstraint,
+    members: &[NodeId],
+    cand_in_set: &[usize],
+    new_containers: &[NewContainer],
+    new_subjects: &[usize],
+    x_vars: &[Vec<VarId>],
+    b: VarId,
+    y: Option<VarId>,
+    w2_norm: f64,
+    name: &str,
+) -> LeafInfo {
+    // Existing matching targets inside the set.
+    let existing_targets = leaf.target.cardinality_on_set(state, members, None) as f64;
+    // New containers matching the target leaf.
+    let new_targets: Vec<usize> = new_containers
+        .iter()
+        .enumerate()
+        .filter(|(_, nc)| leaf.target.matches_tags(&nc.tags))
+        .map(|(gci, _)| gci)
+        .collect();
+    // Self-exclusion adjustment: 1 when some subject container also
+    // matches the target (its own tag occurrence must not satisfy/violate
+    // its own constraint) — computed from actual container tags.
+    let self_m = {
+        let new_self = new_subjects
+            .iter()
+            .any(|&gci| leaf.target.matches_tags(&new_containers[gci].tags));
+        let existing_self = members.iter().any(|&n| {
+            state
+                .containers_on(n)
+                .unwrap_or(&[])
+                .iter()
+                .any(|&c| {
+                    state
+                        .allocation(c)
+                        .map(|a| {
+                            constraint.subject.matches_allocation(a)
+                                && leaf.target.matches_allocation(a)
+                        })
+                        .unwrap_or(false)
+                })
+        });
+        (new_self || existing_self) as u32 as f64
+    };
+
+    let total_possible = existing_targets + new_targets.len() as f64;
+    let big_m = total_possible + leaf.cardinality.min as f64 + 1.0;
+    let weight = constraint.weight;
+
+    let mut info = LeafInfo {
+        vmin: None,
+        vmax: None,
+        existing_targets,
+        self_m,
+        cmin: leaf.cardinality.min,
+        cmax: leaf.cardinality.max,
+        new_targets: new_targets.clone(),
+    };
+
+    // Minimum-cardinality row (Eq. 6): required only when cmin > 0.
+    if leaf.cardinality.min > 0 {
+        let cmin = leaf.cardinality.min as f64;
+        // The worst shortfall is cmin + self_m (self-exclusion raises the
+        // requirement), so the violation variable must reach that far.
+        let vmin = p.add_var(
+            VarKind::Continuous,
+            0.0,
+            cmin + self_m,
+            -w2_norm * weight / cmin,
+            format!("vmin_{name}"),
+        );
+        // existing + sum(X_t) + vmin + M(1-b) [+ M(1-y)] >= (cmin + self) b
+        // => sum(X_t) + vmin - (cmin + self + M) b [- M y] >= -existing - M [- M]
+        let mut terms: Vec<(VarId, f64)> = new_targets
+            .iter()
+            .map(|&gci| {
+                cand_in_set
+                    .iter()
+                    .map(move |&ni| (x_vars[gci][ni], 1.0))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        terms.push((vmin, 1.0));
+        let mut rhs = -existing_targets;
+        terms.push((b, -(cmin + self_m) - big_m));
+        rhs -= big_m;
+        if let Some(yv) = y {
+            terms.push((yv, -big_m));
+            rhs -= big_m;
+        }
+        // Note the b coefficient folds the activation: when b = 0 the row
+        // is slack by M; when b = 1 it requires the count to reach cmin
+        // (+ self adjustment) or charge vmin.
+        p.add_constraint(terms, Cmp::Ge, rhs);
+        info.vmin = Some(vmin);
+    }
+
+    // Maximum-cardinality row (Eq. 7): required only when cmax is finite.
+    if let Some(cmax) = leaf.cardinality.max {
+        let cmax = cmax as f64;
+        let vmax = p.add_var(
+            VarKind::Continuous,
+            0.0,
+            f64::INFINITY,
+            -w2_norm * weight / cmax.max(1.0),
+            format!("vmax_{name}"),
+        );
+        // existing + sum(X_t) <= cmax + self + vmax + M(1-b) [+ M(1-y)]
+        // => sum(X_t) + M b [+ M y] - vmax <= cmax + self - existing + M [+ M]
+        let mut terms: Vec<(VarId, f64)> = new_targets
+            .iter()
+            .map(|&gci| {
+                cand_in_set
+                    .iter()
+                    .map(move |&ni| (x_vars[gci][ni], 1.0))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        terms.push((vmax, -1.0));
+        let mut rhs = cmax + self_m - existing_targets;
+        terms.push((b, big_m));
+        rhs += big_m;
+        if let Some(yv) = y {
+            terms.push((yv, big_m));
+            rhs += big_m;
+        }
+        p.add_constraint(terms, Cmp::Le, rhs);
+        info.vmax = Some(vmax);
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_cluster::{
+        ApplicationId, ClusterState, ContainerRequest, ExecutionKind, NodeGroupId, Resources, Tag,
+    };
+    use medea_constraints::Cardinality;
+
+    fn cluster(n: usize, racks: usize) -> ClusterState {
+        ClusterState::homogeneous(n, Resources::new(16 * 1024, 16), racks)
+    }
+
+    fn commit(state: &mut ClusterState, req: &LraRequest, outcome: &PlacementOutcome) {
+        if let Some(pl) = outcome.placement() {
+            for (c, &n) in req.containers.iter().zip(&pl.nodes) {
+                state
+                    .allocate(req.app, n, c, ExecutionKind::LongRunning)
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn places_all_containers_respecting_capacity() {
+        let state = cluster(4, 2);
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            6,
+            Resources::new(8 * 1024, 4),
+            vec![Tag::new("a")],
+            vec![],
+        );
+        let out = place_with_ilp(&state, &[req.clone()], &[], &IlpConfig::default());
+        let pl = out[0].placement().expect("should place");
+        assert_eq!(pl.nodes.len(), 6);
+        // 6 x 8 GB on 4 x 16 GB nodes: at most 2 per node.
+        let mut per_node: HashMap<NodeId, usize> = HashMap::new();
+        for &n in &pl.nodes {
+            *per_node.entry(n).or_default() += 1;
+        }
+        assert!(per_node.values().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn all_or_nothing_when_cluster_too_small() {
+        let state = cluster(2, 1);
+        // 5 x 16 GB cannot fit in 2 x 16 GB: the LRA must be unplaced.
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            5,
+            Resources::new(16 * 1024, 1),
+            vec![],
+            vec![],
+        );
+        let out = place_with_ilp(&state, &[req], &[], &IlpConfig::default());
+        assert!(matches!(out[0], PlacementOutcome::Unplaced { .. }));
+    }
+
+    #[test]
+    fn node_anti_affinity_spreads_containers() {
+        let state = cluster(6, 2);
+        let caa = PlacementConstraint::anti_affinity("w", "w", NodeGroupId::node());
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            4,
+            Resources::new(1024, 1),
+            vec![Tag::new("w")],
+            vec![caa],
+        );
+        let out = place_with_ilp(&state, &[req], &[], &IlpConfig::default());
+        let pl = out[0].placement().expect("should place");
+        let mut nodes = pl.nodes.clone();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 4, "anti-affinity must use distinct nodes");
+    }
+
+    #[test]
+    fn node_affinity_collocates_with_target() {
+        let mut state = cluster(6, 2);
+        // Existing memcached on node 3.
+        state
+            .allocate(
+                ApplicationId(9),
+                NodeId(3),
+                &ContainerRequest::new(Resources::new(1024, 1), [Tag::new("mem")]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
+        let caf = PlacementConstraint::affinity("storm", "mem", NodeGroupId::node());
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            2,
+            Resources::new(1024, 1),
+            vec![Tag::new("storm")],
+            vec![caf],
+        );
+        let out = place_with_ilp(&state, &[req], &[], &IlpConfig::default());
+        let pl = out[0].placement().expect("should place");
+        assert!(pl.nodes.iter().all(|&n| n == NodeId(3)));
+    }
+
+    #[test]
+    fn cardinality_cap_respected() {
+        let state = cluster(8, 2);
+        // At most 2 workers per node.
+        let card = PlacementConstraint::new("w", "w", Cardinality::at_most(1), NodeGroupId::node());
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            6,
+            Resources::new(1024, 1),
+            vec![Tag::new("w")],
+            vec![card],
+        );
+        let out = place_with_ilp(&state, &[req], &[], &IlpConfig::default());
+        let pl = out[0].placement().expect("should place");
+        let mut per_node: HashMap<NodeId, usize> = HashMap::new();
+        for &n in &pl.nodes {
+            *per_node.entry(n).or_default() += 1;
+        }
+        // at_most(1) counts *other* w containers: up to 2 per node.
+        assert!(per_node.values().all(|&c| c <= 2), "{per_node:?}");
+    }
+
+    #[test]
+    fn rack_affinity_keeps_app_in_one_rack() {
+        let state = cluster(8, 4);
+        let app = ApplicationId(4);
+        let intra = PlacementConstraint::affinity(
+            medea_constraints::TagExpr::and([Tag::new("tf"), Tag::app_id(app)]),
+            medea_constraints::TagExpr::and([Tag::new("tf"), Tag::app_id(app)]),
+            NodeGroupId::rack(),
+        );
+        let req = LraRequest::uniform(
+            app,
+            4,
+            Resources::new(1024, 1),
+            vec![Tag::new("tf")],
+            vec![intra],
+        );
+        let out = place_with_ilp(&state, &[req.clone()], &[], &IlpConfig::default());
+        let pl = out[0].placement().expect("should place");
+        let state2 = {
+            let mut s = cluster(8, 4);
+            commit(&mut s, &req, &out[0]);
+            s
+        };
+        // All four containers in the same rack.
+        let racks: std::collections::HashSet<usize> = pl
+            .nodes
+            .iter()
+            .map(|&n| {
+                state2
+                    .groups()
+                    .sets_containing(&NodeGroupId::rack(), n)
+                    .unwrap()[0]
+            })
+            .collect();
+        assert_eq!(racks.len(), 1, "rack affinity must hold: {racks:?}");
+    }
+
+    #[test]
+    fn deployed_constraints_respected() {
+        let mut state = cluster(4, 2);
+        // Deployed latency-critical service on node 0 with anti-affinity
+        // against "batchy" containers.
+        state
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &ContainerRequest::new(Resources::new(1024, 1), [Tag::new("svc")]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
+        let deployed = PlacementConstraint::anti_affinity("svc", "batchy", NodeGroupId::node());
+        let req = LraRequest::uniform(
+            ApplicationId(2),
+            3,
+            Resources::new(1024, 1),
+            vec![Tag::new("batchy")],
+            vec![],
+        );
+        let out = place_with_ilp(&state, &[req], &[deployed], &IlpConfig::default());
+        let pl = out[0].placement().expect("should place");
+        assert!(
+            pl.nodes.iter().all(|&n| n != NodeId(0)),
+            "must avoid the svc node: {:?}",
+            pl.nodes
+        );
+    }
+
+    #[test]
+    fn two_lras_with_inter_app_anti_affinity() {
+        let state = cluster(6, 3);
+        let a = PlacementConstraint::anti_affinity("alpha", "beta", NodeGroupId::node());
+        let r1 = LraRequest::uniform(
+            ApplicationId(1),
+            3,
+            Resources::new(2048, 1),
+            vec![Tag::new("alpha")],
+            vec![a],
+        );
+        let r2 = LraRequest::uniform(
+            ApplicationId(2),
+            3,
+            Resources::new(2048, 1),
+            vec![Tag::new("beta")],
+            vec![],
+        );
+        let out = place_with_ilp(&state, &[r1, r2], &[], &IlpConfig::default());
+        let p1 = out[0].placement().expect("r1 placed");
+        let p2 = out[1].placement().expect("r2 placed");
+        for n1 in &p1.nodes {
+            assert!(!p2.nodes.contains(n1), "alpha and beta must not share nodes");
+        }
+    }
+
+    #[test]
+    fn prefers_placing_more_lras() {
+        // Cluster fits both LRAs only if packed well.
+        let state = cluster(2, 1);
+        let r1 = LraRequest::uniform(
+            ApplicationId(1),
+            2,
+            Resources::new(8 * 1024, 4),
+            vec![Tag::new("a")],
+            vec![],
+        );
+        let r2 = LraRequest::uniform(
+            ApplicationId(2),
+            2,
+            Resources::new(8 * 1024, 4),
+            vec![Tag::new("b")],
+            vec![],
+        );
+        let out = place_with_ilp(&state, &[r1, r2], &[], &IlpConfig::default());
+        assert!(out[0].placement().is_some());
+        assert!(out[1].placement().is_some());
+    }
+
+    #[test]
+    fn soft_constraints_yield_to_feasibility() {
+        // Anti-affinity over 2 nodes for 4 containers: impossible to
+        // satisfy fully, but soft constraints must not block placement.
+        let state = cluster(2, 1);
+        let caa = PlacementConstraint::anti_affinity("w", "w", NodeGroupId::node());
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            4,
+            Resources::new(1024, 1),
+            vec![Tag::new("w")],
+            vec![caa],
+        );
+        let out = place_with_ilp(&state, &[req], &[], &IlpConfig::default());
+        let pl = out[0].placement().expect("soft constraints must not block");
+        assert_eq!(pl.nodes.len(), 4);
+    }
+
+    #[test]
+    fn empty_request_list() {
+        let state = cluster(2, 1);
+        assert!(place_with_ilp(&state, &[], &[], &IlpConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn compound_dnf_constraint_solved_via_y_indicators() {
+        let mut state = cluster(6, 2);
+        // Only a "cache" exists (no "db"): the DNF (affinity to db) OR
+        // (affinity to cache) must be satisfied through its second
+        // conjunct.
+        state
+            .allocate(
+                ApplicationId(9),
+                NodeId(4),
+                &ContainerRequest::new(Resources::new(1024, 1), [Tag::new("cache")]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
+        let expr = medea_constraints::TagConstraintExpr::any([
+            vec![medea_constraints::TagConstraint::new(
+                "db",
+                Cardinality::affinity(),
+            )],
+            vec![medea_constraints::TagConstraint::new(
+                "cache",
+                Cardinality::affinity(),
+            )],
+        ]);
+        let compound = PlacementConstraint::compound("w", expr, NodeGroupId::node());
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            2,
+            Resources::new(1024, 1),
+            vec![Tag::new("w")],
+            vec![compound.clone()],
+        );
+        let out = place_with_ilp(&state, &[req.clone()], &[], &IlpConfig::default());
+        let pl = out[0].placement().expect("placeable");
+        assert!(
+            pl.nodes.iter().all(|&n| n == NodeId(4)),
+            "DNF should steer both containers to the cache node: {:?}",
+            pl.nodes
+        );
+        commit(&mut state, &req, &out[0]);
+        let stats = medea_constraints::violation_stats(&state, [&compound]);
+        assert_eq!(stats.containers_violating, 0);
+    }
+
+    #[test]
+    fn disabling_mip_start_still_solves_small_models() {
+        let state = cluster(4, 2);
+        let cfg = IlpConfig {
+            mip_start: false,
+            symmetry_breaking: false,
+            ..IlpConfig::default()
+        };
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            3,
+            Resources::new(1024, 1),
+            vec![Tag::new("x")],
+            vec![PlacementConstraint::anti_affinity("x", "x", NodeGroupId::node())],
+        );
+        let out = place_with_ilp(&state, &[req], &[], &cfg);
+        let pl = out[0].placement().expect("small model solves without start");
+        let mut nodes = pl.nodes.clone();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn hard_constraints_dominate_soft_ones() {
+        let mut state = cluster(2, 1);
+        // A noisy container on node 0; a *hard* anti-affinity against it
+        // competes with a soft affinity toward it. Hard must win.
+        state
+            .allocate(
+                ApplicationId(9),
+                NodeId(0),
+                &ContainerRequest::new(Resources::new(1024, 1), [Tag::new("noisy")]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
+        let hard = PlacementConstraint::anti_affinity("w", "noisy", NodeGroupId::node()).hard();
+        let soft = PlacementConstraint::affinity("w", "noisy", NodeGroupId::node());
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            1,
+            Resources::new(1024, 1),
+            vec![Tag::new("w")],
+            vec![hard, soft],
+        );
+        let out = place_with_ilp(&state, &[req], &[], &IlpConfig::default());
+        let pl = out[0].placement().expect("placeable");
+        assert_eq!(pl.nodes[0], NodeId(1), "hard anti-affinity must dominate");
+    }
+}

@@ -1,0 +1,52 @@
+//! The Medea scheduler: placement of long-running applications in shared
+//! production clusters (EuroSys 2018).
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! - the **two-scheduler design** (§3): [`MedeaScheduler`] queues LRAs and
+//!   places them in batches via a dedicated [`LraScheduler`], while a
+//!   traditional [`TaskScheduler`] keeps allocating short-lived containers
+//!   at heartbeat latency; all actual allocations go through one component,
+//!   avoiding multi-scheduler conflicts;
+//! - the **ILP-based placement algorithm** (§5.2, Fig. 5) over the
+//!   `medea-solver` MILP engine, with all-or-nothing placement, soft
+//!   constraint violations, and fragmentation in the objective;
+//! - the **heuristics** of §5.3 (node candidates, tag popularity) plus the
+//!   evaluation baselines: `Serial`, `J-Kube`, `J-Kube++`, and `YARN`;
+//! - the **capability matrix** of Table 1.
+//!
+//! See `medea-constraints` for the constraint language and
+//! `medea-cluster` for the cluster model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capabilities;
+mod heuristics;
+mod ilp;
+mod jkube;
+mod lra;
+mod medea;
+mod migration;
+mod objective;
+mod request;
+mod task_scheduler;
+mod yarn;
+
+pub use capabilities::{
+    implemented_capabilities, paper_table1, render_table, CapabilityRow, Support,
+};
+pub use heuristics::{HeuristicScheduler, Ordering};
+pub use ilp::{place_with_ilp, IlpConfig};
+pub use jkube::JKubeScheduler;
+pub use lra::{LraAlgorithm, LraScheduler};
+pub use medea::{LraDeployment, MedeaScheduler, MedeaStats};
+pub use migration::{Migration, MigrationConfig, MigrationController};
+pub use objective::{ObjectiveWeights, Scorer};
+pub use request::{
+    Locality, LraPlacement, LraRequest, PlacementOutcome, TaskJobRequest,
+};
+pub use task_scheduler::{
+    QueueConfig, QueuePolicy, TaskAllocation, TaskScheduler, TaskSchedulerError,
+};
+pub use yarn::YarnScheduler;

@@ -1,0 +1,151 @@
+//! The LRA scheduler: algorithm selection and dispatch (§5).
+
+use std::fmt;
+
+use medea_cluster::ClusterState;
+use medea_constraints::PlacementConstraint;
+
+use crate::heuristics::{HeuristicScheduler, Ordering};
+use crate::ilp::{place_with_ilp, IlpConfig};
+use crate::jkube::JKubeScheduler;
+use crate::request::{LraRequest, PlacementOutcome};
+use crate::yarn::YarnScheduler;
+
+/// The LRA placement algorithm to use (§7.1 comparison set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LraAlgorithm {
+    /// Medea-ILP: the optimization-based algorithm of §5.2.
+    Ilp,
+    /// Medea-NC: node-candidates heuristic (§5.3).
+    NodeCandidates,
+    /// Medea-TP: tag-popularity heuristic (§5.3).
+    TagPopularity,
+    /// Serial: greedy without ordering (§7.1).
+    Serial,
+    /// J-Kube: Kubernetes' algorithm, one request at a time, no
+    /// cardinality.
+    JKube,
+    /// J-Kube++: J-Kube extended with cardinality constraints.
+    JKubePlusPlus,
+    /// YARN: constraint-unaware baseline.
+    Yarn,
+}
+
+impl LraAlgorithm {
+    /// All algorithms, in the order the paper's figures list them.
+    pub const ALL: [LraAlgorithm; 7] = [
+        LraAlgorithm::Ilp,
+        LraAlgorithm::NodeCandidates,
+        LraAlgorithm::TagPopularity,
+        LraAlgorithm::Serial,
+        LraAlgorithm::JKube,
+        LraAlgorithm::JKubePlusPlus,
+        LraAlgorithm::Yarn,
+    ];
+
+    /// Short display name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LraAlgorithm::Ilp => "MEDEA-ILP",
+            LraAlgorithm::NodeCandidates => "MEDEA-NC",
+            LraAlgorithm::TagPopularity => "MEDEA-TP",
+            LraAlgorithm::Serial => "Serial",
+            LraAlgorithm::JKube => "J-KUBE",
+            LraAlgorithm::JKubePlusPlus => "J-KUBE++",
+            LraAlgorithm::Yarn => "YARN",
+        }
+    }
+}
+
+impl fmt::Display for LraAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The LRA scheduler of Fig. 4: places batches of LRAs using the
+/// configured algorithm against a snapshot of the cluster state.
+pub struct LraScheduler {
+    /// Selected algorithm.
+    pub algorithm: LraAlgorithm,
+    /// ILP configuration (used only by [`LraAlgorithm::Ilp`]).
+    pub ilp: IlpConfig,
+}
+
+impl LraScheduler {
+    /// Creates a scheduler with default configuration.
+    pub fn new(algorithm: LraAlgorithm) -> Self {
+        LraScheduler {
+            algorithm,
+            ilp: IlpConfig::default(),
+        }
+    }
+
+    /// Places a batch of newly submitted LRAs.
+    ///
+    /// `deployed_constraints` are the already-active constraints from the
+    /// constraint manager (deployed LRAs + operator); the new requests
+    /// carry their own constraints.
+    pub fn place(
+        &self,
+        state: &ClusterState,
+        requests: &[LraRequest],
+        deployed_constraints: &[PlacementConstraint],
+    ) -> Vec<PlacementOutcome> {
+        match self.algorithm {
+            LraAlgorithm::Ilp => place_with_ilp(state, requests, deployed_constraints, &self.ilp),
+            LraAlgorithm::NodeCandidates => HeuristicScheduler::new(Ordering::NodeCandidates)
+                .place(state, requests, deployed_constraints),
+            LraAlgorithm::TagPopularity => HeuristicScheduler::new(Ordering::TagPopularity)
+                .place(state, requests, deployed_constraints),
+            LraAlgorithm::Serial => HeuristicScheduler::new(Ordering::Submission).place(
+                state,
+                requests,
+                deployed_constraints,
+            ),
+            LraAlgorithm::JKube => {
+                JKubeScheduler::jkube().place(state, requests, deployed_constraints)
+            }
+            LraAlgorithm::JKubePlusPlus => {
+                JKubeScheduler::jkube_plus_plus().place(state, requests, deployed_constraints)
+            }
+            LraAlgorithm::Yarn => YarnScheduler::new().place(state, requests),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_cluster::{ApplicationId, NodeGroupId, Resources, Tag};
+
+    #[test]
+    fn every_algorithm_places_a_simple_lra() {
+        let state = ClusterState::homogeneous(6, Resources::new(16 * 1024, 16), 2);
+        for alg in LraAlgorithm::ALL {
+            let req = LraRequest::uniform(
+                ApplicationId(1),
+                3,
+                Resources::new(2048, 1),
+                vec![Tag::new("x")],
+                vec![PlacementConstraint::anti_affinity(
+                    "x",
+                    "x",
+                    NodeGroupId::node(),
+                )],
+            );
+            let out = LraScheduler::new(alg).place(&state, &[req], &[]);
+            assert!(
+                out[0].placement().is_some(),
+                "{alg} failed to place a trivially placeable LRA"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LraAlgorithm::Ilp.name(), "MEDEA-ILP");
+        assert_eq!(LraAlgorithm::JKubePlusPlus.to_string(), "J-KUBE++");
+        assert_eq!(LraAlgorithm::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,421 @@
+//! The Medea scheduler: two-scheduler integration (§3, Fig. 4).
+//!
+//! LRAs are queued and placed in batches by the [`LraScheduler`] at
+//! regular scheduling intervals; placement *decisions* are then committed
+//! through the allocation path shared with the [`TaskScheduler`], which is
+//! how Medea avoids conflicting placements: only one component performs
+//! actual allocations. If the cluster state changed between placement and
+//! commit (task containers grabbed the resources), the commit fails and
+//! the LRA is **resubmitted** to the next interval — the §5.4 conflict
+//! policy.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use medea_cluster::{
+    ApplicationId, ClusterState, ContainerId, ExecutionKind, NodeId,
+};
+use medea_constraints::{ConstraintError, ConstraintManager};
+
+use crate::lra::{LraAlgorithm, LraScheduler};
+use crate::request::{LraRequest, PlacementOutcome, TaskJobRequest};
+use crate::task_scheduler::{TaskAllocation, TaskScheduler, TaskSchedulerError};
+
+/// A pending LRA with submission metadata.
+#[derive(Debug, Clone)]
+struct PendingLra {
+    request: LraRequest,
+    submitted_at: u64,
+    attempts: u32,
+}
+
+/// Result of one committed LRA placement.
+#[derive(Debug, Clone)]
+pub struct LraDeployment {
+    /// The application deployed.
+    pub app: ApplicationId,
+    /// Allocated containers (same order as the request's containers).
+    pub containers: Vec<ContainerId>,
+    /// Nodes per container.
+    pub nodes: Vec<NodeId>,
+    /// Scheduling latency in ticks (commit time − submission time).
+    pub latency_ticks: u64,
+    /// Wall-clock time the placement algorithm spent on the batch that
+    /// contained this LRA.
+    pub algorithm_time: std::time::Duration,
+}
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Clone, Default)]
+pub struct MedeaStats {
+    /// LRAs successfully deployed.
+    pub lras_deployed: usize,
+    /// LRA placement attempts that found no placement (resubmitted).
+    pub lras_unplaced: usize,
+    /// Commit conflicts (placement invalidated by concurrent allocations).
+    pub commit_conflicts: usize,
+    /// LRAs dropped after exhausting resubmission attempts.
+    pub lras_dropped: usize,
+    /// Scheduling-interval invocations.
+    pub cycles: usize,
+}
+
+/// The Medea resource-manager extension: LRA queue + two schedulers over
+/// one cluster state.
+///
+/// # Examples
+///
+/// ```
+/// use medea_core::{MedeaScheduler, LraAlgorithm, LraRequest};
+/// use medea_cluster::{ApplicationId, ClusterState, Resources, Tag};
+///
+/// let cluster = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
+/// let mut medea = MedeaScheduler::new(cluster, LraAlgorithm::Ilp, 10);
+/// let req = LraRequest::uniform(
+///     ApplicationId(1), 2, Resources::new(1024, 1), vec![Tag::new("svc")], vec![]);
+/// medea.submit_lra(req, 0).unwrap();
+/// let deployed = medea.tick(10); // scheduling interval reached
+/// assert_eq!(deployed.len(), 1);
+/// ```
+pub struct MedeaScheduler {
+    state: ClusterState,
+    constraint_manager: ConstraintManager,
+    lra_scheduler: LraScheduler,
+    task_scheduler: TaskScheduler,
+    pending: VecDeque<PendingLra>,
+    /// Scheduling interval in ticks (§5.1; 10 s in the evaluation).
+    pub interval: u64,
+    next_run: u64,
+    /// Maximum resubmission attempts before an LRA is dropped.
+    pub max_attempts: u32,
+    stats: MedeaStats,
+}
+
+impl MedeaScheduler {
+    /// Creates a scheduler over the given cluster with a single task queue.
+    pub fn new(state: ClusterState, algorithm: LraAlgorithm, interval: u64) -> Self {
+        MedeaScheduler {
+            state,
+            constraint_manager: ConstraintManager::new(),
+            lra_scheduler: LraScheduler::new(algorithm),
+            task_scheduler: TaskScheduler::single_queue(),
+            pending: VecDeque::new(),
+            interval,
+            next_run: 0,
+            max_attempts: 5,
+            stats: MedeaStats::default(),
+        }
+    }
+
+    /// Replaces the task scheduler (custom queues).
+    pub fn with_task_scheduler(mut self, ts: TaskScheduler) -> Self {
+        self.task_scheduler = ts;
+        self
+    }
+
+    /// Access to the live cluster state.
+    pub fn state(&self) -> &ClusterState {
+        &self.state
+    }
+
+    /// Mutable access to the live cluster state (failure injection).
+    pub fn state_mut(&mut self) -> &mut ClusterState {
+        &mut self.state
+    }
+
+    /// Access to the constraint manager.
+    pub fn constraint_manager(&self) -> &ConstraintManager {
+        &self.constraint_manager
+    }
+
+    /// Access to the LRA scheduler configuration.
+    pub fn lra_scheduler_mut(&mut self) -> &mut LraScheduler {
+        &mut self.lra_scheduler
+    }
+
+    /// Scheduling statistics so far.
+    pub fn stats(&self) -> &MedeaStats {
+        &self.stats
+    }
+
+    /// Number of LRAs waiting for the next scheduling interval.
+    pub fn pending_lras(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submits an LRA: validates and registers its constraints with the
+    /// constraint manager, then queues it for the next interval (life
+    /// cycle steps 1–2 of Fig. 6).
+    pub fn submit_lra(&mut self, request: LraRequest, now: u64) -> Result<(), ConstraintError> {
+        self.constraint_manager.register_app(
+            request.app,
+            request.constraints.clone(),
+            self.state.groups(),
+        )?;
+        self.pending.push_back(PendingLra {
+            request,
+            submitted_at: now,
+            attempts: 0,
+        });
+        Ok(())
+    }
+
+    /// Submits a task-based job straight to the task scheduler (the
+    /// two-scheduler routing: no constraints, no LRA queue).
+    pub fn submit_tasks(&mut self, job: TaskJobRequest, now: u64) -> Result<(), TaskSchedulerError> {
+        self.task_scheduler.submit(job, now)
+    }
+
+    /// Node heartbeat: task-container allocation (R4 path).
+    pub fn heartbeat(&mut self, node: NodeId, now: u64) -> Vec<TaskAllocation> {
+        self.task_scheduler.on_heartbeat(&mut self.state, node, now)
+    }
+
+    /// Completes a task container.
+    pub fn complete_task(&mut self, queue: &str, container: ContainerId) {
+        let _ = self.task_scheduler.complete(&mut self.state, queue, container);
+    }
+
+    /// Completes (tears down) an entire LRA, releasing containers and
+    /// removing its constraints.
+    pub fn complete_lra(&mut self, app: ApplicationId) {
+        self.state.release_app(app);
+        self.constraint_manager.remove_app(app);
+    }
+
+    /// Advances time: when the scheduling interval is reached, runs the
+    /// LRA scheduler on the pending batch and commits the placements.
+    ///
+    /// Returns the LRAs deployed in this invocation.
+    pub fn tick(&mut self, now: u64) -> Vec<LraDeployment> {
+        if now < self.next_run || self.pending.is_empty() {
+            return Vec::new();
+        }
+        self.next_run = now + self.interval;
+        self.stats.cycles += 1;
+
+        let batch: Vec<PendingLra> = self.pending.drain(..).collect();
+        let requests: Vec<LraRequest> = batch.iter().map(|p| p.request.clone()).collect();
+
+        // Constraints of deployed LRAs + operator, minus the new batch's
+        // own (those travel with the requests).
+        let deployed: Vec<_> = {
+            let batch_apps: Vec<ApplicationId> = requests.iter().map(|r| r.app).collect();
+            self.constraint_manager
+                .active()
+                .into_iter()
+                .filter(|s| match s.source {
+                    medea_constraints::ConstraintSource::Application(a) => {
+                        !batch_apps.contains(&a)
+                    }
+                    medea_constraints::ConstraintSource::Operator => true,
+                })
+                .map(|s| s.constraint)
+                .collect()
+        };
+
+        let t0 = Instant::now();
+        let outcomes = self.lra_scheduler.place(&self.state, &requests, &deployed);
+        let algorithm_time = t0.elapsed();
+
+        let mut deployed_out = Vec::new();
+        for (pending, outcome) in batch.into_iter().zip(outcomes) {
+            match outcome {
+                PlacementOutcome::Placed(placement) => {
+                    match self.commit(&pending.request, &placement.nodes) {
+                        Ok(containers) => {
+                            self.stats.lras_deployed += 1;
+                            deployed_out.push(LraDeployment {
+                                app: pending.request.app,
+                                nodes: placement.nodes,
+                                containers,
+                                latency_ticks: now.saturating_sub(pending.submitted_at),
+                                algorithm_time,
+                            });
+                        }
+                        Err(()) => {
+                            self.stats.commit_conflicts += 1;
+                            self.resubmit(pending);
+                        }
+                    }
+                }
+                PlacementOutcome::Unplaced { .. } => {
+                    self.stats.lras_unplaced += 1;
+                    self.resubmit(pending);
+                }
+            }
+        }
+        deployed_out
+    }
+
+    /// Commits a placement against the live state; on any failure all of
+    /// the LRA's containers are rolled back (§5.4 conflict handling).
+    fn commit(&mut self, request: &LraRequest, nodes: &[NodeId]) -> Result<Vec<ContainerId>, ()> {
+        let mut ids = Vec::with_capacity(nodes.len());
+        for (c, &n) in request.containers.iter().zip(nodes) {
+            match self
+                .state
+                .allocate(request.app, n, c, ExecutionKind::LongRunning)
+            {
+                Ok(id) => ids.push(id),
+                Err(_) => {
+                    for id in ids {
+                        let _ = self.state.release(id);
+                    }
+                    return Err(());
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Requeues an LRA after a conflict or failed placement, dropping it
+    /// once the attempt budget is exhausted.
+    fn resubmit(&mut self, mut pending: PendingLra) {
+        pending.attempts += 1;
+        if pending.attempts >= self.max_attempts {
+            self.stats.lras_dropped += 1;
+            self.constraint_manager.remove_app(pending.request.app);
+        } else {
+            self.pending.push_back(pending);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_cluster::{NodeGroupId, Resources, Tag};
+    use medea_constraints::PlacementConstraint;
+
+    fn cluster() -> ClusterState {
+        ClusterState::homogeneous(4, Resources::new(8192, 8), 2)
+    }
+
+    fn lra(app: u64, count: usize, mem: u64, tag: &str) -> LraRequest {
+        LraRequest::uniform(
+            ApplicationId(app),
+            count,
+            Resources::new(mem, 1),
+            vec![Tag::new(tag)],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn interval_gates_scheduling() {
+        let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+        m.submit_lra(lra(1, 2, 1024, "a"), 0).unwrap();
+        // First tick runs immediately (next_run starts at 0)...
+        assert_eq!(m.tick(0).len(), 1);
+        m.submit_lra(lra(2, 2, 1024, "b"), 1).unwrap();
+        // ...but the next invocation must wait for the interval.
+        assert!(m.tick(5).is_empty());
+        assert_eq!(m.tick(10).len(), 1);
+    }
+
+    #[test]
+    fn constraints_registered_and_removed() {
+        let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            2,
+            Resources::new(1024, 1),
+            vec![Tag::new("hb")],
+            vec![PlacementConstraint::anti_affinity("hb", "hb", NodeGroupId::node())],
+        );
+        m.submit_lra(req, 0).unwrap();
+        assert_eq!(m.constraint_manager().num_apps(), 1);
+        m.tick(0);
+        m.complete_lra(ApplicationId(1));
+        assert_eq!(m.constraint_manager().num_apps(), 0);
+        assert_eq!(m.state().num_containers(), 0);
+    }
+
+    #[test]
+    fn invalid_constraints_rejected_at_submit() {
+        let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            1,
+            Resources::new(1024, 1),
+            vec![Tag::new("x")],
+            vec![PlacementConstraint::affinity("x", "y", NodeGroupId::new("ghost"))],
+        );
+        assert!(m.submit_lra(req, 0).is_err());
+        assert_eq!(m.pending_lras(), 0);
+    }
+
+    #[test]
+    fn unplaceable_lra_is_resubmitted_then_dropped() {
+        let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+        m.max_attempts = 2;
+        // 5 x 8 GB cannot fit on 4 x 8 GB nodes alongside each other.
+        m.submit_lra(lra(1, 5, 8192, "big"), 0).unwrap();
+        assert!(m.tick(0).is_empty());
+        assert_eq!(m.pending_lras(), 1);
+        assert_eq!(m.stats().lras_unplaced, 1);
+        assert!(m.tick(10).is_empty());
+        // Two attempts exhausted: dropped.
+        assert_eq!(m.pending_lras(), 0);
+        assert_eq!(m.stats().lras_dropped, 1);
+    }
+
+    #[test]
+    fn tasks_flow_through_independently() {
+        let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Ilp, 10);
+        m.submit_tasks(TaskJobRequest::new(ApplicationId(7), Resources::new(512, 1), 4), 0)
+            .unwrap();
+        // Tasks allocate on heartbeats with no LRA cycle involved.
+        let allocs = m.heartbeat(NodeId(1), 2);
+        assert_eq!(allocs.len(), 4);
+        m.complete_task("default", allocs[0].container);
+        assert_eq!(m.state().num_containers(), 3);
+    }
+
+    #[test]
+    fn commit_conflict_resubmits() {
+        // Fill the cluster between placement and commit by using a tiny
+        // interval trick: we simulate the conflict by pre-filling nodes
+        // after placement would have been computed. Easiest deterministic
+        // way: submit an LRA that fits exactly, then occupy the cluster
+        // via tasks *before* the tick, so placement itself fails — then
+        // free resources and observe successful retry.
+        let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+        m.submit_tasks(TaskJobRequest::new(ApplicationId(9), Resources::new(8192, 1), 4), 0)
+            .unwrap();
+        for n in 0..4u32 {
+            m.heartbeat(NodeId(n), 0);
+        }
+        m.submit_lra(lra(1, 2, 4096, "s"), 0).unwrap();
+        assert!(m.tick(0).is_empty());
+        assert_eq!(m.stats().lras_unplaced, 1);
+        // Free the cluster; the retry succeeds at the next interval.
+        let tasks: Vec<ContainerId> = m.state().allocations().map(|a| a.id).collect();
+        for t in tasks {
+            m.complete_task("default", t);
+        }
+        let deployed = m.tick(10);
+        assert_eq!(deployed.len(), 1);
+        assert_eq!(deployed[0].latency_ticks, 10);
+        assert_eq!(m.stats().lras_deployed, 1);
+    }
+
+    #[test]
+    fn every_algorithm_works_end_to_end() {
+        for alg in LraAlgorithm::ALL {
+            let mut m = MedeaScheduler::new(cluster(), alg, 10);
+            let req = LraRequest::uniform(
+                ApplicationId(1),
+                3,
+                Resources::new(1024, 1),
+                vec![Tag::new("w")],
+                vec![PlacementConstraint::anti_affinity("w", "w", NodeGroupId::node())],
+            );
+            m.submit_lra(req, 0).unwrap();
+            let deployed = m.tick(0);
+            assert_eq!(deployed.len(), 1, "{alg} failed end-to-end");
+            assert_eq!(m.state().num_containers(), 3);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Global-objective weights and the node-scoring function shared by all
+//! greedy LRA schedulers.
+//!
+//! The ILP optimizes the Eq. 1 objective exactly; the heuristic schedulers
+//! (§5.3) and the J-Kube baselines approximate it greedily with the same
+//! per-placement score so that experimental comparisons isolate the
+//! *algorithm* (ordering and lookahead) rather than the scoring model.
+
+use medea_cluster::{
+    ApplicationId, ClusterState, ContainerId, ContainerRequest, ExecutionKind, NodeId, Resources,
+};
+use medea_constraints::{check_container, PlacementConstraint};
+
+/// Weights of the Eq. 1 objective components.
+///
+/// Defaults follow the evaluation setup (§7.1): `w1 = 1` (place as many
+/// LRAs as possible), `w2 = 0.5` (minimize constraint violations),
+/// `w3 = 0.25` (minimize resource fragmentation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveWeights {
+    /// Weight of the placed-LRAs component.
+    pub w1: f64,
+    /// Weight of the constraint-violation component.
+    pub w2: f64,
+    /// Weight of the fragmentation component.
+    pub w3: f64,
+    /// Fragmentation threshold `rmin` (Eq. 5): a node left with fewer free
+    /// resources than this (but not fully utilized) counts as fragmented.
+    pub rmin: Resources,
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        ObjectiveWeights {
+            w1: 1.0,
+            w2: 0.5,
+            w3: 0.25,
+            rmin: Resources::new(2048, 1),
+        }
+    }
+}
+
+/// Greedy node scorer over the active constraints.
+///
+/// Scoring a tentative `(container, node)` pair allocates the container on
+/// the scheduler's *working copy* of the cluster state, measures the change
+/// in weighted violation extent, fragmentation, and load, then releases it.
+#[derive(Debug)]
+pub struct Scorer {
+    /// Objective weights.
+    pub weights: ObjectiveWeights,
+    /// Active constraints (new apps + deployed apps + operator).
+    pub constraints: Vec<PlacementConstraint>,
+}
+
+impl Scorer {
+    /// Creates a scorer.
+    pub fn new(weights: ObjectiveWeights, constraints: Vec<PlacementConstraint>) -> Self {
+        Scorer {
+            weights,
+            constraints,
+        }
+    }
+
+    /// Returns `true` if the request fits on the node right now.
+    pub fn is_feasible(&self, state: &ClusterState, node: NodeId, req: &ContainerRequest) -> bool {
+        state.is_available(node)
+            && state
+                .free(node)
+                .map(|f| req.resources.fits_in(&f))
+                .unwrap_or(false)
+    }
+
+    /// Computes the weighted violation extent *delta* caused by placing the
+    /// container on the node, by temporarily allocating it.
+    ///
+    /// The delta accounts for (i) the placed container's own constraints
+    /// and (ii) the effect of the new container on existing subjects in
+    /// the node sets it joins.
+    pub fn violation_delta(
+        &self,
+        state: &mut ClusterState,
+        app: ApplicationId,
+        req: &ContainerRequest,
+        node: NodeId,
+    ) -> f64 {
+        let affected = self.affected_subjects(state, req, node);
+        let before = self.extent_of(state, &affected);
+        let Ok(placed) = state.allocate(app, node, req, ExecutionKind::LongRunning) else {
+            return f64::INFINITY;
+        };
+        // The new container's own constraint extents plus the deltas it
+        // induces on previously placed subjects.
+        let own: f64 = self
+            .constraints
+            .iter()
+            .filter(|c| {
+                state
+                    .allocation(placed)
+                    .map(|a| c.subject.matches_allocation(a))
+                    .unwrap_or(false)
+            })
+            .map(|c| {
+                check_container(state, c, placed)
+                    .map(|ck| ck.extent * c.weight)
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        let after = self.extent_of(state, &affected);
+        state.release(placed).expect("tentative container exists");
+        own + (after - before)
+    }
+
+    /// Scores placing `req` on `node`; higher is better; `None` when the
+    /// node is infeasible (capacity or availability).
+    pub fn score(
+        &self,
+        state: &mut ClusterState,
+        app: ApplicationId,
+        req: &ContainerRequest,
+        node: NodeId,
+    ) -> Option<f64> {
+        if !self.is_feasible(state, node, req) {
+            return None;
+        }
+        let viol = self.violation_delta(state, app, req, node);
+        if !viol.is_finite() {
+            return None;
+        }
+        let frag = self.fragmentation_delta(state, node, req.resources);
+        // Balance term: prefer less-utilized nodes (coefficient chosen so
+        // that violations dominate, then fragmentation, then balance).
+        let util_after = {
+            let cap = state.node(node).ok()?.capacity;
+            let free_after = state.free(node).ok()?.saturating_sub(&req.resources);
+            1.0 - free_after.memory_share(&cap)
+        };
+        Some(-self.weights.w2 * viol - self.weights.w3 * frag - 0.01 * util_after)
+    }
+
+    /// Returns `true` if placing the container on the node introduces no
+    /// new violation at all (used by the node-candidates heuristic to
+    /// compute `Nc`).
+    pub fn is_violation_free(
+        &self,
+        state: &mut ClusterState,
+        app: ApplicationId,
+        req: &ContainerRequest,
+        node: NodeId,
+    ) -> bool {
+        if !self.is_feasible(state, node, req) {
+            return false;
+        }
+        self.violation_delta(state, app, req, node) <= 1e-9
+    }
+
+    /// Fragmentation delta of Eq. 5: +1 if the node becomes fragmented by
+    /// this placement, 0 otherwise (it can never be un-fragmented by
+    /// adding a container).
+    fn fragmentation_delta(&self, state: &ClusterState, node: NodeId, demand: Resources) -> f64 {
+        let Ok(free) = state.free(node) else {
+            return 0.0;
+        };
+        let before_frag = !self.weights.rmin.fits_in(&free) && !free.is_zero();
+        let after = free.saturating_sub(&demand);
+        let after_frag = !self.weights.rmin.fits_in(&after) && !after.is_zero();
+        (after_frag as i32 - before_frag as i32) as f64
+    }
+
+    /// Subjects whose constraint status can change when a container with
+    /// `req`'s tags lands on `node`: existing subject containers in any
+    /// node set (of each constraint's group) containing `node`, for
+    /// constraints whose target mentions one of the new container's tags.
+    fn affected_subjects(
+        &self,
+        state: &ClusterState,
+        req: &ContainerRequest,
+        node: NodeId,
+    ) -> Vec<(usize, ContainerId)> {
+        let mut out = Vec::new();
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let target_overlaps = c
+                .expr
+                .leaves()
+                .any(|l| l.target.tags().iter().any(|t| req.tags.contains(t)));
+            if !target_overlaps {
+                continue;
+            }
+            let Ok(node_sets) = state.groups().sets_containing(&c.group, node) else {
+                continue;
+            };
+            if node_sets.is_empty() {
+                continue;
+            }
+            // Scan live allocations once (cheaper than walking the node
+            // set's members on large clusters): a subject is affected iff
+            // it shares a set of the constraint's group with `node`.
+            for a in state.allocations() {
+                if !c.subject.matches_allocation(a) {
+                    continue;
+                }
+                let shares_set = state
+                    .groups()
+                    .sets_containing(&c.group, a.node)
+                    .map(|sets| sets.iter().any(|s| node_sets.contains(s)))
+                    .unwrap_or(false);
+                if shares_set {
+                    out.push((ci, a.id));
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Total weighted extent of the given (constraint, subject) pairs.
+    fn extent_of(&self, state: &ClusterState, pairs: &[(usize, ContainerId)]) -> f64 {
+        pairs
+            .iter()
+            .map(|&(ci, cid)| {
+                let c = &self.constraints[ci];
+                check_container(state, c, cid)
+                    .map(|ck| ck.extent * c.weight)
+                    .unwrap_or(0.0)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_cluster::{NodeGroupId, Tag};
+    use medea_constraints::Cardinality;
+
+    fn req(tags: &[&str]) -> ContainerRequest {
+        ContainerRequest::new(Resources::new(1024, 1), tags.iter().map(|t| Tag::new(*t)))
+    }
+
+    fn cluster() -> ClusterState {
+        ClusterState::homogeneous(4, Resources::new(8192, 8), 2)
+    }
+
+    #[test]
+    fn default_weights_match_paper() {
+        let w = ObjectiveWeights::default();
+        assert_eq!((w.w1, w.w2, w.w3), (1.0, 0.5, 0.25));
+    }
+
+    #[test]
+    fn feasibility_checks_capacity_and_availability() {
+        let mut state = cluster();
+        let s = Scorer::new(ObjectiveWeights::default(), vec![]);
+        assert!(s.is_feasible(&state, NodeId(0), &req(&[])));
+        state.set_available(NodeId(0), false).unwrap();
+        assert!(!s.is_feasible(&state, NodeId(0), &req(&[])));
+        let huge = ContainerRequest::new(Resources::new(10_000, 1), []);
+        assert!(!s.is_feasible(&state, NodeId(1), &huge));
+    }
+
+    #[test]
+    fn own_violation_is_charged() {
+        let mut state = cluster();
+        // Existing hb container on node 0; anti-affinity hb-hb at node level.
+        state
+            .allocate(ApplicationId(1), NodeId(0), &req(&["hb"]), ExecutionKind::LongRunning)
+            .unwrap();
+        let scorer = Scorer::new(
+            ObjectiveWeights::default(),
+            vec![PlacementConstraint::anti_affinity("hb", "hb", NodeGroupId::node())],
+        );
+        let bad = scorer.violation_delta(&mut state, ApplicationId(2), &req(&["hb"]), NodeId(0));
+        let good = scorer.violation_delta(&mut state, ApplicationId(2), &req(&["hb"]), NodeId(1));
+        // Placing next to the existing hb violates both the new container's
+        // constraint and the existing one's.
+        assert!(bad > good);
+        assert!(good.abs() < 1e-9);
+        assert!(bad >= 2.0 - 1e-9);
+        // The tentative allocation must have been rolled back.
+        assert_eq!(state.num_containers(), 1);
+    }
+
+    #[test]
+    fn effect_on_existing_subjects_is_charged() {
+        let mut state = cluster();
+        // Existing "srv" subject with anti-affinity against "noisy".
+        state
+            .allocate(ApplicationId(1), NodeId(0), &req(&["srv"]), ExecutionKind::LongRunning)
+            .unwrap();
+        let scorer = Scorer::new(
+            ObjectiveWeights::default(),
+            vec![PlacementConstraint::anti_affinity("srv", "noisy", NodeGroupId::node())],
+        );
+        // The new container is not a subject, but it is a target that
+        // breaks the existing subject's constraint.
+        let delta =
+            scorer.violation_delta(&mut state, ApplicationId(2), &req(&["noisy"]), NodeId(0));
+        assert!(delta > 0.5);
+        let elsewhere =
+            scorer.violation_delta(&mut state, ApplicationId(2), &req(&["noisy"]), NodeId(1));
+        assert!(elsewhere.abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_prefers_constraint_satisfying_nodes() {
+        let mut state = cluster();
+        state
+            .allocate(ApplicationId(1), NodeId(0), &req(&["cache"]), ExecutionKind::LongRunning)
+            .unwrap();
+        let scorer = Scorer::new(
+            ObjectiveWeights::default(),
+            vec![PlacementConstraint::affinity("web", "cache", NodeGroupId::node())],
+        );
+        let collocated = scorer
+            .score(&mut state, ApplicationId(2), &req(&["web"]), NodeId(0))
+            .unwrap();
+        let separated = scorer
+            .score(&mut state, ApplicationId(2), &req(&["web"]), NodeId(3))
+            .unwrap();
+        assert!(collocated > separated);
+    }
+
+    #[test]
+    fn cardinality_limits_reflected_in_nc() {
+        let mut state = cluster();
+        let scorer = Scorer::new(
+            ObjectiveWeights::default(),
+            vec![PlacementConstraint::new(
+                "w",
+                "w",
+                Cardinality::at_most(1),
+                NodeGroupId::node(),
+            )],
+        );
+        // Two "w" on node 0: each sees one other -> at_most(1) holds; node
+        // 0 is violation-free for the first two, then stops being so.
+        assert!(scorer.is_violation_free(&mut state, ApplicationId(1), &req(&["w"]), NodeId(0)));
+        state
+            .allocate(ApplicationId(1), NodeId(0), &req(&["w"]), ExecutionKind::LongRunning)
+            .unwrap();
+        assert!(scorer.is_violation_free(&mut state, ApplicationId(1), &req(&["w"]), NodeId(0)));
+        state
+            .allocate(ApplicationId(1), NodeId(0), &req(&["w"]), ExecutionKind::LongRunning)
+            .unwrap();
+        assert!(!scorer.is_violation_free(&mut state, ApplicationId(1), &req(&["w"]), NodeId(0)));
+        assert!(scorer.is_violation_free(&mut state, ApplicationId(1), &req(&["w"]), NodeId(1)));
+    }
+
+    #[test]
+    fn fragmentation_penalty_applies() {
+        let mut state = ClusterState::homogeneous(2, Resources::new(4096, 8), 1);
+        let scorer = Scorer::new(ObjectiveWeights::default(), vec![]);
+        // A 3 GB container leaves 1 GB < rmin free: fragmentation delta 1.
+        let big = ContainerRequest::new(Resources::new(3072, 1), []);
+        let small = ContainerRequest::new(Resources::new(1024, 1), []);
+        let s_big = scorer
+            .score(&mut state, ApplicationId(1), &big, NodeId(0))
+            .unwrap();
+        let s_small = scorer
+            .score(&mut state, ApplicationId(1), &small, NodeId(0))
+            .unwrap();
+        assert!(s_small > s_big);
+    }
+}

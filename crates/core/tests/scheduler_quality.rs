@@ -1,0 +1,185 @@
+//! Cross-algorithm placement-quality tests: the orderings the paper's
+//! evaluation establishes must hold in this implementation on controlled
+//! scenarios (deterministic, no statistical flakiness).
+
+use medea_cluster::{
+    ApplicationId, ClusterState, ContainerRequest, ExecutionKind, NodeGroupId, NodeId, Resources,
+    Tag,
+};
+use medea_constraints::{violation_stats, Cardinality, PlacementConstraint, TagExpr};
+use medea_core::{LraAlgorithm, LraRequest, LraScheduler};
+
+fn commit(state: &mut ClusterState, reqs: &[LraRequest], alg: LraAlgorithm) -> usize {
+    let scheduler = LraScheduler::new(alg);
+    let mut constraints = Vec::new();
+    let mut placed = 0;
+    for batch in reqs.chunks(2) {
+        let outcomes = scheduler.place(state, batch, &constraints);
+        for (req, out) in batch.iter().zip(outcomes) {
+            if let Some(pl) = out.placement() {
+                for (c, &n) in req.containers.iter().zip(&pl.nodes) {
+                    state
+                        .allocate(req.app, n, c, ExecutionKind::LongRunning)
+                        .expect("proposal fits");
+                }
+                constraints.extend(req.constraints.iter().cloned());
+                placed += 1;
+            }
+        }
+    }
+    placed
+}
+
+/// Workload with a tight cardinality cap: every placement is feasible
+/// violation-free only with careful balancing.
+fn capped_workload(n: usize) -> Vec<LraRequest> {
+    (0..n)
+        .map(|i| {
+            LraRequest::uniform(
+                ApplicationId(100 + i as u64),
+                6,
+                Resources::new(2048, 1),
+                vec![Tag::new("w")],
+                vec![PlacementConstraint::new(
+                    "w",
+                    "w",
+                    Cardinality::at_most(2),
+                    NodeGroupId::node(),
+                )],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn constraint_aware_algorithms_beat_yarn_on_violations() {
+    // 4 apps x 6 workers = 24 workers; 8 nodes x cap 3 = 24 slots: tight
+    // but satisfiable.
+    let reqs = capped_workload(4);
+    let all_constraints: Vec<_> = reqs.iter().flat_map(|r| r.constraints.clone()).collect();
+    let mut results = Vec::new();
+    for alg in [
+        LraAlgorithm::Ilp,
+        LraAlgorithm::NodeCandidates,
+        LraAlgorithm::TagPopularity,
+        LraAlgorithm::Yarn,
+    ] {
+        let mut state = ClusterState::homogeneous(8, Resources::new(16 * 1024, 16), 2);
+        let placed = commit(&mut state, &reqs, alg);
+        assert_eq!(placed, 4, "{alg} must place everything");
+        let v = violation_stats(&state, all_constraints.iter());
+        results.push((alg, v.containers_violating));
+    }
+    let get = |a: LraAlgorithm| results.iter().find(|(x, _)| *x == a).unwrap().1;
+    // Medea's algorithms achieve zero violations on a satisfiable
+    // workload; YARN (constraint-unaware least-allocated) happens to
+    // spread, so assert only the weak ordering for it.
+    assert_eq!(get(LraAlgorithm::Ilp), 0);
+    assert_eq!(get(LraAlgorithm::NodeCandidates), 0);
+    assert_eq!(get(LraAlgorithm::TagPopularity), 0);
+    assert!(get(LraAlgorithm::Yarn) >= get(LraAlgorithm::Ilp));
+}
+
+#[test]
+fn jkube_plus_plus_beats_jkube_under_cardinality_pressure() {
+    // Nodes pre-loaded unevenly so least-allocated spreading collides
+    // with the cardinality cap unless the scheduler actually checks it.
+    let build = || {
+        let mut s = ClusterState::homogeneous(6, Resources::new(16 * 1024, 16), 2);
+        // Make nodes 3-5 look most attractive to least-allocated by
+        // loading nodes 0-2 with ballast.
+        for n in 0..3u32 {
+            s.allocate(
+                ApplicationId(9),
+                NodeId(n),
+                &ContainerRequest::new(Resources::new(6 * 1024, 2), []),
+                ExecutionKind::Task,
+            )
+            .unwrap();
+        }
+        s
+    };
+    let reqs = capped_workload(3); // 18 workers, cap 3/node over 6 nodes: exact fit.
+    let all_constraints: Vec<_> = reqs.iter().flat_map(|r| r.constraints.clone()).collect();
+
+    let mut jk = build();
+    commit(&mut jk, &reqs, LraAlgorithm::JKube);
+    let v_jk = violation_stats(&jk, all_constraints.iter()).containers_violating;
+
+    let mut jkpp = build();
+    commit(&mut jkpp, &reqs, LraAlgorithm::JKubePlusPlus);
+    let v_jkpp = violation_stats(&jkpp, all_constraints.iter()).containers_violating;
+
+    assert!(
+        v_jkpp <= v_jk,
+        "cardinality support must not hurt: J-Kube++ {v_jkpp} vs J-Kube {v_jk}"
+    );
+    assert_eq!(v_jkpp, 0, "J-Kube++ must satisfy the satisfiable cap");
+}
+
+#[test]
+fn batch_ilp_handles_forward_references_one_at_a_time_cannot() {
+    // The §7.4 periodicity scenario distilled: a consumer whose affinity
+    // targets a producer submitted in the same batch but *later*.
+    let consumer = LraRequest::uniform(
+        ApplicationId(1),
+        3,
+        Resources::new(2048, 1),
+        vec![Tag::new("cons")],
+        vec![PlacementConstraint::affinity(
+            TagExpr::tag(Tag::new("cons")),
+            TagExpr::tag(Tag::new("prod")),
+            NodeGroupId::rack(),
+        )],
+    );
+    let producer = LraRequest::uniform(
+        ApplicationId(2),
+        3,
+        Resources::new(2048, 1),
+        vec![Tag::new("prod")],
+        vec![],
+    );
+    let reqs = [consumer.clone(), producer];
+    let scheduler = LraScheduler::new(LraAlgorithm::Ilp);
+    let state = ClusterState::homogeneous(12, Resources::new(16 * 1024, 16), 4);
+    let outcomes = scheduler.place(&state, &reqs, &[]);
+    // Commit and verify the affinity holds at placement time — the batch
+    // ILP co-locates the racks deliberately, not by repair.
+    let mut committed = state.clone();
+    for (req, out) in reqs.iter().zip(&outcomes) {
+        let pl = out.placement().expect("both placed");
+        for (c, &n) in req.containers.iter().zip(&pl.nodes) {
+            committed
+                .allocate(req.app, n, c, ExecutionKind::LongRunning)
+                .unwrap();
+        }
+    }
+    let v = violation_stats(&committed, consumer.constraints.iter());
+    assert_eq!(
+        v.containers_violating, 0,
+        "batch ILP must satisfy the forward reference at placement time"
+    );
+}
+
+#[test]
+fn ilp_quality_is_never_below_its_heuristic_start() {
+    // The anytime guarantee: on any scenario, ILP violations cannot
+    // exceed NC violations (NC's placement seeds the search).
+    for seed_nodes in [6usize, 10] {
+        let reqs = capped_workload(3);
+        let all_constraints: Vec<_> =
+            reqs.iter().flat_map(|r| r.constraints.clone()).collect();
+        let mut nc_state = ClusterState::homogeneous(seed_nodes, Resources::new(16 * 1024, 16), 2);
+        commit(&mut nc_state, &reqs, LraAlgorithm::NodeCandidates);
+        let v_nc = violation_stats(&nc_state, all_constraints.iter()).containers_violating;
+
+        let mut ilp_state = ClusterState::homogeneous(seed_nodes, Resources::new(16 * 1024, 16), 2);
+        commit(&mut ilp_state, &reqs, LraAlgorithm::Ilp);
+        let v_ilp = violation_stats(&ilp_state, all_constraints.iter()).containers_violating;
+
+        assert!(
+            v_ilp <= v_nc,
+            "{seed_nodes} nodes: ILP ({v_ilp}) must not be worse than NC ({v_nc})"
+        );
+    }
+}

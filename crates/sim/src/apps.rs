@@ -1,0 +1,286 @@
+//! LRA templates: the applications of the paper's evaluation (§7.1) with
+//! their container shapes and placement constraints.
+//!
+//! - **HBase**: ten 2 GB/1-core workers (region servers) plus a master, a
+//!   thrift server, and a secondary master (1 GB/1 core each). Constraints:
+//!   intra-app rack affinity for workers; at most two HBase workers per
+//!   node (inter-application cardinality); master–thrift node affinity;
+//!   master–secondary node anti-affinity.
+//! - **TensorFlow**: eight 2 GB workers, two 1 GB parameter servers, one
+//!   4 GB chief. Constraints: intra-app rack affinity; at most four TF
+//!   workers per node.
+//! - **Storm + Memcached** (the §2.2 motivating pipeline): five
+//!   supervisors and one memcached instance, with intra-app node affinity
+//!   for the supervisors and inter-app affinity to memcached.
+
+use medea_cluster::{ApplicationId, NodeGroupId, Resources, Tag};
+use medea_constraints::{Cardinality, PlacementConstraint, TagExpr};
+use medea_core::LraRequest;
+
+/// Maximum HBase workers per node (§7.1 constraint ii).
+pub const HBASE_MAX_WORKERS_PER_NODE: u32 = 2;
+/// Maximum TensorFlow workers per node (§7.1 constraint ii).
+pub const TF_MAX_WORKERS_PER_NODE: u32 = 4;
+
+/// Tag helpers for the workload templates.
+fn t(s: &str) -> Tag {
+    Tag::new(s)
+}
+
+/// Like [`hbase_instance`] but with a custom inter-application
+/// workers-per-node cap, used by sweeps that must stay satisfiable at
+/// high cluster utilization (a 2-per-node cap bounds worker memory at
+/// 2 x 2 GB per 16 GB node, i.e. 25% of the cluster).
+pub fn hbase_like(app: ApplicationId, workers: usize, cap_per_node: u32) -> LraRequest {
+    let mut req = hbase_instance(app, workers);
+    req = with_cardinality_limit(req, "hb_rs", cap_per_node);
+    req
+}
+
+/// Builds an HBase instance request with the paper's constraints.
+///
+/// `workers` is 10 in the paper's simulator workload (§7.1).
+pub fn hbase_instance(app: ApplicationId, workers: usize) -> LraRequest {
+    let app_tag = Tag::app_id(app);
+    let mut containers = Vec::new();
+    let worker_res = Resources::new(2048, 1);
+    let aux_res = Resources::new(1024, 1);
+    for _ in 0..workers {
+        containers.push(medea_cluster::ContainerRequest::new(
+            worker_res,
+            [t("hb"), t("hb_rs")],
+        ));
+    }
+    containers.push(medea_cluster::ContainerRequest::new(
+        aux_res,
+        [t("hb"), t("hb_m")],
+    ));
+    containers.push(medea_cluster::ContainerRequest::new(
+        aux_res,
+        [t("hb"), t("hb_thrift")],
+    ));
+    containers.push(medea_cluster::ContainerRequest::new(
+        aux_res,
+        [t("hb"), t("hb_sec")],
+    ));
+
+    let constraints = vec![
+        // (i) Intra-app rack affinity: all workers of this instance on the
+        // same rack.
+        PlacementConstraint::affinity(
+            TagExpr::and([t("hb_rs"), app_tag.clone()]),
+            TagExpr::and([t("hb_rs"), app_tag.clone()]),
+            NodeGroupId::rack(),
+        ),
+        // (ii) Inter-app cardinality: no more than two HBase workers per
+        // node (counting *other* workers: max = limit - 1).
+        PlacementConstraint::new(
+            t("hb_rs"),
+            t("hb_rs"),
+            Cardinality::at_most(HBASE_MAX_WORKERS_PER_NODE - 1),
+            NodeGroupId::node(),
+        ),
+        // (iii) Master-Thrift node affinity.
+        PlacementConstraint::affinity(
+            TagExpr::and([t("hb_m"), app_tag.clone()]),
+            TagExpr::and([t("hb_thrift"), app_tag.clone()]),
+            NodeGroupId::node(),
+        ),
+        // (iii) Master-Secondary node anti-affinity.
+        PlacementConstraint::anti_affinity(
+            TagExpr::and([t("hb_m"), app_tag.clone()]),
+            TagExpr::and([t("hb_sec"), app_tag]),
+            NodeGroupId::node(),
+        ),
+    ];
+    LraRequest::new(app, containers, constraints)
+}
+
+/// Builds a TensorFlow instance: 8 workers, 2 parameter servers, 1 chief.
+pub fn tensorflow_instance(app: ApplicationId) -> LraRequest {
+    tensorflow_instance_sized(app, 8, 2)
+}
+
+/// TensorFlow with a custom worker/PS count (used by the §2.2 cardinality
+/// sweeps that run 32 workers).
+pub fn tensorflow_instance_sized(app: ApplicationId, workers: usize, ps: usize) -> LraRequest {
+    let app_tag = Tag::app_id(app);
+    let mut containers = Vec::new();
+    for _ in 0..workers {
+        containers.push(medea_cluster::ContainerRequest::new(
+            Resources::new(2048, 1),
+            [t("tf"), t("tf_w")],
+        ));
+    }
+    for _ in 0..ps {
+        containers.push(medea_cluster::ContainerRequest::new(
+            Resources::new(1024, 1),
+            [t("tf"), t("tf_ps")],
+        ));
+    }
+    containers.push(medea_cluster::ContainerRequest::new(
+        Resources::new(4096, 1),
+        [t("tf"), t("tf_chief")],
+    ));
+    let constraints = vec![
+        PlacementConstraint::affinity(
+            TagExpr::and([t("tf_w"), app_tag.clone()]),
+            TagExpr::and([t("tf_w"), app_tag]),
+            NodeGroupId::rack(),
+        ),
+        PlacementConstraint::new(
+            t("tf_w"),
+            t("tf_w"),
+            Cardinality::at_most(TF_MAX_WORKERS_PER_NODE - 1),
+            NodeGroupId::node(),
+        ),
+    ];
+    LraRequest::new(app, containers, constraints)
+}
+
+/// The cardinality-sweep variant used by Figs. 2c/2d: `max_per_node`
+/// workers allowed per node instead of the defaults.
+pub fn with_cardinality_limit(mut req: LraRequest, worker_tag: &str, max_per_node: u32) -> LraRequest {
+    for c in &mut req.constraints {
+        let is_card = c.subject == TagExpr::tag(t(worker_tag))
+            && c.group == NodeGroupId::node();
+        if is_card {
+            c.expr = medea_constraints::TagConstraintExpr::leaf(
+                medea_constraints::TagConstraint::new(
+                    t(worker_tag),
+                    Cardinality::at_most(max_per_node.saturating_sub(1)),
+                ),
+            );
+        }
+    }
+    req
+}
+
+/// Storm topology: five supervisors (§2.2 experiment).
+///
+/// `affinity` selects the §2.2 placement policy under test.
+pub fn storm_instance(app: ApplicationId, affinity: StormAffinity) -> LraRequest {
+    let app_tag = Tag::app_id(app);
+    let containers = (0..5)
+        .map(|_| {
+            medea_cluster::ContainerRequest::new(Resources::new(2048, 1), [t("storm"), t("storm_sup")])
+        })
+        .collect();
+    let mut constraints = Vec::new();
+    match affinity {
+        StormAffinity::None => {}
+        StormAffinity::IntraOnly => {
+            constraints.push(PlacementConstraint::affinity(
+                TagExpr::and([t("storm_sup"), app_tag.clone()]),
+                TagExpr::and([t("storm_sup"), app_tag]),
+                NodeGroupId::node(),
+            ));
+        }
+        StormAffinity::IntraInter => {
+            constraints.push(PlacementConstraint::affinity(
+                TagExpr::and([t("storm_sup"), app_tag.clone()]),
+                TagExpr::and([t("storm_sup"), app_tag]),
+                NodeGroupId::node(),
+            ));
+            // Caf = {storm, {mem, 1, inf}, node}: collocate with memcached.
+            constraints.push(PlacementConstraint::affinity(
+                t("storm_sup"),
+                t("mem"),
+                NodeGroupId::node(),
+            ));
+        }
+    }
+    LraRequest::new(app, containers, constraints)
+}
+
+/// The §2.2 Storm placement policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormAffinity {
+    /// No constraints.
+    None,
+    /// Storm supervisors collocated with each other only.
+    IntraOnly,
+    /// Supervisors collocated with each other *and* with Memcached.
+    IntraInter,
+}
+
+/// A single-container Memcached instance (two million user profiles in
+/// the §2.2 experiment).
+pub fn memcached_instance(app: ApplicationId) -> LraRequest {
+    LraRequest::new(
+        app,
+        vec![medea_cluster::ContainerRequest::new(
+            Resources::new(4096, 2),
+            [t("mem")],
+        )],
+        vec![],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbase_shape_matches_paper() {
+        let r = hbase_instance(ApplicationId(1), 10);
+        assert_eq!(r.num_containers(), 13); // 10 workers + master/thrift/sec
+        assert_eq!(r.constraints.len(), 4);
+        let workers = r
+            .containers
+            .iter()
+            .filter(|c| c.tags.contains(&Tag::new("hb_rs")))
+            .count();
+        assert_eq!(workers, 10);
+        assert!(r.containers.iter().all(|c| c.tags.contains(&Tag::new("hb"))));
+        // Worker shape <2 GB, 1 CPU> per §7.1.
+        assert_eq!(
+            r.containers[0].resources,
+            Resources::new(2048, 1)
+        );
+    }
+
+    #[test]
+    fn tensorflow_shape_matches_paper() {
+        let r = tensorflow_instance(ApplicationId(2));
+        assert_eq!(r.num_containers(), 11); // 8 + 2 + 1
+        let chief = r
+            .containers
+            .iter()
+            .find(|c| c.tags.contains(&Tag::new("tf_chief")))
+            .unwrap();
+        assert_eq!(chief.resources, Resources::new(4096, 1));
+    }
+
+    #[test]
+    fn cardinality_override_rewrites_limit() {
+        let r = tensorflow_instance_sized(ApplicationId(3), 32, 2);
+        let r = with_cardinality_limit(r, "tf_w", 16);
+        let card = r
+            .constraints
+            .iter()
+            .find(|c| c.group == NodeGroupId::node())
+            .unwrap();
+        let leaf = card.expr.leaves().next().unwrap();
+        assert_eq!(leaf.cardinality, Cardinality::at_most(15));
+    }
+
+    #[test]
+    fn storm_affinity_variants() {
+        assert!(storm_instance(ApplicationId(1), StormAffinity::None)
+            .constraints
+            .is_empty());
+        assert_eq!(
+            storm_instance(ApplicationId(1), StormAffinity::IntraOnly)
+                .constraints
+                .len(),
+            1
+        );
+        assert_eq!(
+            storm_instance(ApplicationId(1), StormAffinity::IntraInter)
+                .constraints
+                .len(),
+            2
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Discrete-event simulation driver.
+//!
+//! Reproduces the paper's simulator (§7.1 "Simulation"): it executes the
+//! real Medea scheduler against simulated machines, "merely ignoring RPCs
+//! and task execution". Time is in milliseconds. Node heartbeats drive
+//! task allocation (as in YARN), the LRA scheduler runs at its configured
+//! interval, and task/LRA completions release resources.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use medea_cluster::{ApplicationId, ContainerId, NodeId};
+use medea_core::{LraDeployment, LraRequest, MedeaScheduler, TaskJobRequest};
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone)]
+pub enum SimEvent {
+    /// Submit an LRA to Medea.
+    SubmitLra(LraRequest),
+    /// Submit a task job whose tasks run for `duration` ticks each.
+    SubmitTasks {
+        /// The job.
+        job: TaskJobRequest,
+        /// Per-task runtime in ticks.
+        duration: u64,
+    },
+    /// A node heartbeat (auto-rescheduled every heartbeat interval).
+    Heartbeat(NodeId),
+    /// A task container finishes.
+    TaskComplete {
+        /// Queue that owns the container.
+        queue: String,
+        /// The finishing container.
+        container: ContainerId,
+    },
+    /// An LRA finishes and releases all containers and constraints.
+    LraComplete(ApplicationId),
+    /// A node becomes unavailable (failure, upgrade — §2.3). Containers
+    /// stay in the bookkeeping and count as unavailable, matching the
+    /// resilience experiments.
+    NodeFail(NodeId),
+    /// A failed node comes back.
+    NodeRecover(NodeId),
+    /// The LRA scheduling interval fires.
+    SchedulerTick,
+}
+
+/// Entry in the event queue, ordered by `(time, sequence)`.
+#[derive(Debug)]
+struct QueuedEvent {
+    time: u64,
+    seq: u64,
+    event: SimEvent,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Collected simulation measurements.
+#[derive(Debug, Default, Clone)]
+pub struct SimMetrics {
+    /// Scheduling latency of every allocated task container, in ticks.
+    pub task_latencies: Vec<u64>,
+    /// Scheduling latency of every deployed LRA, in ticks.
+    pub lra_latencies: Vec<u64>,
+    /// Wall-clock time the LRA placement algorithm spent per batch.
+    pub lra_algorithm_times: Vec<std::time::Duration>,
+    /// Deployments in commit order.
+    pub deployments: Vec<LraDeployment>,
+}
+
+/// The simulator: an event queue around a [`MedeaScheduler`].
+///
+/// # Examples
+///
+/// ```
+/// use medea_sim::SimDriver;
+/// use medea_core::{LraAlgorithm, LraRequest, TaskJobRequest};
+/// use medea_cluster::{ApplicationId, ClusterState, Resources, Tag};
+///
+/// let cluster = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
+/// let mut sim = SimDriver::new(cluster, LraAlgorithm::NodeCandidates, 1_000);
+/// sim.schedule(0, medea_sim::SimEvent::SubmitLra(LraRequest::uniform(
+///     ApplicationId(1), 2, Resources::new(1024, 1), vec![Tag::new("svc")], vec![])));
+/// sim.run_until(5_000);
+/// assert_eq!(sim.metrics().deployments.len(), 1);
+/// ```
+pub struct SimDriver {
+    medea: MedeaScheduler,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    now: u64,
+    seq: u64,
+    /// Node heartbeat period in ticks (default 1000 = 1 s, YARN-like).
+    pub heartbeat_interval: u64,
+    metrics: SimMetrics,
+    heartbeats_started: bool,
+    /// Task runtime per queue (set by the latest `SubmitTasks` per queue).
+    queue_durations: std::collections::HashMap<String, u64>,
+    default_task_duration: u64,
+}
+
+impl SimDriver {
+    /// Creates a simulator; `lra_interval` is the LRA scheduling interval
+    /// in ticks (the paper uses 10 s).
+    pub fn new(
+        cluster: medea_cluster::ClusterState,
+        algorithm: medea_core::LraAlgorithm,
+        lra_interval: u64,
+    ) -> Self {
+        let medea = MedeaScheduler::new(cluster, algorithm, lra_interval);
+        let mut sim = SimDriver {
+            medea,
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            heartbeat_interval: 1_000,
+            metrics: SimMetrics::default(),
+            heartbeats_started: false,
+            queue_durations: std::collections::HashMap::new(),
+            default_task_duration: 1_000,
+        };
+        sim.schedule(0, SimEvent::SchedulerTick);
+        sim
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The scheduler under simulation.
+    pub fn medea(&self) -> &MedeaScheduler {
+        &self.medea
+    }
+
+    /// Mutable access to the scheduler (failure injection, configuration).
+    pub fn medea_mut(&mut self) -> &mut MedeaScheduler {
+        &mut self.medea
+    }
+
+    /// Collected measurements.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Schedules an event at an absolute time (>= now).
+    pub fn schedule(&mut self, time: u64, event: SimEvent) {
+        let time = time.max(self.now);
+        self.queue.push(Reverse(QueuedEvent {
+            time,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Starts periodic heartbeats for every node, staggered across the
+    /// heartbeat interval (as real node managers are).
+    pub fn start_heartbeats(&mut self) {
+        if self.heartbeats_started {
+            return;
+        }
+        self.heartbeats_started = true;
+        let nodes: Vec<NodeId> = self.medea.state().node_ids().collect();
+        let n = nodes.len().max(1) as u64;
+        for (i, node) in nodes.into_iter().enumerate() {
+            let offset = (i as u64 * self.heartbeat_interval) / n;
+            self.schedule(self.now + offset, SimEvent::Heartbeat(node));
+        }
+    }
+
+    /// Runs all events up to and including `end`, advancing time.
+    pub fn run_until(&mut self, end: u64) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > end {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.time;
+            self.handle(ev.event);
+        }
+        self.now = end;
+    }
+
+    /// Drains every queued event regardless of time (use with care: with
+    /// periodic heartbeats the queue never empties).
+    pub fn run_to_completion(&mut self, safety_limit: u64) {
+        self.run_until(safety_limit);
+    }
+
+    fn handle(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::SubmitLra(req) => {
+                // Validation failures surface as missing deployments, which
+                // the experiment harness asserts on.
+                let _ = self.medea.submit_lra(req, self.now);
+            }
+            SimEvent::SubmitTasks { job, duration } => {
+                let queue = job.queue.clone();
+                if self.medea.submit_tasks(job, self.now).is_ok() {
+                    // Task runtimes are uniform per (queue, latest job); the
+                    // heartbeat handler uses this to schedule completions.
+                    self.queue_durations.insert(queue, duration);
+                }
+            }
+            SimEvent::Heartbeat(node) => {
+                let allocs = self.medea.heartbeat(node, self.now);
+                for a in allocs {
+                    self.metrics.task_latencies.push(a.latency);
+                    let queue = "default".to_string();
+                    let duration = self.duration_for_queue(&queue);
+                    self.schedule(
+                        self.now + duration,
+                        SimEvent::TaskComplete {
+                            queue,
+                            container: a.container,
+                        },
+                    );
+                }
+                if self.heartbeats_started {
+                    self.schedule(self.now + self.heartbeat_interval, SimEvent::Heartbeat(node));
+                }
+            }
+            SimEvent::TaskComplete { queue, container } => {
+                self.medea.complete_task(&queue, container);
+            }
+            SimEvent::LraComplete(app) => {
+                self.medea.complete_lra(app);
+            }
+            SimEvent::NodeFail(node) => {
+                let _ = self.medea.state_mut().set_available(node, false);
+            }
+            SimEvent::NodeRecover(node) => {
+                let _ = self.medea.state_mut().set_available(node, true);
+            }
+            SimEvent::SchedulerTick => {
+                let deployed = self.medea.tick(self.now);
+                for d in deployed {
+                    self.metrics.lra_latencies.push(d.latency_ticks);
+                    self.metrics.lra_algorithm_times.push(d.algorithm_time);
+                    self.metrics.deployments.push(d);
+                }
+                let interval = self.medea.interval.max(1);
+                self.schedule(self.now + interval, SimEvent::SchedulerTick);
+            }
+        }
+    }
+
+    fn duration_for_queue(&self, queue: &str) -> u64 {
+        self.queue_durations
+            .get(queue)
+            .copied()
+            .unwrap_or(self.default_task_duration)
+    }
+
+    /// Sets the default task duration used when no job set one.
+    pub fn set_default_task_duration(&mut self, ticks: u64) {
+        self.default_task_duration = ticks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medea_cluster::{ClusterState, Resources, Tag};
+    use medea_core::LraAlgorithm;
+
+    fn sim() -> SimDriver {
+        let cluster = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
+        SimDriver::new(cluster, LraAlgorithm::Serial, 1_000)
+    }
+
+    #[test]
+    fn lra_deploys_at_interval() {
+        let mut s = sim();
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            2,
+            Resources::new(1024, 1),
+            vec![Tag::new("a")],
+            vec![],
+        );
+        s.schedule(100, SimEvent::SubmitLra(req));
+        s.run_until(3_000);
+        assert_eq!(s.metrics().deployments.len(), 1);
+        // Submitted at 100, deployed at the next tick (1000): latency 900.
+        assert_eq!(s.metrics().lra_latencies[0], 900);
+    }
+
+    #[test]
+    fn tasks_allocate_on_heartbeats_and_complete() {
+        let mut s = sim();
+        s.set_default_task_duration(500);
+        s.start_heartbeats();
+        s.schedule(
+            0,
+            SimEvent::SubmitTasks {
+                job: TaskJobRequest::new(ApplicationId(2), Resources::new(512, 1), 4),
+                duration: 500,
+            },
+        );
+        s.run_until(10_000);
+        assert_eq!(s.metrics().task_latencies.len(), 4);
+        // All tasks completed and released.
+        assert_eq!(s.medea().state().num_containers(), 0);
+    }
+
+    #[test]
+    fn lra_completion_releases() {
+        let mut s = sim();
+        let req = LraRequest::uniform(
+            ApplicationId(3),
+            2,
+            Resources::new(1024, 1),
+            vec![Tag::new("a")],
+            vec![],
+        );
+        s.schedule(0, SimEvent::SubmitLra(req));
+        s.schedule(5_000, SimEvent::LraComplete(ApplicationId(3)));
+        s.run_until(10_000);
+        assert_eq!(s.medea().state().num_containers(), 0);
+    }
+
+    #[test]
+    fn node_failure_blocks_and_recovery_restores_allocation() {
+        let cluster = ClusterState::homogeneous(1, Resources::new(8192, 8), 1);
+        let mut s = SimDriver::new(cluster, LraAlgorithm::Serial, 1_000);
+        s.start_heartbeats();
+        s.schedule(0, SimEvent::NodeFail(medea_cluster::NodeId(0)));
+        s.schedule(
+            100,
+            SimEvent::SubmitTasks {
+                job: TaskJobRequest::new(ApplicationId(1), Resources::new(512, 1), 1),
+                duration: 60_000,
+            },
+        );
+        s.run_until(3_000);
+        assert!(s.metrics().task_latencies.is_empty(), "failed node allocates nothing");
+        s.schedule(3_000, SimEvent::NodeRecover(medea_cluster::NodeId(0)));
+        s.run_until(6_000);
+        assert_eq!(s.metrics().task_latencies.len(), 1);
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut s = sim();
+        s.run_until(1_234);
+        assert_eq!(s.now(), 1_234);
+        s.run_until(2_000);
+        assert_eq!(s.now(), 2_000);
+    }
+}

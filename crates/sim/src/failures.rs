@@ -1,0 +1,213 @@
+//! Machine-unavailability model (Figs. 3 and 8).
+//!
+//! Substitute for the Microsoft production traces (DESIGN.md §3,
+//! substitution 3), generated from the paper's own characterization
+//! (§2.3): clusters are split into *service units* (SUs); per-SU
+//! unavailability is "usually below 3% but can spike to 25% or even
+//! 100%"; unavailability is strongly correlated *within* an SU, and SUs
+//! "tend to fail asynchronously".
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the synthetic unavailability trace.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureParams {
+    /// Number of service units (the paper's cluster has 25; Fig. 3 shows
+    /// 4 of them).
+    pub service_units: usize,
+    /// Trace length in hours (Fig. 3: 4 days; Fig. 8: 15 days).
+    pub hours: usize,
+    /// Median baseline hourly unavailability per SU (e.g. 0.01 = 1%).
+    pub baseline_median: f64,
+    /// Probability per SU-hour that a correlated spike starts.
+    pub spike_probability: f64,
+    /// Minimum spike magnitude (fraction of the SU down).
+    pub spike_min: f64,
+    /// Mean spike duration in hours.
+    pub spike_duration: f64,
+}
+
+impl Default for FailureParams {
+    fn default() -> Self {
+        FailureParams {
+            service_units: 25,
+            hours: 15 * 24,
+            baseline_median: 0.01,
+            spike_probability: 0.004,
+            spike_min: 0.25,
+            spike_duration: 4.0,
+        }
+    }
+}
+
+/// An hourly per-service-unit unavailability trace.
+#[derive(Debug, Clone)]
+pub struct UnavailabilityTrace {
+    /// `fractions[hour][su]` = fraction of the SU's machines down.
+    pub fractions: Vec<Vec<f64>>,
+}
+
+impl UnavailabilityTrace {
+    /// Generates a trace with the given parameters and seed.
+    pub fn generate(params: &FailureParams, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fractions = vec![vec![0.0; params.service_units]; params.hours];
+        // Per-SU baseline level (some SUs are chronically worse).
+        let baselines: Vec<f64> = (0..params.service_units)
+            .map(|_| params.baseline_median * rng.random_range(0.3..3.0))
+            .collect();
+        // Ongoing spikes: per SU remaining (hours, magnitude).
+        let mut spike: Vec<(f64, f64)> = vec![(0.0, 0.0); params.service_units];
+        for hour in 0..params.hours {
+            for su in 0..params.service_units {
+                // Spike lifecycle: start, decay, end.
+                if spike[su].0 <= 0.0 && rng.random_range(0.0..1.0) < params.spike_probability {
+                    let magnitude = if rng.random_range(0.0..1.0) < 0.2 {
+                        1.0 // full-SU upgrade
+                    } else {
+                        rng.random_range(params.spike_min..0.8)
+                    };
+                    let duration = rng.random_range(1.0..2.0 * params.spike_duration);
+                    spike[su] = (duration, magnitude);
+                }
+                let base = (baselines[su] * rng.random_range(0.5..1.5)).min(0.05);
+                let level = if spike[su].0 > 0.0 {
+                    spike[su].0 -= 1.0;
+                    spike[su].1.max(base)
+                } else {
+                    base
+                };
+                fractions[hour][su] = level.clamp(0.0, 1.0);
+            }
+        }
+        UnavailabilityTrace { fractions }
+    }
+
+    /// Number of hours in the trace.
+    pub fn hours(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// Number of service units.
+    pub fn service_units(&self) -> usize {
+        self.fractions.first().map(|f| f.len()).unwrap_or(0)
+    }
+
+    /// Cluster-total unavailability at an hour (SUs weighted equally,
+    /// as the paper's SUs hold a couple of thousand machines each).
+    pub fn total_at(&self, hour: usize) -> f64 {
+        let f = &self.fractions[hour];
+        if f.is_empty() {
+            return 0.0;
+        }
+        f.iter().sum::<f64>() / f.len() as f64
+    }
+
+    /// Expected fraction of unavailable containers for an application
+    /// whose containers are distributed as `containers_per_su`.
+    pub fn app_unavailability(&self, hour: usize, containers_per_su: &[u32]) -> f64 {
+        let total: u32 = containers_per_su.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let f = &self.fractions[hour];
+        let down: f64 = containers_per_su
+            .iter()
+            .enumerate()
+            .map(|(su, &c)| c as f64 * f.get(su).copied().unwrap_or(0.0))
+            .sum();
+        down / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> UnavailabilityTrace {
+        UnavailabilityTrace::generate(&FailureParams::default(), 42)
+    }
+
+    #[test]
+    fn shape_matches_params() {
+        let t = trace();
+        assert_eq!(t.hours(), 360);
+        assert_eq!(t.service_units(), 25);
+    }
+
+    #[test]
+    fn baseline_is_usually_low_with_spikes() {
+        // §2.3: "unavailability in a service unit is usually below 3% but
+        // can spike to 25% or even 100%".
+        let t = trace();
+        let mut low = 0usize;
+        let mut spiky = 0usize;
+        let mut total = 0usize;
+        for hour in 0..t.hours() {
+            for su in 0..t.service_units() {
+                let f = t.fractions[hour][su];
+                total += 1;
+                if f < 0.03 {
+                    low += 1;
+                }
+                if f >= 0.25 {
+                    spiky += 1;
+                }
+            }
+        }
+        assert!(low as f64 / total as f64 > 0.85, "baseline should dominate");
+        assert!(spiky > 0, "spikes must occur");
+    }
+
+    #[test]
+    fn sus_fail_asynchronously() {
+        // §2.3: when one SU is 100% down, the total stays low (~8%).
+        let t = trace();
+        for hour in 0..t.hours() {
+            let max_su = t.fractions[hour]
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max);
+            if max_su >= 0.9 {
+                assert!(
+                    t.total_at(hour) < 0.3,
+                    "total should stay far below a single SU's spike"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spread_placement_has_lower_worst_case() {
+        // An app spread over all SUs sees at most the average; an app
+        // packed in one SU sees that SU's spikes in full.
+        let t = trace();
+        let spread: Vec<u32> = vec![4; 25];
+        let packed: Vec<u32> = {
+            let mut v = vec![0; 25];
+            v[3] = 100;
+            v
+        };
+        let worst = |per_su: &[u32]| -> f64 {
+            (0..t.hours())
+                .map(|h| t.app_unavailability(h, per_su))
+                .fold(0.0, f64::max)
+        };
+        assert!(worst(&spread) <= worst(&packed) + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = UnavailabilityTrace::generate(&FailureParams::default(), 7);
+        let b = UnavailabilityTrace::generate(&FailureParams::default(), 7);
+        assert_eq!(a.fractions, b.fractions);
+    }
+
+    #[test]
+    fn empty_app_has_zero_unavailability() {
+        let t = trace();
+        assert_eq!(t.app_unavailability(0, &[]), 0.0);
+        assert_eq!(t.app_unavailability(0, &[0, 0, 0]), 0.0);
+    }
+}

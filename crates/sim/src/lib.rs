@@ -1,0 +1,22 @@
+//! Simulation substrate for the Medea reproduction: the discrete-event
+//! cluster simulator, workload generators, and the performance and
+//! failure models that substitute for the paper's physical testbed and
+//! production traces (see DESIGN.md §3 for the substitution table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+mod census;
+mod driver;
+mod failures;
+mod metrics;
+mod perfmodel;
+mod workload;
+
+pub use census::{generate_census, ClusterCensus};
+pub use driver::{SimDriver, SimEvent, SimMetrics};
+pub use failures::{FailureParams, UnavailabilityTrace};
+pub use metrics::{box_stats, coefficient_of_variation, percentile, BoxStats, Cdf};
+pub use perfmodel::{PerfModel, PerfParams, PlacementProfile};
+pub use workload::{fill_with_batch, GoogleTraceLike, GridMix};

@@ -1,0 +1,202 @@
+//! Statistics helpers for the evaluation harness: percentiles, box-plot
+//! summaries (the paper's Fig. 7 format), CDFs, and coefficients of
+//! variation.
+
+/// Box-plot summary in the paper's format (§7.2): whiskers at p5/p99,
+/// box at p25/p75, line at the median.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// 5th percentile (lower whisker).
+    pub p5: f64,
+    /// 25th percentile (box bottom).
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile (box top).
+    pub p75: f64,
+    /// 99th percentile (upper whisker).
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// Computes a percentile (0–100) by linear interpolation on a sorted copy.
+///
+/// Returns `f64::NAN` for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_sorted(&v, p)
+}
+
+/// Computes a percentile on an already-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Computes the Fig. 7 box statistics of a sample.
+pub fn box_stats(values: &[f64]) -> BoxStats {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mean = if v.is_empty() {
+        f64::NAN
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    BoxStats {
+        p5: percentile_sorted(&v, 5.0),
+        p25: percentile_sorted(&v, 25.0),
+        p50: percentile_sorted(&v, 50.0),
+        p75: percentile_sorted(&v, 75.0),
+        p99: percentile_sorted(&v, 99.0),
+        mean,
+    }
+}
+
+/// Coefficient of variation (σ/μ); 0 when the mean is 0 or the sample
+/// has fewer than two points.
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    var.sqrt() / mean.abs()
+}
+
+/// An empirical CDF: sorted values with cumulative probabilities, suitable
+/// for the paper's CDF figures (2a, 8).
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from a sample.
+    pub fn new(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn probability_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the value at quantile `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Emits `(value, probability)` points sampled at each data point,
+    /// thinned to at most `max_points` (for plotting/CSV output).
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let n = self.sorted.len();
+        let step = (n as f64 / max_points as f64).max(1.0);
+        let mut out = Vec::new();
+        let mut i = 0.0;
+        while (i as usize) < n {
+            let idx = i as usize;
+            out.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(v, _)| v) != self.sorted.last().copied() {
+            out.push((*self.sorted.last().unwrap(), 1.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert!((percentile(&v, 25.0) - 2.0).abs() < 1e-12);
+        assert!((percentile(&v, 10.0) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_empty_and_single() {
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn box_stats_ordering() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let b = box_stats(&v);
+        assert!(b.p5 <= b.p25 && b.p25 <= b.p50 && b.p50 <= b.p75 && b.p75 <= b.p99);
+        assert!((b.p50 - 50.5).abs() < 1.0);
+        assert!((b.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cv_properties() {
+        assert_eq!(coefficient_of_variation(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[1.0]), 0.0);
+        let uneven = coefficient_of_variation(&[1.0, 9.0]);
+        let even = coefficient_of_variation(&[4.0, 6.0]);
+        assert!(uneven > even);
+    }
+
+    #[test]
+    fn cdf_probabilities() {
+        let cdf = Cdf::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.probability_at(0.5), 0.0);
+        assert_eq!(cdf.probability_at(2.0), 0.5);
+        assert_eq!(cdf.probability_at(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.5), 2.5);
+    }
+
+    #[test]
+    fn cdf_points_thinning() {
+        let cdf = Cdf::new((0..1000).map(|i| i as f64));
+        let pts = cdf.points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Application performance model.
+//!
+//! Substitute for the paper's physical 400-node testbed (DESIGN.md §3,
+//! substitution 2): application runtime is modelled as
+//!
+//! ```text
+//! runtime = base × (1 + I + N + E) × noise
+//! ```
+//!
+//! where, for an application whose workers sit on nodes `n` with per-node
+//! worker counts `w_n`, spanning `S` nodes and `R` racks:
+//!
+//! - `I` — intra-node interference: workers collocated beyond isolation
+//!   capacity contend for CPU caches, memory bandwidth, and I/O;
+//!   convex in the collocation count:
+//!   `I = ι · mean_n(w_n · (w_n − 1)^p) / mean(w)`.
+//! - `N` — network/synchronization cost: saturating in the number of
+//!   nodes and racks spanned: `N = ν_node (1 − 1/S) + ν_rack (R − 1)`.
+//! - `E` — external interference: spanning more nodes raises the chance
+//!   of landing next to a busy one (straggler effect; iterative jobs run
+//!   at the pace of their slowest worker):
+//!   `E = ε · u_ext · ln(1 + S)`.
+//!
+//! These three terms are exactly the effects the paper measures: affinity
+//! trades `N` against `I` (Fig. 2a), anti-affinity removes `I` (Fig. 2b),
+//! and cardinality balances all three with a load-dependent sweet spot
+//! (Figs. 2c/2d). cgroups-style isolation removes the OS-manageable share
+//! of `I`/`E` but not cache or memory-bandwidth contention (§2.2), which
+//! is why it cannot replace anti-affinity.
+
+use medea_cluster::{ApplicationId, ClusterState, NodeGroupId, Tag};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the performance model.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfParams {
+    /// `ι`: intra-node interference coefficient.
+    pub intra_interference: f64,
+    /// `p`: convexity exponent of collocation interference.
+    pub interference_exponent: f64,
+    /// `ν_node`: node-spread network cost (saturating).
+    pub network_node: f64,
+    /// `ν_rack`: per-extra-rack network cost.
+    pub network_rack: f64,
+    /// `ε`: external-interference (straggler) coefficient.
+    pub external_interference: f64,
+    /// I/O-bound interference coefficient (region servers contend for
+    /// disk and network I/O much harder than compute workers; Fig. 2b).
+    pub io_interference: f64,
+    /// Fraction of `I` and `E` removable by OS-level isolation (cgroups);
+    /// the remainder models cache/memory-bandwidth contention.
+    pub isolable_share: f64,
+    /// Multiplicative log-normal noise sigma.
+    pub noise_sigma: f64,
+}
+
+impl Default for PerfParams {
+    fn default() -> Self {
+        PerfParams {
+            intra_interference: 0.004,
+            interference_exponent: 1.6,
+            network_node: 0.2,
+            network_rack: 0.25,
+            external_interference: 0.55,
+            io_interference: 0.15,
+            isolable_share: 0.45,
+            noise_sigma: 0.04,
+        }
+    }
+}
+
+impl PerfParams {
+    /// Parameters for I/O-bound services (HBase region servers): much
+    /// stronger collocation interference (disk and network contention)
+    /// with a flatter exponent than the compute-bound default.
+    pub fn io_bound() -> Self {
+        PerfParams {
+            intra_interference: 0.05,
+            interference_exponent: 1.3,
+            ..PerfParams::default()
+        }
+    }
+}
+
+/// A placement summary: what the model actually consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementProfile {
+    /// Workers per occupied node.
+    pub workers_per_node: Vec<u32>,
+    /// Number of distinct racks spanned.
+    pub racks: usize,
+    /// Mean external (non-this-app) memory utilization of occupied nodes.
+    pub external_utilization: f64,
+}
+
+impl PlacementProfile {
+    /// Extracts the profile of an application's workers from live state.
+    ///
+    /// `workers_per_node` counts *all* containers carrying the worker tag
+    /// on each node hosting at least one of the app's workers — the
+    /// contention a worker experiences comes from every same-kind
+    /// neighbour, same app or not, which is precisely why the paper's
+    /// cardinality constraint (ii) is inter-application (§7.1).
+    pub fn of_app(state: &ClusterState, app: ApplicationId, worker_tag: &Tag) -> Self {
+        let mut per_node: std::collections::HashMap<medea_cluster::NodeId, u32> =
+            std::collections::HashMap::new();
+        for &cid in state.app_containers(app) {
+            if let Ok(a) = state.allocation(cid) {
+                if a.tags.contains(worker_tag) {
+                    per_node.insert(a.node, state.gamma(a.node, worker_tag));
+                }
+            }
+        }
+        let mut racks: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut ext = 0.0;
+        for (&node, _) in &per_node {
+            if let Ok(sets) = state.groups().sets_containing(&NodeGroupId::rack(), node) {
+                racks.extend(sets);
+            }
+            // External utilization: total node utilization minus this
+            // app's share on that node.
+            let cap = state.node(node).map(|n| n.capacity).unwrap_or_default();
+            let own: medea_cluster::Resources = state
+                .containers_on(node)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|&c| state.allocation(c).ok())
+                .filter(|a| a.app == app)
+                .map(|a| a.resources)
+                .sum();
+            let util = state.memory_utilization(node) - own.memory_share(&cap);
+            ext += util.max(0.0);
+        }
+        let n = per_node.len().max(1);
+        PlacementProfile {
+            workers_per_node: per_node.into_values().collect(),
+            racks: racks.len().max(1),
+            external_utilization: ext / n as f64,
+        }
+    }
+
+    /// Synthetic profile: `total` workers packed `per_node` at a time
+    /// (the §2.2 cardinality sweeps), with given rack span and external
+    /// utilization.
+    pub fn packed(total: u32, per_node: u32, racks: usize, external_utilization: f64) -> Self {
+        let per_node = per_node.clamp(1, total.max(1));
+        let full = (total / per_node) as usize;
+        let rem = total % per_node;
+        let mut workers_per_node = vec![per_node; full];
+        if rem > 0 {
+            workers_per_node.push(rem);
+        }
+        PlacementProfile {
+            workers_per_node,
+            racks,
+            external_utilization,
+        }
+    }
+
+    /// Number of nodes spanned.
+    pub fn nodes(&self) -> usize {
+        self.workers_per_node.len()
+    }
+
+    /// Total workers.
+    pub fn total_workers(&self) -> u32 {
+        self.workers_per_node.iter().sum()
+    }
+}
+
+/// The performance model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfModel {
+    /// Model parameters.
+    pub params: PerfParams,
+    /// Whether cgroups-style isolation is enabled.
+    pub cgroups: bool,
+}
+
+impl PerfModel {
+    /// Creates a model with default parameters, no cgroups.
+    pub fn new() -> Self {
+        PerfModel::default()
+    }
+
+    /// Creates a model with [`PerfParams::io_bound`] parameters.
+    pub fn io_bound() -> Self {
+        PerfModel {
+            params: PerfParams::io_bound(),
+            cgroups: false,
+        }
+    }
+
+    /// Enables cgroups-style OS isolation.
+    pub fn with_cgroups(mut self) -> Self {
+        self.cgroups = true;
+        self
+    }
+
+    /// The slowdown factor `1 + I + N + E` for a placement (no noise).
+    pub fn slowdown(&self, profile: &PlacementProfile) -> f64 {
+        let p = &self.params;
+        let total: f64 = profile.total_workers().max(1) as f64;
+        let s = profile.nodes().max(1) as f64;
+
+        // Intra-node interference, worker-weighted.
+        let i_raw: f64 = profile
+            .workers_per_node
+            .iter()
+            .map(|&w| w as f64 * ((w.saturating_sub(1)) as f64).powf(p.interference_exponent))
+            .sum::<f64>()
+            / total;
+        // Network cost.
+        let n_cost = p.network_node * (1.0 - 1.0 / s)
+            + p.network_rack * (profile.racks.saturating_sub(1)) as f64;
+        // External straggler interference.
+        let e_raw = p.external_interference * profile.external_utilization * (1.0 + s).ln();
+
+        let isolation = if self.cgroups { p.isolable_share } else { 0.0 };
+        let i = p.intra_interference * i_raw * (1.0 - isolation);
+        let e = e_raw * (1.0 - 0.5 * isolation);
+        1.0 + i + n_cost + e
+    }
+
+    /// Runtime of a job with the given base duration and placement,
+    /// with deterministic seeded noise.
+    pub fn runtime(&self, base: f64, profile: &PlacementProfile, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise = lognormal(&mut rng, self.params.noise_sigma);
+        base * self.slowdown(profile) * noise
+    }
+
+    /// YCSB-style throughput (Kops/s) of a store whose region servers have
+    /// `collocated` same-role neighbours per node on average, under
+    /// external batch utilization `batch_util` (Fig. 2b).
+    ///
+    /// Region servers are I/O-bound: collocation contends for disk and
+    /// network bandwidth (the `io_interference` coefficient), of which
+    /// cgroups can isolate only the OS-manageable share.
+    pub fn ycsb_throughput(&self, base_kops: f64, collocated: u32, batch_util: f64) -> f64 {
+        let p = &self.params;
+        let isolation = if self.cgroups { p.isolable_share } else { 0.0 };
+        let io = p.io_interference
+            * (collocated as f64).powf(1.3)
+            * (1.0 - isolation);
+        let ext = p.external_interference
+            * batch_util
+            * 2.0f64.ln()
+            * (1.0 - 0.5 * isolation);
+        base_kops / (1.0 + io + ext)
+    }
+
+    /// Memcached lookup-latency samples for the §2.2 Storm pipeline
+    /// (Fig. 2a): collocating Storm with Memcached removes the network
+    /// round trip from the lookup path.
+    pub fn lookup_latency_samples(
+        &self,
+        collocated: bool,
+        n: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base_ms = if collocated { 28.0 } else { 130.0 };
+        (0..n)
+            .map(|_| base_ms * lognormal(&mut rng, 0.45))
+            .collect()
+    }
+}
+
+/// Log-normal multiplicative noise with median 1.
+fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
+    // Box-Muller from two uniforms.
+    let u1: f64 = rng.random_range(1e-12..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_optimum(external: f64, total: u32) -> u32 {
+        let model = PerfModel::new();
+        let mut best = (1u32, f64::INFINITY);
+        for &c in &[1u32, 2, 4, 8, 16, 32] {
+            if c > total {
+                break;
+            }
+            let prof = PlacementProfile::packed(total, c, 1, external);
+            let s = model.slowdown(&prof);
+            if s < best.1 {
+                best = (c, s);
+            }
+        }
+        best.0
+    }
+
+    #[test]
+    fn cardinality_sweet_spot_shifts_with_load() {
+        // §2.2: "the optimal cardinality value is 16 for the highly
+        // utilized cluster and 4 for the less utilized one" (TensorFlow,
+        // 32 workers). The model must reproduce the *shift*: higher
+        // external load favours more collocation.
+        let low = sweep_optimum(0.05, 32);
+        let high = sweep_optimum(0.70, 32);
+        assert!(low < high, "low-util optimum {low} should be below high-util {high}");
+        assert!(low >= 2, "full anti-affinity should not be optimal at low load");
+        assert!(high <= 16, "full affinity should not be optimal at high load");
+    }
+
+    #[test]
+    fn extremes_are_suboptimal_under_load() {
+        // Fig. 2d: at high utilization, cardinality 16 beats both 32
+        // (affinity) and 1 (anti-affinity).
+        let model = PerfModel::new();
+        let s1 = model.slowdown(&PlacementProfile::packed(32, 1, 1, 0.7));
+        let s16 = model.slowdown(&PlacementProfile::packed(32, 16, 1, 0.7));
+        let s32 = model.slowdown(&PlacementProfile::packed(32, 32, 1, 0.7));
+        assert!(s16 < s1, "16/node should beat full spread under load");
+        assert!(s16 < s32, "16/node should beat full collocation");
+    }
+
+    #[test]
+    fn anti_affinity_improves_throughput() {
+        // Fig. 2b: collocated region servers lose ~1/3 throughput.
+        let model = PerfModel::new();
+        let spread = model.ycsb_throughput(60.0, 0, 0.6);
+        let collocated = model.ycsb_throughput(60.0, 3, 0.6);
+        assert!(collocated < spread * 0.9);
+    }
+
+    #[test]
+    fn cgroups_help_but_do_not_match_anti_affinity() {
+        // Fig. 2b: cgroups improve collocated throughput by ~20% but
+        // cannot reach the anti-affinity placement.
+        let plain = PerfModel::new();
+        let iso = PerfModel::new().with_cgroups();
+        let collocated_plain = plain.ycsb_throughput(60.0, 3, 0.6);
+        let collocated_iso = iso.ycsb_throughput(60.0, 3, 0.6);
+        let spread_plain = plain.ycsb_throughput(60.0, 0, 0.6);
+        assert!(collocated_iso > collocated_plain * 1.05);
+        assert!(collocated_iso < spread_plain);
+    }
+
+    #[test]
+    fn collocation_removes_lookup_network_hop() {
+        // Fig. 2a: mean lookup latency ~4.6x better when collocated.
+        let model = PerfModel::new();
+        let near = model.lookup_latency_samples(true, 2000, 1);
+        let far = model.lookup_latency_samples(false, 2000, 1);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let ratio = mean(&far) / mean(&near);
+        assert!(ratio > 3.5 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rack_span_costs() {
+        let model = PerfModel::new();
+        let one_rack = model.slowdown(&PlacementProfile::packed(10, 2, 1, 0.1));
+        let three_racks = model.slowdown(&PlacementProfile::packed(10, 2, 3, 0.1));
+        assert!(three_racks > one_rack + 0.3);
+    }
+
+    #[test]
+    fn profile_extraction_from_state() {
+        use medea_cluster::{ContainerRequest, ExecutionKind, NodeId, Resources};
+        let mut state = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
+        let app = ApplicationId(1);
+        let w = Tag::new("w");
+        for node in [0u32, 0, 1] {
+            state
+                .allocate(
+                    app,
+                    NodeId(node),
+                    &ContainerRequest::new(Resources::new(1024, 1), [w.clone()]),
+                    ExecutionKind::LongRunning,
+                )
+                .unwrap();
+        }
+        // A non-worker container must not count.
+        state
+            .allocate(
+                app,
+                NodeId(3),
+                &ContainerRequest::new(Resources::new(1024, 1), [Tag::new("aux")]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
+        let prof = PlacementProfile::of_app(&state, app, &w);
+        assert_eq!(prof.total_workers(), 3);
+        assert_eq!(prof.nodes(), 2);
+        let mut wpn = prof.workers_per_node.clone();
+        wpn.sort();
+        assert_eq!(wpn, vec![1, 2]);
+        assert_eq!(prof.racks, 1);
+    }
+
+    #[test]
+    fn runtime_noise_is_deterministic_per_seed() {
+        let model = PerfModel::new();
+        let prof = PlacementProfile::packed(8, 2, 1, 0.3);
+        assert_eq!(model.runtime(100.0, &prof, 5), model.runtime(100.0, &prof, 5));
+        assert_ne!(model.runtime(100.0, &prof, 5), model.runtime(100.0, &prof, 6));
+    }
+}

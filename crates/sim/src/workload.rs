@@ -1,0 +1,235 @@
+//! Synthetic workload generators: GridMix-like batch jobs and a
+//! Google-trace-like task stream (DESIGN.md §3, substitutions 4–5).
+
+use medea_cluster::{ApplicationId, ClusterState, ContainerRequest, ExecutionKind, NodeId, Resources};
+use medea_core::TaskJobRequest;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// GridMix-like batch-job generator (the paper uses GridMix \[24\] to
+/// produce Tez jobs resembling production workloads, parameterized by the
+/// fraction of cluster memory they occupy).
+#[derive(Debug)]
+pub struct GridMix {
+    rng: StdRng,
+    next_app: u64,
+    /// Mean tasks per job (heavy-tailed around this).
+    pub mean_tasks: usize,
+    /// Mean task duration in ticks.
+    pub mean_duration: u64,
+    /// Per-task memory in MB.
+    pub task_memory_mb: u64,
+}
+
+impl GridMix {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        GridMix {
+            rng: StdRng::seed_from_u64(seed),
+            next_app: 1_000_000,
+            mean_tasks: 20,
+            mean_duration: 30_000,
+            task_memory_mb: 1024,
+        }
+    }
+
+    /// Generates one job: task count is log-uniform in
+    /// `[mean/4, mean*4]`, duration log-uniform in `[mean/4, mean*4]`.
+    pub fn next_job(&mut self) -> (TaskJobRequest, u64) {
+        let app = ApplicationId(self.next_app);
+        self.next_app += 1;
+        let tasks = log_uniform(&mut self.rng, self.mean_tasks as f64) as usize;
+        let duration = log_uniform(&mut self.rng, self.mean_duration as f64) as u64;
+        (
+            TaskJobRequest::new(app, Resources::new(self.task_memory_mb, 1), tasks.max(1)),
+            duration.max(1),
+        )
+    }
+
+    /// Generates jobs until their aggregate memory demand reaches
+    /// `fraction` of the cluster's total memory.
+    pub fn jobs_for_fraction(
+        &mut self,
+        cluster: &ClusterState,
+        fraction: f64,
+    ) -> Vec<(TaskJobRequest, u64)> {
+        let target = (cluster.total_capacity().memory_mb as f64 * fraction) as u64;
+        let mut out = Vec::new();
+        let mut used = 0u64;
+        while used < target {
+            let (job, dur) = self.next_job();
+            used += job.resources.memory_mb * job.count as u64;
+            out.push((job, dur));
+        }
+        out
+    }
+}
+
+/// Log-uniform sample in `[mean/4, mean*4]`.
+fn log_uniform(rng: &mut StdRng, mean: f64) -> f64 {
+    let lo = (mean / 4.0).max(1.0).ln();
+    let hi = (mean * 4.0).ln();
+    (rng.random_range(lo..hi)).exp()
+}
+
+/// Fills the cluster with plain batch containers until its memory
+/// utilization reaches `fraction`, spreading round-robin. Returns the
+/// allocated container ids (all owned by synthetic `batch` apps).
+///
+/// This is the static-load shortcut used by the §7.4 experiments, where
+/// only the *presence* of batch load matters, not its dynamics.
+pub fn fill_with_batch(
+    cluster: &mut ClusterState,
+    fraction: f64,
+    seed: u64,
+) -> Vec<medea_cluster::ContainerId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = (cluster.total_capacity().memory_mb as f64 * fraction) as u64;
+    let mut placed = 0u64;
+    let mut out = Vec::new();
+    let app = ApplicationId(9_999_999);
+    let nodes: Vec<NodeId> = cluster.node_ids().collect();
+    let mut attempts = 0;
+    while placed < target && attempts < nodes.len() * 64 {
+        attempts += 1;
+        let node = nodes[rng.random_range(0..nodes.len())];
+        let mem = *[512u64, 1024, 2048]
+            .get(rng.random_range(0..3usize))
+            .unwrap();
+        let req = ContainerRequest::new(Resources::new(mem, 1), []);
+        if let Ok(id) = cluster.allocate(app, node, &req, ExecutionKind::Task) {
+            placed += mem;
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// Google-cluster-trace-like task stream for the Fig. 11c experiment: a
+/// bursty arrival process of small jobs with heavy-tailed task counts and
+/// short durations, sped up 200x as in the paper.
+#[derive(Debug)]
+pub struct GoogleTraceLike {
+    rng: StdRng,
+    next_app: u64,
+    /// Speed-up factor applied to inter-arrival times (paper: 200).
+    pub speedup: f64,
+    /// Mean inter-arrival time of jobs at 1x speed, in ticks.
+    pub mean_interarrival: f64,
+}
+
+impl GoogleTraceLike {
+    /// Creates a trace generator.
+    pub fn new(seed: u64) -> Self {
+        GoogleTraceLike {
+            rng: StdRng::seed_from_u64(seed),
+            next_app: 5_000_000,
+            speedup: 200.0,
+            mean_interarrival: 60_000.0,
+        }
+    }
+
+    /// Generates `n` job arrivals as `(time, job, task_duration)`.
+    ///
+    /// Task counts follow a Zipf-like heavy tail (many 1-task jobs, rare
+    /// large fan-outs), durations are log-uniform seconds, matching the
+    /// published character of the Google trace.
+    pub fn arrivals(&mut self, n: usize) -> Vec<(u64, TaskJobRequest, u64)> {
+        let mut out = Vec::with_capacity(n);
+        let mut now = 0.0f64;
+        for _ in 0..n {
+            // Exponential inter-arrival, sped up.
+            let u: f64 = self.rng.random_range(1e-9..1.0);
+            now += -u.ln() * self.mean_interarrival / self.speedup;
+            let app = ApplicationId(self.next_app);
+            self.next_app += 1;
+            // Heavy-tailed task count: P(k) ~ 1/k^2 truncated at 100.
+            let tasks = zipf_like(&mut self.rng, 100);
+            let duration = log_uniform(&mut self.rng, 20_000.0) as u64;
+            let mem = *[512u64, 1024, 2048]
+                .get(self.rng.random_range(0..3usize))
+                .unwrap();
+            out.push((
+                now as u64,
+                TaskJobRequest::new(app, Resources::new(mem, 1), tasks),
+                duration.max(100),
+            ));
+        }
+        out
+    }
+}
+
+/// Zipf(2)-like sample in `[1, max]` via inverse transform.
+fn zipf_like(rng: &mut StdRng, max: usize) -> usize {
+    let u: f64 = rng.random_range(0.0..1.0);
+    // Inverse of P(K <= k) ≈ 1 - 1/k for exponent 2.
+    let k = (1.0 / (1.0 - u)).floor() as usize;
+    k.clamp(1, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gridmix_jobs_reach_target_fraction() {
+        let cluster = ClusterState::homogeneous(10, Resources::new(16 * 1024, 16), 2);
+        let mut g = GridMix::new(42);
+        let jobs = g.jobs_for_fraction(&cluster, 0.5);
+        let total: u64 = jobs
+            .iter()
+            .map(|(j, _)| j.resources.memory_mb * j.count as u64)
+            .sum();
+        let target = cluster.total_capacity().memory_mb / 2;
+        assert!(total >= target);
+        assert!(total < target + 200 * 1024, "overshoot bounded by one job");
+    }
+
+    #[test]
+    fn gridmix_is_deterministic_per_seed() {
+        let mut a = GridMix::new(7);
+        let mut b = GridMix::new(7);
+        for _ in 0..10 {
+            let (ja, da) = a.next_job();
+            let (jb, db) = b.next_job();
+            assert_eq!(ja.count, jb.count);
+            assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn fill_reaches_utilization() {
+        let mut cluster = ClusterState::homogeneous(10, Resources::new(16 * 1024, 64), 2);
+        fill_with_batch(&mut cluster, 0.6, 1);
+        let stats = cluster.utilization_stats();
+        assert!(
+            (stats.mean_memory_utilization - 0.6).abs() < 0.05,
+            "got {}",
+            stats.mean_memory_utilization
+        );
+    }
+
+    #[test]
+    fn google_trace_arrivals_are_ordered_and_bursty() {
+        let mut g = GoogleTraceLike::new(3);
+        let arr = g.arrivals(200);
+        assert_eq!(arr.len(), 200);
+        for w in arr.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // Heavy tail: most jobs small, some large.
+        let small = arr.iter().filter(|(_, j, _)| j.count <= 2).count();
+        let large = arr.iter().filter(|(_, j, _)| j.count >= 10).count();
+        assert!(small > 100, "most jobs should be small, got {small}");
+        assert!(large >= 1, "some jobs should fan out");
+    }
+
+    #[test]
+    fn zipf_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let k = zipf_like(&mut rng, 50);
+            assert!((1..=50).contains(&k));
+        }
+    }
+}

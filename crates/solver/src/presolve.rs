@@ -1,0 +1,256 @@
+//! Presolve: problem reductions applied before the simplex/branch-and-
+//! bound machinery.
+//!
+//! The scheduler's models contain many rows that presolve can discharge —
+//! singleton rows become bound tightenings, rows whose activity bounds
+//! already imply them are redundant, and variables whose bounds coincide
+//! can be substituted out of every row. Reductions never change the set
+//! of optimal solutions; they only shrink the work the simplex does.
+
+use crate::problem::{Cmp, Problem, VarKind};
+
+/// Summary of the reductions applied by [`presolve`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Rows removed because their activity bounds already imply them.
+    pub redundant_rows: usize,
+    /// Singleton rows converted into variable-bound tightenings.
+    pub singleton_rows: usize,
+    /// Variables fixed by bound tightening (lower == upper afterwards).
+    pub fixed_vars: usize,
+    /// `true` if presolve proved the problem infeasible.
+    pub proven_infeasible: bool,
+}
+
+/// Applies presolve reductions in place; returns what was done.
+///
+/// The reductions:
+/// 1. **Singleton rows** `a x <= b` (one term) tighten `x`'s bounds and
+///    are dropped.
+/// 2. **Integer bound rounding**: integral variables get their bounds
+///    rounded inward (`ceil(lower)`, `floor(upper)`).
+/// 3. **Redundant rows**: a row whose worst-case activity still satisfies
+///    it is dropped.
+/// 4. **Infeasibility detection**: a row whose best-case activity cannot
+///    satisfy it, or a variable whose bounds cross, proves infeasibility.
+///
+/// # Examples
+///
+/// ```
+/// use medea_solver::{presolve, Problem, Cmp, VarKind};
+///
+/// let mut p = Problem::maximize();
+/// let x = p.add_var(VarKind::Integer, 0.0, 100.0, 1.0, "x");
+/// p.add_constraint(vec![(x, 2.0)], Cmp::Le, 9.0); // singleton: x <= 4.5
+/// let stats = presolve(&mut p);
+/// assert_eq!(stats.singleton_rows, 1);
+/// assert_eq!(p.var(x).upper, 4.0); // rounded for integrality
+/// assert_eq!(p.num_constraints(), 0);
+/// ```
+pub fn presolve(problem: &mut Problem) -> PresolveStats {
+    let mut stats = PresolveStats::default();
+    // Round integral bounds inward first.
+    for v in problem.vars.iter_mut() {
+        if matches!(v.kind, VarKind::Integer | VarKind::Binary) {
+            v.lower = v.lower.ceil();
+            if v.upper.is_finite() {
+                v.upper = v.upper.floor();
+            }
+        }
+    }
+
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 10 {
+        changed = false;
+        rounds += 1;
+
+        // Pass 1: singleton rows -> bound tightenings.
+        let mut keep = Vec::with_capacity(problem.constraints.len());
+        for c in std::mem::take(&mut problem.constraints) {
+            if c.terms.len() == 1 {
+                let (var, coeff) = c.terms[0];
+                let v = &mut problem.vars[var.0];
+                let bound = c.rhs / coeff;
+                let (tight_lo, tight_hi) = match (c.cmp, coeff > 0.0) {
+                    (Cmp::Le, true) | (Cmp::Ge, false) => (f64::NEG_INFINITY, bound),
+                    (Cmp::Le, false) | (Cmp::Ge, true) => (bound, f64::INFINITY),
+                    (Cmp::Eq, _) => (bound, bound),
+                };
+                let mut lo = v.lower.max(tight_lo);
+                let mut hi = v.upper.min(tight_hi);
+                if matches!(v.kind, VarKind::Integer | VarKind::Binary) {
+                    lo = lo.ceil();
+                    hi = if hi.is_finite() { hi.floor() } else { hi };
+                }
+                if lo != v.lower || hi != v.upper {
+                    if (v.lower, v.upper) != (lo, hi) {
+                        changed = true;
+                    }
+                    v.lower = lo;
+                    v.upper = hi;
+                }
+                if v.lower == v.upper {
+                    stats.fixed_vars += 1;
+                }
+                stats.singleton_rows += 1;
+                if v.lower > v.upper + 1e-9 {
+                    stats.proven_infeasible = true;
+                }
+                continue;
+            }
+            keep.push(c);
+        }
+        problem.constraints = keep;
+        if stats.proven_infeasible {
+            return stats;
+        }
+
+        // Pass 2: activity-bound analysis.
+        let mut keep = Vec::with_capacity(problem.constraints.len());
+        for c in std::mem::take(&mut problem.constraints) {
+            let (mut min_act, mut max_act) = (0.0f64, 0.0f64);
+            for &(var, coeff) in &c.terms {
+                let v = &problem.vars[var.0];
+                let (lo, hi) = (v.lower, v.upper);
+                if coeff > 0.0 {
+                    min_act += coeff * lo;
+                    max_act += if hi.is_finite() { coeff * hi } else { f64::INFINITY };
+                } else {
+                    min_act += if hi.is_finite() { coeff * hi } else { f64::NEG_INFINITY };
+                    max_act += coeff * lo;
+                }
+            }
+            let redundant = match c.cmp {
+                Cmp::Le => max_act <= c.rhs + 1e-9,
+                Cmp::Ge => min_act >= c.rhs - 1e-9,
+                Cmp::Eq => false,
+            };
+            if redundant {
+                stats.redundant_rows += 1;
+                changed = true;
+                continue;
+            }
+            let infeasible = match c.cmp {
+                Cmp::Le => min_act > c.rhs + 1e-9,
+                Cmp::Ge => max_act < c.rhs - 1e-9,
+                Cmp::Eq => min_act > c.rhs + 1e-9 || max_act < c.rhs - 1e-9,
+            };
+            if infeasible {
+                stats.proven_infeasible = true;
+            }
+            keep.push(c);
+        }
+        problem.constraints = keep;
+        if stats.proven_infeasible {
+            return stats;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::milp::{Milp, MilpStatus};
+
+    #[test]
+    fn singleton_eq_fixes_variable() {
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg(1.0, "x");
+        p.add_constraint(vec![(x, 2.0)], Cmp::Eq, 6.0);
+        let stats = presolve(&mut p);
+        assert_eq!(stats.singleton_rows, 1);
+        assert_eq!(stats.fixed_vars, 1);
+        assert_eq!(p.var(x).lower, 3.0);
+        assert_eq!(p.var(x).upper, 3.0);
+        assert_eq!(p.num_constraints(), 0);
+    }
+
+    #[test]
+    fn negative_coefficient_singleton() {
+        // -2x <= -6  =>  x >= 3.
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg(1.0, "x");
+        p.add_constraint(vec![(x, -2.0)], Cmp::Le, -6.0);
+        presolve(&mut p);
+        assert_eq!(p.var(x).lower, 3.0);
+    }
+
+    #[test]
+    fn redundant_row_dropped() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary(1.0, "x");
+        let y = p.add_binary(1.0, "y");
+        // x + y <= 5 can never bind for binaries.
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 5.0);
+        let stats = presolve(&mut p);
+        assert_eq!(stats.redundant_rows, 1);
+        assert_eq!(p.num_constraints(), 0);
+    }
+
+    #[test]
+    fn infeasible_row_detected() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary(1.0, "x");
+        let y = p.add_binary(1.0, "y");
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
+        let stats = presolve(&mut p);
+        assert!(stats.proven_infeasible);
+    }
+
+    #[test]
+    fn crossing_bounds_detected() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(VarKind::Integer, 0.0, 10.0, 1.0, "x");
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 7.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 3.0);
+        let stats = presolve(&mut p);
+        assert!(stats.proven_infeasible);
+    }
+
+    #[test]
+    fn integer_bounds_rounded_inward() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(VarKind::Integer, 0.3, 4.7, 1.0, "x");
+        presolve(&mut p);
+        assert_eq!(p.var(x).lower, 1.0);
+        assert_eq!(p.var(x).upper, 4.0);
+    }
+
+    #[test]
+    fn presolve_preserves_optimum() {
+        // Knapsack with a redundant row and two singletons sprinkled in.
+        let build = || {
+            let mut p = Problem::maximize();
+            let a = p.add_binary(10.0, "a");
+            let b = p.add_binary(13.0, "b");
+            let c = p.add_binary(7.0, "c");
+            p.add_constraint(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+            p.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 1.0)], Cmp::Le, 10.0); // redundant
+            p.add_constraint(vec![(c, 1.0)], Cmp::Le, 1.0); // vacuous singleton
+            p
+        };
+        let plain = Milp::new(&build()).solve().unwrap();
+        let mut reduced = build();
+        let stats = presolve(&mut reduced);
+        assert!(stats.redundant_rows >= 1);
+        let solved = Milp::new(&reduced).solve().unwrap();
+        assert_eq!(plain.status, MilpStatus::Optimal);
+        assert_eq!(solved.status, MilpStatus::Optimal);
+        assert!((plain.objective - solved.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chained_tightening_converges() {
+        // x <= 3 (singleton), then x + y >= 5 with y <= 1 becomes
+        // infeasible only after the singleton lands: y >= 2 > 1.
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg(1.0, "x");
+        let y = p.add_var(VarKind::Continuous, 0.0, 1.0, 1.0, "y");
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 3.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0);
+        let stats = presolve(&mut p);
+        assert!(stats.proven_infeasible);
+    }
+}

@@ -1,0 +1,941 @@
+//! Two-phase primal simplex for linear programs with bounded variables.
+//!
+//! The implementation is a *revised* simplex that maintains a dense explicit
+//! basis inverse, supports variables that are nonbasic at either their lower
+//! or upper bound (so branch-and-bound bound fixing and binary variables do
+//! not require extra rows), performs bound flips, falls back to Bland's rule
+//! under degeneracy to guarantee termination, and periodically refactorizes
+//! the basis inverse for numerical stability.
+//!
+//! Internally the problem is brought to the computational standard form
+//! `min c'x  s.t.  Ax = b, l <= x <= u` by adding one slack (or surplus)
+//! column per inequality row; phase 1 introduces artificial columns only for
+//! rows whose slack cannot serve as the initial basic variable.
+
+use crate::problem::{Cmp, Problem, Sense};
+
+/// Feasibility/optimality tolerance used by the simplex.
+pub const FEAS_TOL: f64 = 1e-7;
+/// Reduced-cost (dual) tolerance used by the simplex.
+pub const COST_TOL: f64 = 1e-9;
+/// Pivot element magnitude below which a pivot is rejected.
+const PIVOT_TOL: f64 = 1e-9;
+/// Number of consecutive degenerate pivots before switching to Bland's rule.
+const DEGENERACY_THRESHOLD: usize = 40;
+/// Basis-inverse refactorization period, in pivots.
+const REFACTOR_PERIOD: usize = 150;
+
+/// Outcome status of a linear-programming solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration limit was exceeded before convergence.
+    IterationLimit,
+}
+
+/// Result of a linear-programming solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Solve status; `values`/`objective` are meaningful only for
+    /// [`LpStatus::Optimal`].
+    pub status: LpStatus,
+    /// Primal values of the problem's structural variables.
+    pub values: Vec<f64>,
+    /// Objective value in the problem's original sense.
+    pub objective: f64,
+    /// Number of simplex pivots performed (both phases).
+    pub iterations: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NonbasicAt {
+    Lower,
+    Upper,
+}
+
+/// Bounded-variable two-phase primal simplex solver.
+///
+/// The solver borrows the [`Problem`] and never mutates it; branching
+/// algorithms override bounds through [`Simplex::solve_with_bounds`].
+pub struct Simplex<'a> {
+    problem: &'a Problem,
+    /// Maximum number of pivots across both phases.
+    pub max_iterations: usize,
+}
+
+/// Internal mutable tableau state.
+struct State {
+    /// Total columns: structural + slack + artificial.
+    n_total: usize,
+    /// First artificial column index (== n_struct + n_slack).
+    art_start: usize,
+    /// Row count.
+    m: usize,
+    /// Sparse columns of `A` (row, coeff).
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Row right-hand sides.
+    b: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Phase-2 costs (minimization form).
+    cost: Vec<f64>,
+    /// Basic variable per row.
+    basis: Vec<usize>,
+    /// Dense basis inverse, row-major `m x m`.
+    binv: Vec<f64>,
+    /// Basic variable values per row.
+    xb: Vec<f64>,
+    /// Nonbasic resting bound per column (ignored for basic columns).
+    at: Vec<NonbasicAt>,
+    /// Whether each column is currently basic.
+    is_basic: Vec<bool>,
+    iterations: usize,
+    pivots_since_refactor: usize,
+    degenerate_streak: usize,
+}
+
+impl State {
+    fn bound_value(&self, j: usize) -> f64 {
+        match self.at[j] {
+            NonbasicAt::Lower => self.lower[j],
+            NonbasicAt::Upper => self.upper[j],
+        }
+    }
+
+    /// Computes `w = B^{-1} A_j` for a column `j`.
+    fn ftran(&self, j: usize, w: &mut [f64]) {
+        w.iter_mut().for_each(|x| *x = 0.0);
+        for &(row, coeff) in &self.cols[j] {
+            if coeff == 0.0 {
+                continue;
+            }
+            for i in 0..self.m {
+                w[i] += self.binv[i * self.m + row] * coeff;
+            }
+        }
+    }
+
+    /// Computes duals `y = c_B' B^{-1}` with the given cost vector.
+    fn duals(&self, cost: &[f64], y: &mut [f64]) {
+        y.iter_mut().for_each(|x| *x = 0.0);
+        for (k, &bk) in self.basis.iter().enumerate() {
+            let cb = cost[bk];
+            if cb == 0.0 {
+                continue;
+            }
+            let row = &self.binv[k * self.m..(k + 1) * self.m];
+            for i in 0..self.m {
+                y[i] += cb * row[i];
+            }
+        }
+    }
+
+    fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
+        let mut d = cost[j];
+        for &(row, coeff) in &self.cols[j] {
+            d -= y[row] * coeff;
+        }
+        d
+    }
+
+    /// Recomputes `binv` and `xb` from scratch (Gauss-Jordan on `B`).
+    ///
+    /// Returns `false` if the basis matrix is numerically singular.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        if m == 0 {
+            return true;
+        }
+        // Build dense B column by column, augmented with the identity.
+        let mut mat = vec![0.0; m * 2 * m];
+        for (k, &j) in self.basis.iter().enumerate() {
+            for &(row, coeff) in &self.cols[j] {
+                mat[row * 2 * m + k] = coeff;
+            }
+        }
+        for i in 0..m {
+            mat[i * 2 * m + m + i] = 1.0;
+        }
+        // Gauss-Jordan with partial pivoting.
+        for col in 0..m {
+            let mut piv = col;
+            let mut best = mat[col * 2 * m + col].abs();
+            for r in col + 1..m {
+                let v = mat[r * 2 * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < PIVOT_TOL {
+                return false;
+            }
+            if piv != col {
+                for c in 0..2 * m {
+                    mat.swap(col * 2 * m + c, piv * 2 * m + c);
+                }
+            }
+            let pval = mat[col * 2 * m + col];
+            for c in 0..2 * m {
+                mat[col * 2 * m + c] /= pval;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = mat[r * 2 * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..2 * m {
+                    mat[r * 2 * m + c] -= f * mat[col * 2 * m + c];
+                }
+            }
+        }
+        for r in 0..m {
+            for c in 0..m {
+                self.binv[r * m + c] = mat[r * 2 * m + m + c];
+            }
+        }
+        self.recompute_xb();
+        self.pivots_since_refactor = 0;
+        true
+    }
+
+    /// Recomputes basic values `xb = B^{-1} (b - N x_N)`.
+    fn recompute_xb(&mut self) {
+        let m = self.m;
+        let mut rhs = self.b.clone();
+        for j in 0..self.n_total {
+            if self.is_basic[j] {
+                continue;
+            }
+            let v = self.bound_value(j);
+            if v == 0.0 {
+                continue;
+            }
+            for &(row, coeff) in &self.cols[j] {
+                rhs[row] -= coeff * v;
+            }
+        }
+        for i in 0..m {
+            let mut acc = 0.0;
+            let row = &self.binv[i * m..(i + 1) * m];
+            for k in 0..m {
+                acc += row[k] * rhs[k];
+            }
+            self.xb[i] = acc;
+        }
+    }
+}
+
+/// Internal outcome of one simplex phase.
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+impl<'a> Simplex<'a> {
+    /// Creates a solver for the given problem.
+    pub fn new(problem: &'a Problem) -> Self {
+        let size_hint = problem.num_vars() + problem.num_constraints();
+        Simplex {
+            problem,
+            max_iterations: 2_000 + 50 * size_hint,
+        }
+    }
+
+    /// Solves the LP relaxation (integrality is ignored).
+    pub fn solve(&self) -> LpSolution {
+        self.solve_with_bounds(None)
+    }
+
+    /// Solves the LP relaxation with per-variable bound overrides.
+    ///
+    /// `overrides` maps structural variable index to `(lower, upper)`; this
+    /// is the entry point used by branch and bound so the base problem can
+    /// be shared immutably across the search tree.
+    pub fn solve_with_bounds(&self, overrides: Option<&[(usize, f64, f64)]>) -> LpSolution {
+        let p = self.problem;
+        let n_struct = p.num_vars();
+        let m = p.num_constraints();
+
+        // Effective bounds after overrides.
+        let mut lower: Vec<f64> = p.vars().iter().map(|v| v.lower).collect();
+        let mut upper: Vec<f64> = p.vars().iter().map(|v| v.upper).collect();
+        if let Some(ovr) = overrides {
+            for &(j, lo, up) in ovr {
+                lower[j] = lo;
+                upper[j] = up;
+            }
+        }
+        for j in 0..n_struct {
+            if lower[j] > upper[j] + FEAS_TOL {
+                return LpSolution {
+                    status: LpStatus::Infeasible,
+                    values: Vec::new(),
+                    objective: 0.0,
+                    iterations: 0,
+                };
+            }
+        }
+
+        // Minimization costs.
+        let sign = match p.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut cost: Vec<f64> = p.vars().iter().map(|v| sign * v.cost).collect();
+
+        // Sparse columns for structural variables.
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_struct];
+        let mut b = vec![0.0; m];
+        for (i, c) in p.constraints().iter().enumerate() {
+            b[i] = c.rhs;
+            for &(v, coeff) in &c.terms {
+                cols[v.0].push((i, coeff));
+            }
+        }
+
+        // Slack / surplus columns.
+        let mut slack_of_row = vec![usize::MAX; m];
+        for (i, c) in p.constraints().iter().enumerate() {
+            let coeff = match c.cmp {
+                Cmp::Le => 1.0,
+                Cmp::Ge => -1.0,
+                Cmp::Eq => continue,
+            };
+            let j = cols.len();
+            cols.push(vec![(i, coeff)]);
+            lower.push(0.0);
+            upper.push(f64::INFINITY);
+            cost.push(0.0);
+            slack_of_row[i] = j;
+        }
+        let art_start = cols.len();
+
+        // Initial nonbasic assignment: every column rests at its lower
+        // bound, except fixed-from-above overrides where upper < lower of
+        // the original (already caught), and columns whose lower is -inf
+        // cannot occur (validated by Problem).
+        let mut at = vec![NonbasicAt::Lower; cols.len()];
+        // Columns with an infinite *upper* can only rest at lower; columns
+        // with finite bounds rest at the bound of smaller magnitude to keep
+        // initial residuals small.
+        for (j, a) in at.iter_mut().enumerate() {
+            if upper[j].is_finite() && upper[j].abs() < lower[j].abs() {
+                *a = NonbasicAt::Upper;
+            }
+        }
+
+        // Residual r = b - A x_N with everything nonbasic.
+        let mut resid = b.clone();
+        for (j, col) in cols.iter().enumerate() {
+            let v = match at[j] {
+                NonbasicAt::Lower => lower[j],
+                NonbasicAt::Upper => upper[j],
+            };
+            if v == 0.0 {
+                continue;
+            }
+            for &(row, coeff) in col {
+                resid[row] -= coeff * v;
+            }
+        }
+
+        // Choose initial basis: slack where its sign allows feasibility,
+        // artificial otherwise.
+        let mut basis = Vec::with_capacity(m);
+        let mut xb = Vec::with_capacity(m);
+        let mut is_basic = vec![false; cols.len()];
+        let mut needs_phase1 = false;
+        for i in 0..m {
+            let s = slack_of_row[i];
+            let usable = s != usize::MAX
+                && ((p.constraints()[i].cmp == Cmp::Le && resid[i] >= 0.0)
+                    || (p.constraints()[i].cmp == Cmp::Ge && resid[i] <= 0.0));
+            if usable {
+                // Slack coefficient is +1 for Le (value = resid) and -1 for
+                // Ge (value = -resid); both are >= 0 here.
+                let val = match p.constraints()[i].cmp {
+                    Cmp::Le => resid[i],
+                    _ => -resid[i],
+                };
+                basis.push(s);
+                xb.push(val);
+                is_basic[s] = true;
+            } else {
+                let coeff = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+                let j = cols.len();
+                cols.push(vec![(i, coeff)]);
+                lower.push(0.0);
+                upper.push(f64::INFINITY);
+                cost.push(0.0);
+                at.push(NonbasicAt::Lower);
+                is_basic.push(true);
+                basis.push(j);
+                xb.push(resid[i].abs());
+                needs_phase1 = true;
+            }
+        }
+        let n_total = cols.len();
+
+        let mut st = State {
+            n_total,
+            art_start,
+            m,
+            cols,
+            b,
+            lower,
+            upper,
+            cost,
+            basis,
+            binv: {
+                let mut id = vec![0.0; m * m];
+                for i in 0..m {
+                    id[i * m + i] = 1.0;
+                }
+                id
+            },
+            xb,
+            at,
+            is_basic,
+            iterations: 0,
+            pivots_since_refactor: 0,
+            degenerate_streak: 0,
+        };
+        // The identity binv is only valid if the initial basis matrix is a
+        // signed identity; artificial columns with coefficient -1 and Ge
+        // slacks invert rows. Refactorize to be exact.
+        if !st.refactorize() {
+            // An initial slack/artificial basis is never singular; treat
+            // defensively as iteration-limit failure.
+            return LpSolution {
+                status: LpStatus::IterationLimit,
+                values: Vec::new(),
+                objective: 0.0,
+                iterations: 0,
+            };
+        }
+
+        // Phase 1 if any artificial exists with nonzero value.
+        if needs_phase1 && st.n_total > st.art_start {
+            let mut c1 = vec![0.0; st.n_total];
+            for (idx, cv) in c1.iter_mut().enumerate().skip(st.art_start) {
+                let _ = idx;
+                *cv = 1.0;
+            }
+            match self.run_phase(&mut st, &c1) {
+                PhaseOutcome::IterationLimit => {
+                    return LpSolution {
+                        status: LpStatus::IterationLimit,
+                        values: Vec::new(),
+                        objective: 0.0,
+                        iterations: st.iterations,
+                    }
+                }
+                PhaseOutcome::Unbounded => {
+                    // Phase-1 objective is bounded below by zero; reaching
+                    // here indicates numerical trouble. Report infeasible.
+                    return LpSolution {
+                        status: LpStatus::Infeasible,
+                        values: Vec::new(),
+                        objective: 0.0,
+                        iterations: st.iterations,
+                    };
+                }
+                PhaseOutcome::Optimal => {}
+            }
+            let infeas: f64 = st
+                .basis
+                .iter()
+                .enumerate()
+                .filter(|&(_, &j)| j >= st.art_start)
+                .map(|(i, _)| st.xb[i].abs())
+                .sum();
+            if infeas > 1e-6 {
+                return LpSolution {
+                    status: LpStatus::Infeasible,
+                    values: Vec::new(),
+                    objective: 0.0,
+                    iterations: st.iterations,
+                };
+            }
+            self.expel_artificials(&mut st);
+        }
+
+        // Pin all artificial columns to zero so they can never re-enter.
+        for j in st.art_start..st.n_total {
+            st.lower[j] = 0.0;
+            st.upper[j] = 0.0;
+            if !st.is_basic[j] {
+                st.at[j] = NonbasicAt::Lower;
+            }
+        }
+
+        // Phase 2.
+        let c2 = st.cost.clone();
+        let outcome = self.run_phase(&mut st, &c2);
+        let status = match outcome {
+            PhaseOutcome::Optimal => LpStatus::Optimal,
+            PhaseOutcome::Unbounded => LpStatus::Unbounded,
+            PhaseOutcome::IterationLimit => LpStatus::IterationLimit,
+        };
+        if status != LpStatus::Optimal {
+            return LpSolution {
+                status,
+                values: Vec::new(),
+                objective: 0.0,
+                iterations: st.iterations,
+            };
+        }
+
+        // Extract structural values.
+        let mut x = vec![0.0; n_struct];
+        for (j, xj) in x.iter_mut().enumerate() {
+            *xj = if st.is_basic[j] {
+                let row = st.basis.iter().position(|&bj| bj == j).unwrap();
+                st.xb[row]
+            } else {
+                st.bound_value(j)
+            };
+        }
+        // Clamp tiny numerical drift into bounds.
+        for (j, xj) in x.iter_mut().enumerate() {
+            let lo = if j < n_struct { st.lower[j] } else { 0.0 };
+            let hi = st.upper[j];
+            if *xj < lo {
+                *xj = lo;
+            }
+            if *xj > hi {
+                *xj = hi;
+            }
+        }
+        let objective = p.objective_value(&x);
+        LpSolution {
+            status: LpStatus::Optimal,
+            values: x,
+            objective,
+            iterations: st.iterations,
+        }
+    }
+
+    /// Pivots remaining basic artificials out of the basis where possible.
+    fn expel_artificials(&self, st: &mut State) {
+        for row in 0..st.m {
+            if st.basis[row] < st.art_start {
+                continue;
+            }
+            // Find any non-artificial nonbasic column with a usable pivot
+            // element in this row.
+            let mut w = vec![0.0; st.m];
+            let mut replaced = false;
+            for j in 0..st.art_start {
+                if st.is_basic[j] || (st.lower[j] == st.upper[j]) {
+                    continue;
+                }
+                st.ftran(j, &mut w);
+                if w[row].abs() > 1e-6 {
+                    self.pivot(st, j, row, st.bound_value(j), 0.0);
+                    replaced = true;
+                    break;
+                }
+            }
+            if !replaced {
+                // Redundant row: the artificial stays basic pinned at zero.
+            }
+        }
+    }
+
+    /// Runs the simplex loop with the given cost vector.
+    fn run_phase(&self, st: &mut State, cost: &[f64]) -> PhaseOutcome {
+        let m = st.m;
+        let mut y = vec![0.0; m];
+        let mut w = vec![0.0; m];
+        loop {
+            if st.iterations >= self.max_iterations {
+                return PhaseOutcome::IterationLimit;
+            }
+            st.duals(cost, &mut y);
+
+            // Entering variable selection.
+            let use_bland = st.degenerate_streak > DEGENERACY_THRESHOLD;
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, dir, score)
+            for j in 0..st.n_total {
+                if st.is_basic[j] || st.lower[j] == st.upper[j] {
+                    continue;
+                }
+                let d = st.reduced_cost(cost, &y, j);
+                let (eligible, dir) = match st.at[j] {
+                    NonbasicAt::Lower => (d < -COST_TOL, 1.0),
+                    NonbasicAt::Upper => (d > COST_TOL, -1.0),
+                };
+                if !eligible {
+                    continue;
+                }
+                if use_bland {
+                    entering = Some((j, dir, d.abs()));
+                    break;
+                }
+                let score = d.abs();
+                if entering.map_or(true, |(_, _, s)| score > s) {
+                    entering = Some((j, dir, score));
+                }
+            }
+            let Some((j_in, dir, _)) = entering else {
+                return PhaseOutcome::Optimal;
+            };
+
+            st.ftran(j_in, &mut w);
+
+            // Ratio test: the entering variable moves by t >= 0 in
+            // direction `dir` from its current bound.
+            let span = st.upper[j_in] - st.lower[j_in];
+            let mut t_best = span; // own bound flip (may be +inf)
+            let mut leave: Option<(usize, NonbasicAt)> = None; // (row, bound hit)
+            for i in 0..m {
+                let delta = dir * w[i];
+                if delta > PIVOT_TOL {
+                    // Basic variable decreases toward its lower bound.
+                    let bi = st.basis[i];
+                    let slack = st.xb[i] - st.lower[bi];
+                    let t = slack / delta;
+                    if t < t_best - 1e-12
+                        || (use_bland
+                            && (t - t_best).abs() <= 1e-12
+                            && leave.map_or(false, |(r, _)| st.basis[i] < st.basis[r]))
+                    {
+                        t_best = t.max(0.0);
+                        leave = Some((i, NonbasicAt::Lower));
+                    }
+                } else if delta < -PIVOT_TOL {
+                    // Basic variable increases toward its upper bound.
+                    let bi = st.basis[i];
+                    if !st.upper[bi].is_finite() {
+                        continue;
+                    }
+                    let slack = st.upper[bi] - st.xb[i];
+                    let t = slack / (-delta);
+                    if t < t_best - 1e-12
+                        || (use_bland
+                            && (t - t_best).abs() <= 1e-12
+                            && leave.map_or(false, |(r, _)| st.basis[i] < st.basis[r]))
+                    {
+                        t_best = t.max(0.0);
+                        leave = Some((i, NonbasicAt::Upper));
+                    }
+                }
+            }
+
+            if !t_best.is_finite() {
+                return PhaseOutcome::Unbounded;
+            }
+            st.degenerate_streak = if t_best <= FEAS_TOL {
+                st.degenerate_streak + 1
+            } else {
+                0
+            };
+
+            let start = st.bound_value(j_in);
+            match leave {
+                None => {
+                    // Bound flip: the entering variable travels its full
+                    // span and rests at the opposite bound.
+                    for i in 0..m {
+                        st.xb[i] -= dir * t_best * w[i];
+                    }
+                    st.at[j_in] = match st.at[j_in] {
+                        NonbasicAt::Lower => NonbasicAt::Upper,
+                        NonbasicAt::Upper => NonbasicAt::Lower,
+                    };
+                    st.iterations += 1;
+                }
+                Some((row, hit)) => {
+                    let new_val = start + dir * t_best;
+                    self.pivot_update(st, j_in, row, hit, new_val, dir, t_best, &w);
+                }
+            }
+
+            if st.pivots_since_refactor >= REFACTOR_PERIOD {
+                if !st.refactorize() {
+                    return PhaseOutcome::IterationLimit;
+                }
+            }
+        }
+    }
+
+    /// Performs a full basis change where column `j_in` replaces the basic
+    /// variable of `row`, which leaves at bound `hit`.
+    #[allow(clippy::too_many_arguments)]
+    fn pivot_update(
+        &self,
+        st: &mut State,
+        j_in: usize,
+        row: usize,
+        hit: NonbasicAt,
+        new_val: f64,
+        dir: f64,
+        t: f64,
+        w: &[f64],
+    ) {
+        let m = st.m;
+        let j_out = st.basis[row];
+        // Update basic values.
+        for i in 0..m {
+            if i != row {
+                st.xb[i] -= dir * t * w[i];
+            }
+        }
+        st.xb[row] = new_val;
+        // Update binv: divide pivot row, eliminate elsewhere.
+        let piv = w[row];
+        for c in 0..m {
+            st.binv[row * m + c] /= piv;
+        }
+        for i in 0..m {
+            if i == row {
+                continue;
+            }
+            let f = w[i];
+            if f == 0.0 {
+                continue;
+            }
+            for c in 0..m {
+                st.binv[i * m + c] -= f * st.binv[row * m + c];
+            }
+        }
+        st.basis[row] = j_in;
+        st.is_basic[j_in] = true;
+        st.is_basic[j_out] = false;
+        st.at[j_out] = hit;
+        st.iterations += 1;
+        st.pivots_since_refactor += 1;
+    }
+
+    /// Forces column `j_in` into the basis at `value`, replacing `row`'s
+    /// current basic variable, which becomes nonbasic at the bound nearest
+    /// its final value (used when expelling artificials at zero).
+    fn pivot(&self, st: &mut State, j_in: usize, row: usize, _value: f64, _t: f64) {
+        let mut w = vec![0.0; st.m];
+        st.ftran(j_in, &mut w);
+        let old_val = st.xb[row];
+        self.pivot_update(st, j_in, row, NonbasicAt::Lower, old_val, 0.0, 0.0, &w);
+        // A degenerate swap keeps all xb values; recompute for safety.
+        st.recompute_xb();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem, VarKind};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn trivial_unconstrained_min() {
+        // min x over [2, 10] -> 2.
+        let mut p = Problem::minimize();
+        p.add_var(VarKind::Continuous, 2.0, 10.0, 1.0, "x");
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn trivial_unconstrained_max_at_upper() {
+        let mut p = Problem::maximize();
+        p.add_var(VarKind::Continuous, 0.0, 7.5, 3.0, "x");
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 22.5);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::maximize();
+        p.add_var(VarKind::Continuous, 0.0, f64::INFINITY, 1.0, "x");
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn classic_two_var_lp() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6).
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg(3.0, "x");
+        let y = p.add_nonneg(5.0, "y");
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint(vec![(y, 2.0)], Cmp::Le, 12.0);
+        p.add_constraint(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 36.0);
+        assert_close(s.values[x.index()], 2.0);
+        assert_close(s.values[y.index()], 6.0);
+    }
+
+    #[test]
+    fn ge_and_eq_rows_need_phase_one() {
+        // min 2x + 3y s.t. x + y = 10, x >= 3, y >= 2 -> x=8, y=2, obj=22.
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg(2.0, "x");
+        let y = p.add_nonneg(3.0, "y");
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 3.0);
+        p.add_constraint(vec![(y, 1.0)], Cmp::Ge, 2.0);
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 22.0);
+        assert_close(s.values[x.index()], 8.0);
+        assert_close(s.values[y.index()], 2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(VarKind::Continuous, 0.0, 1.0, 1.0, "x");
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 5.0);
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn conflicting_rows_infeasible() {
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg(1.0, "x");
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 5.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 3.0);
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn bound_overrides_apply() {
+        // max x + y, x + y <= 10, with y fixed to [0,0] -> x = 10.
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg(1.0, "x");
+        let y = p.add_nonneg(1.0, "y");
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 10.0);
+        let s = Simplex::new(&p).solve_with_bounds(Some(&[(y.index(), 0.0, 0.0)]));
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.values[x.index()], 10.0);
+        assert_close(s.values[y.index()], 0.0);
+    }
+
+    #[test]
+    fn contradictory_override_is_infeasible() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg(1.0, "x");
+        p.add_constraint(vec![(x, 1.0)], Cmp::Le, 10.0);
+        let s = Simplex::new(&p).solve_with_bounds(Some(&[(x.index(), 2.0, 1.0)]));
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min x s.t. -x <= -4  (i.e. x >= 4).
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg(1.0, "x");
+        p.add_constraint(vec![(x, -1.0)], Cmp::Le, -4.0);
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 4.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classic degenerate configuration; ensures Bland fallback works.
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg(0.75, "x1");
+        let y = p.add_nonneg(-150.0, "x2");
+        let z = p.add_nonneg(0.02, "x3");
+        let w = p.add_nonneg(-6.0, "x4");
+        p.add_constraint(vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Cmp::Le, 0.0);
+        p.add_constraint(vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Cmp::Le, 0.0);
+        p.add_constraint(vec![(z, 1.0)], Cmp::Le, 1.0);
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 0.05);
+    }
+
+    #[test]
+    fn equality_with_upper_bounds() {
+        // min -x - y s.t. x + y = 1, x,y in [0, 0.6] -> obj -1.
+        let mut p = Problem::minimize();
+        let x = p.add_var(VarKind::Continuous, 0.0, 0.6, -1.0, "x");
+        let y = p.add_var(VarKind::Continuous, 0.0, 0.6, -1.0, "y");
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 1.0);
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -1.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 4 stated twice; optimum is unaffected.
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg(1.0, "x");
+        let y = p.add_nonneg(2.0, "y");
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0);
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 8.0);
+        assert_close(s.values[y.index()], 4.0);
+    }
+
+    #[test]
+    fn fixed_variables_are_respected() {
+        let mut p = Problem::maximize();
+        let x = p.add_var(VarKind::Continuous, 2.5, 2.5, 10.0, "x");
+        let y = p.add_nonneg(1.0, "y");
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.values[x.index()], 2.5);
+        assert_close(s.values[y.index()], 1.5);
+    }
+
+    #[test]
+    fn larger_random_like_lp_is_feasible_and_optimal() {
+        // Transportation-style LP: 3 sources x 4 sinks.
+        let supply = [20.0, 30.0, 25.0];
+        let demand = [10.0, 25.0, 15.0, 25.0];
+        let cost = [
+            [2.0, 3.0, 1.0, 4.0],
+            [5.0, 1.0, 3.0, 2.0],
+            [2.0, 2.0, 4.0, 1.0],
+        ];
+        let mut p = Problem::minimize();
+        let mut ids = [[None; 4]; 3];
+        for i in 0..3 {
+            for j in 0..4 {
+                ids[i][j] = Some(p.add_nonneg(cost[i][j], format!("x{i}{j}")));
+            }
+        }
+        for i in 0..3 {
+            let terms: Vec<_> = (0..4).map(|j| (ids[i][j].unwrap(), 1.0)).collect();
+            p.add_constraint(terms, Cmp::Le, supply[i]);
+        }
+        for j in 0..4 {
+            let terms: Vec<_> = (0..3).map(|i| (ids[i][j].unwrap(), 1.0)).collect();
+            p.add_constraint(terms, Cmp::Ge, demand[j]);
+        }
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        // Verify feasibility and the known optimum (hand-checked: 90, e.g.
+        // s0->d2:15@1, s0->d0:5@2, s2->d0:5@2, s2->d3:20@1, s1->d3:5@2,
+        // s1->d1:25@1).
+        assert!(p.is_feasible(&s.values, 1e-6));
+        assert_close(s.objective, 90.0);
+    }
+}

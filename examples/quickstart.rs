@@ -1,0 +1,88 @@
+//! Quickstart: submit one LRA with placement constraints and a batch job
+//! to Medea's two-scheduler pipeline, and watch both get placed.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use medea::prelude::*;
+
+fn main() {
+    // A small cluster: 8 nodes x <16 GB, 16 cores> in 2 racks.
+    let cluster = ClusterState::homogeneous(8, Resources::new(16 * 1024, 16), 2);
+    let mut medea = MedeaScheduler::new(cluster, LraAlgorithm::Ilp, 10_000);
+
+    // A web service: 4 replicas, at most one per node (anti-affinity for
+    // fault tolerance), each collocated with a cache container.
+    let web = ApplicationId(1);
+    let cache = ApplicationId(2);
+    medea
+        .submit_lra(
+            LraRequest::uniform(
+                cache,
+                4,
+                Resources::new(1024, 1),
+                vec![Tag::new("cache")],
+                vec![PlacementConstraint::anti_affinity(
+                    "cache",
+                    "cache",
+                    NodeGroupId::node(),
+                )],
+            ),
+            0,
+        )
+        .expect("valid constraints");
+    medea
+        .submit_lra(
+            LraRequest::uniform(
+                web,
+                4,
+                Resources::new(2048, 2),
+                vec![Tag::new("web")],
+                vec![
+                    PlacementConstraint::anti_affinity("web", "web", NodeGroupId::node()),
+                    PlacementConstraint::affinity("web", "cache", NodeGroupId::node()),
+                ],
+            ),
+            0,
+        )
+        .expect("valid constraints");
+
+    // The LRA scheduler runs at its interval and places both apps at once
+    // (which is what lets it satisfy the web->cache affinity).
+    let deployed = medea.tick(0);
+    println!("deployed {} LRAs:", deployed.len());
+    for d in &deployed {
+        println!(
+            "  {:?} -> nodes {:?} (algorithm time {:?})",
+            d.app,
+            d.nodes.iter().map(|n| n.0).collect::<Vec<_>>(),
+            d.algorithm_time
+        );
+    }
+
+    // Check the affinity actually holds.
+    let state = medea.state();
+    for &cid in state.app_containers(web) {
+        let alloc = state.allocation(cid).unwrap();
+        let caches = state.gamma(alloc.node, &Tag::new("cache"));
+        println!(
+            "  web container on node {} has {} cache neighbour(s)",
+            alloc.node.0, caches
+        );
+        assert!(caches >= 1, "web/cache affinity should hold");
+    }
+
+    // Task-based jobs flow through the heartbeat path, untouched by the
+    // LRA machinery.
+    medea
+        .submit_tasks(
+            TaskJobRequest::new(ApplicationId(100), Resources::new(512, 1), 16),
+            5,
+        )
+        .unwrap();
+    let mut allocated = 0;
+    for n in 0..8u32 {
+        allocated += medea.heartbeat(NodeId(n), 6).len();
+    }
+    println!("task containers allocated on first heartbeat wave: {allocated}");
+    assert_eq!(allocated, 16);
+}

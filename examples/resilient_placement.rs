@@ -1,0 +1,89 @@
+//! Resilience through high-level constraints (§2.3/§7.3): spread an
+//! application across *service units* without knowing the cluster layout,
+//! then replay a synthetic 15-day unavailability trace and compare the
+//! worst-case container loss against a spread-unaware placement.
+//!
+//! Run with `cargo run --release --example resilient_placement`.
+
+use medea::prelude::*;
+use medea::sim::{FailureParams, UnavailabilityTrace};
+
+const SUS: usize = 10;
+const NODES_PER_SU: usize = 8;
+
+fn cluster_with_service_units() -> ClusterState {
+    let mut cluster =
+        ClusterState::homogeneous(SUS * NODES_PER_SU, Resources::new(16 * 1024, 16), 4);
+    let sets: Vec<Vec<NodeId>> = (0..SUS)
+        .map(|su| {
+            (0..NODES_PER_SU)
+                .map(|i| NodeId((su * NODES_PER_SU + i) as u32))
+                .collect()
+        })
+        .collect();
+    cluster.register_group(NodeGroupId::service_unit(), sets);
+    cluster
+}
+
+/// Deploys a 30-container service; `spread` adds the SU cardinality
+/// constraint. Returns containers per service unit.
+fn deploy(spread: bool) -> Vec<u32> {
+    let cluster = cluster_with_service_units();
+    let mut medea = MedeaScheduler::new(cluster, LraAlgorithm::NodeCandidates, 10);
+    let app = ApplicationId(1);
+    let constraints = if spread {
+        // "No more than 3 svc containers per service unit" — note the
+        // constraint never names a machine or SU: it survives cluster
+        // reconfiguration and reveals nothing about the layout (R2).
+        vec![PlacementConstraint::new(
+            "svc",
+            "svc",
+            Cardinality::at_most(2),
+            NodeGroupId::service_unit(),
+        )]
+    } else {
+        Vec::new()
+    };
+    medea
+        .submit_lra(
+            LraRequest::uniform(app, 30, Resources::new(2048, 1), vec![Tag::new("svc")], constraints),
+            0,
+        )
+        .unwrap();
+    let deployed = medea.tick(0);
+    assert_eq!(deployed.len(), 1, "service must deploy");
+
+    let mut per_su = vec![0u32; SUS];
+    for &cid in medea.state().app_containers(app) {
+        let node = medea.state().allocation(cid).unwrap().node;
+        per_su[node.0 as usize / NODES_PER_SU] += 1;
+    }
+    per_su
+}
+
+fn main() {
+    let trace = UnavailabilityTrace::generate(
+        &FailureParams {
+            service_units: SUS,
+            ..FailureParams::default()
+        },
+        2018,
+    );
+
+    for (label, spread) in [("spread (SU cardinality)", true), ("unconstrained", false)] {
+        let per_su = deploy(spread);
+        let worst = (0..trace.hours())
+            .map(|h| trace.app_unavailability(h, &per_su))
+            .fold(0.0f64, f64::max);
+        println!(
+            "{label:<26} containers/SU {:?}  worst-hour unavailability {:.1}%",
+            per_su,
+            worst * 100.0
+        );
+    }
+    println!(
+        "\nSpreading caps the blast radius of a service-unit outage: with at \
+         most 3 containers per SU, even a 100% SU failure costs ~10% of the \
+         service, versus most of it for a packed placement."
+    );
+}

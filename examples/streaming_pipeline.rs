@@ -1,0 +1,65 @@
+//! The §2.2 motivating scenario: a Storm topology that joins a tweet
+//! stream against user profiles in Memcached. Shows how intra- and
+//! inter-application affinity constraints cut the modeled lookup latency,
+//! reproducing the Fig. 2a effect through the public API.
+//!
+//! Run with `cargo run --release --example streaming_pipeline`.
+
+use medea::prelude::*;
+use medea::sim::apps::{memcached_instance, storm_instance, StormAffinity};
+use medea::sim::PerfModel;
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+fn main() {
+    let model = PerfModel::new();
+
+    for (label, policy) in [
+        ("no-constraints", StormAffinity::None),
+        ("intra-only", StormAffinity::IntraOnly),
+        ("intra-inter", StormAffinity::IntraInter),
+    ] {
+        let cluster = ClusterState::homogeneous(24, Resources::new(16 * 1024, 16), 3);
+        let mut medea = MedeaScheduler::new(cluster, LraAlgorithm::Ilp, 10);
+
+        // Memcached holds the user profiles; Storm holds five supervisors.
+        let mem = memcached_instance(ApplicationId(1));
+        let storm = storm_instance(ApplicationId(2), policy);
+        medea.submit_lra(mem, 0).unwrap();
+        medea.submit_lra(storm, 0).unwrap();
+        let deployed = medea.tick(0);
+        assert_eq!(deployed.len(), 2, "both applications must deploy");
+
+        // Find the memcached node and measure supervisor collocation.
+        let state = medea.state();
+        let mem_node = state
+            .allocations()
+            .find(|a| a.tags.contains(&Tag::new("mem")))
+            .map(|a| a.node)
+            .expect("memcached runs");
+        let collocated: Vec<bool> = state
+            .allocations()
+            .filter(|a| a.tags.contains(&Tag::new("storm_sup")))
+            .map(|a| a.node == mem_node)
+            .collect();
+
+        let samples: Vec<f64> = collocated
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &c)| model.lookup_latency_samples(c, 500, i as u64))
+            .collect();
+        println!(
+            "{label:<15} supervisors with memcached: {}/{}  mean lookup {:.1} ms",
+            collocated.iter().filter(|&&c| c).count(),
+            collocated.len(),
+            mean(&samples)
+        );
+    }
+    println!(
+        "\nOnly the intra+inter policy collocates the supervisors with \
+         Memcached, which removes the network hop from the lookup path \
+         (the paper measures 4.6x; the model reproduces that ratio)."
+    );
+}

@@ -1,0 +1,135 @@
+//! `medea_demo` — schedule an ad-hoc application from the command line
+//! using the paper's constraint syntax.
+//!
+//! ```text
+//! cargo run --release --bin medea_demo -- \
+//!     --nodes 16 --racks 4 --containers 6 --mem 2048 --tag web \
+//!     "{web, {web, 0, 0}, node}" \
+//!     "{web, {web, 1, ∞}, rack}"
+//! ```
+//!
+//! Builds a homogeneous cluster, parses each positional argument as a
+//! placement constraint, places the application with Medea-ILP, and
+//! prints the placement with a per-constraint satisfaction report.
+
+use medea::prelude::*;
+use medea_constraints::evaluate_constraint;
+
+struct Args {
+    nodes: usize,
+    racks: usize,
+    containers: usize,
+    mem: u64,
+    tag: String,
+    constraints: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        nodes: 16,
+        racks: 4,
+        containers: 4,
+        mem: 2048,
+        tag: "app".to_string(),
+        constraints: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--nodes" => args.nodes = take("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+            "--racks" => args.racks = take("--racks")?.parse().map_err(|e| format!("{e}"))?,
+            "--containers" => {
+                args.containers = take("--containers")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--mem" => args.mem = take("--mem")?.parse().map_err(|e| format!("{e}"))?,
+            "--tag" => args.tag = take("--tag")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: medea_demo [--nodes N] [--racks R] [--containers C] \
+                     [--mem MB] [--tag TAG] [CONSTRAINT ...]\n\
+                     CONSTRAINT uses the paper syntax, e.g. \
+                     '{{web, {{web, 0, 0}}, node}}'"
+                );
+                std::process::exit(0);
+            }
+            other => args.constraints.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut constraints = Vec::new();
+    for src in &args.constraints {
+        match parse_constraint(src) {
+            Ok(c) => {
+                println!("parsed: {c}");
+                constraints.push(c);
+            }
+            Err(e) => {
+                eprintln!("error parsing '{src}': {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cluster = ClusterState::homogeneous(
+        args.nodes,
+        Resources::new(16 * 1024, 16),
+        args.racks,
+    );
+    let mut medea = MedeaScheduler::new(cluster, LraAlgorithm::Ilp, 10);
+    let req = LraRequest::uniform(
+        ApplicationId(1),
+        args.containers,
+        Resources::new(args.mem, 1),
+        vec![Tag::new(&args.tag)],
+        constraints.clone(),
+    );
+    if let Err(e) = medea.submit_lra(req, 0) {
+        eprintln!("submission rejected: {e}");
+        std::process::exit(1);
+    }
+    let deployed = medea.tick(0);
+    match deployed.first() {
+        Some(d) => {
+            println!(
+                "placed {} containers in {:?}:",
+                d.containers.len(),
+                d.algorithm_time
+            );
+            for (c, n) in d.containers.iter().zip(&d.nodes) {
+                let rack = medea
+                    .state()
+                    .groups()
+                    .sets_containing(&NodeGroupId::rack(), *n)
+                    .ok()
+                    .and_then(|v| v.first().copied());
+                println!("  {c} -> {n} (rack {rack:?})");
+            }
+            for c in &constraints {
+                let rep = evaluate_constraint(medea.state(), c);
+                println!(
+                    "  constraint {c}: {}/{} subjects satisfied",
+                    rep.subjects - rep.violated,
+                    rep.subjects
+                );
+            }
+        }
+        None => {
+            println!("the application could not be placed (resubmitted)");
+            std::process::exit(1);
+        }
+    }
+}

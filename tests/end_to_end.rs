@@ -1,0 +1,206 @@
+//! End-to-end integration tests: the full Medea pipeline across crates —
+//! submission, constraint registration, interval scheduling, two-scheduler
+//! interaction, conflict resubmission, failure injection, and metrics.
+
+use medea::prelude::*;
+use medea::sim::apps;
+use medea_constraints::{violation_stats, ConstraintSource};
+
+fn cluster(n: usize, racks: usize) -> ClusterState {
+    ClusterState::homogeneous(n, Resources::new(16 * 1024, 16), racks)
+}
+
+#[test]
+fn full_lifecycle_submit_place_complete() {
+    let mut medea = MedeaScheduler::new(cluster(8, 2), LraAlgorithm::Ilp, 10);
+    let req = apps::hbase_instance(ApplicationId(1), 6);
+    medea.submit_lra(req.clone(), 0).unwrap();
+    assert_eq!(medea.constraint_manager().num_apps(), 1);
+
+    let deployed = medea.tick(0);
+    assert_eq!(deployed.len(), 1);
+    assert_eq!(deployed[0].containers.len(), req.num_containers());
+    assert_eq!(medea.state().num_containers(), req.num_containers());
+
+    // Constraint satisfaction end to end.
+    let stats = violation_stats(medea.state(), req.constraints.iter());
+    assert_eq!(stats.containers_violating, 0, "fresh cluster must satisfy all");
+
+    // Teardown removes containers and constraints.
+    medea.complete_lra(ApplicationId(1));
+    assert_eq!(medea.state().num_containers(), 0);
+    assert_eq!(medea.constraint_manager().num_apps(), 0);
+}
+
+#[test]
+fn lras_and_tasks_share_the_cluster_without_interfering() {
+    let mut medea = MedeaScheduler::new(cluster(10, 2), LraAlgorithm::NodeCandidates, 10);
+
+    // Tasks first: they allocate on heartbeats immediately (R4).
+    medea
+        .submit_tasks(TaskJobRequest::new(ApplicationId(50), Resources::new(1024, 1), 20), 0)
+        .unwrap();
+    let mut task_allocs = Vec::new();
+    for n in 0..10u32 {
+        task_allocs.extend(medea.heartbeat(NodeId(n), 1));
+    }
+    assert_eq!(task_allocs.len(), 20);
+
+    // Then an LRA with anti-affinity; both coexist.
+    medea
+        .submit_lra(
+            LraRequest::uniform(
+                ApplicationId(1),
+                5,
+                Resources::new(2048, 1),
+                vec![Tag::new("svc")],
+                vec![PlacementConstraint::anti_affinity("svc", "svc", NodeGroupId::node())],
+            ),
+            2,
+        )
+        .unwrap();
+    let deployed = medea.tick(10);
+    assert_eq!(deployed.len(), 1);
+    let nodes: std::collections::HashSet<NodeId> = deployed[0].nodes.iter().copied().collect();
+    assert_eq!(nodes.len(), 5, "anti-affinity must spread");
+    assert_eq!(medea.state().num_containers(), 25);
+}
+
+#[test]
+fn operator_constraints_steer_all_algorithms() {
+    // The operator bans more than one "noisy" container per node.
+    for alg in [LraAlgorithm::Ilp, LraAlgorithm::NodeCandidates, LraAlgorithm::TagPopularity] {
+        let state = cluster(8, 2);
+        let scheduler = LraScheduler::new(alg);
+        let operator = PlacementConstraint::new(
+            "noisy",
+            "noisy",
+            Cardinality::at_most(0),
+            NodeGroupId::node(),
+        );
+        let req = LraRequest::uniform(
+            ApplicationId(2),
+            6,
+            Resources::new(1024, 1),
+            vec![Tag::new("noisy")],
+            vec![],
+        );
+        let out = scheduler.place(&state, &[req.clone()], std::slice::from_ref(&operator));
+        let pl = out[0].placement().expect("placeable");
+        let mut nodes = pl.nodes.clone();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 6, "{alg}: operator cap must spread containers");
+    }
+}
+
+#[test]
+fn constraint_manager_resolves_operator_conflicts_end_to_end() {
+    let state = cluster(4, 2);
+    let cm = ConstraintManager::new();
+    let app = PlacementConstraint::cardinality("w", "w", 0, 9, NodeGroupId::rack());
+    let op = PlacementConstraint::cardinality("w", "w", 0, 3, NodeGroupId::rack());
+    cm.register_app(ApplicationId(1), vec![app], state.groups()).unwrap();
+    cm.register_operator(op, state.groups()).unwrap();
+    let active = cm.active();
+    assert_eq!(active.len(), 1);
+    assert_eq!(active[0].source, ConstraintSource::Operator);
+}
+
+#[test]
+fn conflict_between_placement_and_commit_resubmits() {
+    let mut medea = MedeaScheduler::new(cluster(2, 1), LraAlgorithm::Serial, 10);
+    // Occupy the whole cluster with tasks.
+    medea
+        .submit_tasks(TaskJobRequest::new(ApplicationId(9), Resources::new(16 * 1024, 1), 2), 0)
+        .unwrap();
+    medea.heartbeat(NodeId(0), 0);
+    medea.heartbeat(NodeId(1), 0);
+
+    medea
+        .submit_lra(
+            LraRequest::uniform(ApplicationId(1), 2, Resources::new(4096, 1), vec![Tag::new("x")], vec![]),
+            0,
+        )
+        .unwrap();
+    assert!(medea.tick(0).is_empty(), "no room yet");
+    assert_eq!(medea.pending_lras(), 1, "resubmitted for the next interval");
+
+    // Free the tasks; the retry lands.
+    let tasks: Vec<ContainerId> = medea.state().allocations().map(|a| a.id).collect();
+    for t in tasks {
+        medea.complete_task("default", t);
+    }
+    assert_eq!(medea.tick(10).len(), 1);
+}
+
+#[test]
+fn failure_injection_and_resilient_respread() {
+    let mut medea = MedeaScheduler::new(cluster(6, 2), LraAlgorithm::NodeCandidates, 10);
+    medea
+        .submit_lra(
+            LraRequest::uniform(
+                ApplicationId(1),
+                4,
+                Resources::new(1024, 1),
+                vec![Tag::new("svc")],
+                vec![PlacementConstraint::anti_affinity("svc", "svc", NodeGroupId::node())],
+            ),
+            0,
+        )
+        .unwrap();
+    let deployed = medea.tick(0);
+    let lost_node = deployed[0].nodes[0];
+
+    // Fail a node; its containers survive in bookkeeping (the resilience
+    // experiments count them as unavailable), and new placements avoid it.
+    medea.state_mut().set_available(lost_node, false).unwrap();
+    medea
+        .submit_lra(
+            LraRequest::uniform(ApplicationId(2), 3, Resources::new(1024, 1), vec![Tag::new("b")], vec![]),
+            11,
+        )
+        .unwrap();
+    let second = medea.tick(20);
+    assert_eq!(second.len(), 1);
+    assert!(second[0].nodes.iter().all(|&n| n != lost_node));
+}
+
+#[test]
+fn simulator_drives_the_whole_stack() {
+    use medea::sim::{SimDriver, SimEvent};
+    let mut sim = SimDriver::new(cluster(6, 2), LraAlgorithm::Ilp, 1_000);
+    sim.start_heartbeats();
+    sim.schedule(
+        0,
+        SimEvent::SubmitLra(apps::tensorflow_instance(ApplicationId(1))),
+    );
+    sim.schedule(
+        100,
+        SimEvent::SubmitTasks {
+            job: TaskJobRequest::new(ApplicationId(7), Resources::new(512, 1), 8),
+            duration: 2_000,
+        },
+    );
+    sim.run_until(20_000);
+    assert_eq!(sim.metrics().deployments.len(), 1);
+    assert_eq!(sim.metrics().task_latencies.len(), 8);
+    // TF instance stays; tasks are gone.
+    assert_eq!(sim.medea().state().num_containers(), 11);
+}
+
+#[test]
+fn stats_track_cycles_and_outcomes() {
+    let mut medea = MedeaScheduler::new(cluster(4, 2), LraAlgorithm::Serial, 10);
+    medea
+        .submit_lra(
+            LraRequest::uniform(ApplicationId(1), 2, Resources::new(1024, 1), vec![Tag::new("a")], vec![]),
+            0,
+        )
+        .unwrap();
+    medea.tick(0);
+    let s = medea.stats();
+    assert_eq!(s.cycles, 1);
+    assert_eq!(s.lras_deployed, 1);
+    assert_eq!(s.lras_unplaced, 0);
+}

@@ -1,0 +1,193 @@
+//! Executable versions of the paper's worked examples: every example
+//! constraint and tag-model computation printed in §4 is reproduced
+//! against a live cluster, so the semantics cannot drift.
+
+use medea::prelude::*;
+use medea_constraints::{check_container, parse_constraint};
+
+fn req(mem: u64, tags: &[&str]) -> ContainerRequest {
+    ContainerRequest::new(Resources::new(mem, 1), tags.iter().map(|t| Tag::new(*t)))
+}
+
+/// §4.1: the HBase tag-set example. "Consider two HBase containers
+/// deployed on a node n1: one master with tags {hb, hb_m} and one region
+/// server with tags {hb, hb_rs}. Then 𝒯n1 = {hb, hb_m, hb_rs}, with
+/// γn1(hb) = 2 and γn1(hb_m) = γn1(hb_rs) = 1."
+#[test]
+fn section_4_1_node_tag_sets() {
+    let mut c = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
+    c.allocate(ApplicationId(1), NodeId(0), &req(512, &["hb", "hb_m"]), ExecutionKind::LongRunning)
+        .unwrap();
+    c.allocate(ApplicationId(1), NodeId(0), &req(512, &["hb", "hb_rs"]), ExecutionKind::LongRunning)
+        .unwrap();
+    assert_eq!(c.gamma(NodeId(0), &Tag::new("hb")), 2);
+    assert_eq!(c.gamma(NodeId(0), &Tag::new("hb_m")), 1);
+    assert_eq!(c.gamma(NodeId(0), &Tag::new("hb_rs")), 1);
+
+    // "Let nodes n1 and n2 belong to rack r1, and assume 𝒯n2 = {hb, hb_rs}
+    // ... Then γr1(hb) = 3, γr1(hb_m) = 1, and γr1(hb_rs) = 2."
+    // Rack 0 holds nodes {0, 1} in this cluster.
+    c.allocate(ApplicationId(2), NodeId(1), &req(512, &["hb", "hb_rs"]), ExecutionKind::LongRunning)
+        .unwrap();
+    assert_eq!(c.gamma_in_set(&NodeGroupId::rack(), 0, &Tag::new("hb")), 3);
+    assert_eq!(c.gamma_in_set(&NodeGroupId::rack(), 0, &Tag::new("hb_m")), 1);
+    assert_eq!(c.gamma_in_set(&NodeGroupId::rack(), 0, &Tag::new("hb_rs")), 2);
+}
+
+/// §4.2 Caf: "{storm, {hb ∧ mem, 1, ∞}, node} requests each container
+/// with tag storm to be placed in the same node with at least one
+/// container with tags hb and mem."
+#[test]
+fn section_4_2_affinity_example() {
+    let caf = parse_constraint("{storm, {hb ∧ mem, 1, ∞}, node}").unwrap();
+    let mut c = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
+    // hb∧mem on node 1; hb alone on node 2 (must NOT satisfy: both tags
+    // are required on the same container).
+    c.allocate(ApplicationId(1), NodeId(1), &req(512, &["hb", "mem"]), ExecutionKind::LongRunning)
+        .unwrap();
+    c.allocate(ApplicationId(2), NodeId(2), &req(512, &["hb"]), ExecutionKind::LongRunning)
+        .unwrap();
+    let ok = c
+        .allocate(ApplicationId(3), NodeId(1), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .unwrap();
+    let bad = c
+        .allocate(ApplicationId(3), NodeId(2), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .unwrap();
+    assert!(check_container(&c, &caf, ok).unwrap().satisfied);
+    assert!(!check_container(&c, &caf, bad).unwrap().satisfied);
+}
+
+/// §4.2 Caa: "{storm, {hb, 0, 0}, upgrade_domain} requests each storm
+/// container to be placed in a different upgrade domain from all hb
+/// containers."
+#[test]
+fn section_4_2_anti_affinity_example() {
+    let caa = parse_constraint("{storm, {hb, 0, 0}, upgrade_domain}").unwrap();
+    let mut c = ClusterState::homogeneous(6, Resources::new(8192, 8), 2);
+    // Three upgrade domains of two nodes each.
+    c.register_group(
+        NodeGroupId::upgrade_domain(),
+        vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(2), NodeId(3)],
+            vec![NodeId(4), NodeId(5)],
+        ],
+    );
+    c.allocate(ApplicationId(1), NodeId(0), &req(512, &["hb"]), ExecutionKind::LongRunning)
+        .unwrap();
+    // Same domain as the hb container (node 1 shares domain 0): violated.
+    let bad = c
+        .allocate(ApplicationId(2), NodeId(1), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .unwrap();
+    // Different domain: satisfied.
+    let ok = c
+        .allocate(ApplicationId(2), NodeId(4), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .unwrap();
+    assert!(!check_container(&c, &caa, bad).unwrap().satisfied);
+    assert!(check_container(&c, &caa, ok).unwrap().satisfied);
+}
+
+/// §4.2 Cca: "{storm, {spark, 0, 5}, rack} requests each storm container
+/// to be placed in a rack that has no more than five spark containers."
+#[test]
+fn section_4_2_cardinality_example() {
+    let cca = parse_constraint("{storm, {spark, 0, 5}, rack}").unwrap();
+    let mut c = ClusterState::homogeneous(8, Resources::new(16 * 1024, 16), 2);
+    // Rack 0 (nodes 0..3) gets six spark containers; rack 1 gets two.
+    for i in 0..6 {
+        c.allocate(
+            ApplicationId(1),
+            NodeId(i % 4),
+            &req(512, &["spark"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
+    }
+    for i in 4..6 {
+        c.allocate(ApplicationId(1), NodeId(i), &req(512, &["spark"]), ExecutionKind::LongRunning)
+            .unwrap();
+    }
+    let overloaded = c
+        .allocate(ApplicationId(2), NodeId(0), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .unwrap();
+    let fine = c
+        .allocate(ApplicationId(2), NodeId(5), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .unwrap();
+    assert!(!check_container(&c, &cca, overloaded).unwrap().satisfied);
+    assert!(check_container(&c, &cca, fine).unwrap().satisfied);
+}
+
+/// §4.2 Ccg: a self-referential group constraint, "no fewer than three
+/// and no more than ten Spark containers in a rack" (counting the others:
+/// each subject sees the rack's spark population minus itself).
+#[test]
+fn section_4_2_group_cardinality_example() {
+    let ccg = parse_constraint("{spark, {spark, 3, 10}, rack}").unwrap();
+    let mut c = ClusterState::homogeneous(8, Resources::new(16 * 1024, 16), 2);
+    // Four spark containers in rack 0: each sees 3 others -> satisfied.
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        ids.push(
+            c.allocate(
+                ApplicationId(1),
+                NodeId(i % 4),
+                &req(512, &["spark"]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap(),
+        );
+    }
+    for &id in &ids {
+        assert!(check_container(&c, &ccg, id).unwrap().satisfied);
+    }
+    // A lone spark in rack 1 sees zero others -> below cmin, violated.
+    let lone = c
+        .allocate(ApplicationId(2), NodeId(5), &req(512, &["spark"]), ExecutionKind::LongRunning)
+        .unwrap();
+    assert!(!check_container(&c, &ccg, lone).unwrap().satisfied);
+}
+
+/// §4.2: "If we want to restrict the constraint to a specific application
+/// with ID 0023 ..." — appid-namespaced tags scope constraints.
+#[test]
+fn section_4_2_appid_scoping() {
+    let scoped = parse_constraint(
+        "{appid:23 ∧ storm, {appid:23 ∧ hb, 1, ∞}, node}",
+    )
+    .unwrap();
+    let mut c = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
+    // App 23's hb on node 0; app 99's hb on node 1.
+    c.allocate(ApplicationId(23), NodeId(0), &req(512, &["hb"]), ExecutionKind::LongRunning)
+        .unwrap();
+    c.allocate(ApplicationId(99), NodeId(1), &req(512, &["hb"]), ExecutionKind::LongRunning)
+        .unwrap();
+    // App 23's storm next to the *wrong* app's hb: violated.
+    let wrong = c
+        .allocate(ApplicationId(23), NodeId(1), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .unwrap();
+    let right = c
+        .allocate(ApplicationId(23), NodeId(0), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .unwrap();
+    assert!(!check_container(&c, &scoped, wrong).unwrap().satisfied);
+    assert!(check_container(&c, &scoped, right).unwrap().satisfied);
+}
+
+/// §4.1: static machine attributes are just statically-defined tags, so
+/// the same constraint machinery expresses "place on machines with GPUs".
+#[test]
+fn section_4_1_static_attributes_as_tags() {
+    let wants_gpu = parse_constraint("{trainer, {gpu, 1, ∞}, node}").unwrap();
+    let nodes = vec![
+        Node::new(NodeId(0), Resources::new(8192, 8)),
+        Node::new(NodeId(1), Resources::new(8192, 8)).with_static_tags([Tag::new("gpu")]),
+    ];
+    let mut c = ClusterState::with_groups(nodes, NodeGroups::new(2));
+    let on_plain = c
+        .allocate(ApplicationId(1), NodeId(0), &req(512, &["trainer"]), ExecutionKind::LongRunning)
+        .unwrap();
+    let on_gpu = c
+        .allocate(ApplicationId(1), NodeId(1), &req(512, &["trainer"]), ExecutionKind::LongRunning)
+        .unwrap();
+    assert!(!check_container(&c, &wants_gpu, on_plain).unwrap().satisfied);
+    assert!(check_container(&c, &wants_gpu, on_gpu).unwrap().satisfied);
+}

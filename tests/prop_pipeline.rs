@@ -1,0 +1,148 @@
+//! Cross-crate property tests: for random clusters and LRA mixes, every
+//! scheduling algorithm must uphold the structural invariants of the
+//! system — capacity, all-or-nothing placement, and rollback cleanliness.
+
+use medea::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLra {
+    containers: usize,
+    mem: u64,
+    anti_affinity: bool,
+    max_per_node: u32,
+}
+
+fn lra_strategy() -> impl Strategy<Value = RandomLra> {
+    (1..8usize, 512..4096u64, any::<bool>(), 1..4u32).prop_map(
+        |(containers, mem, anti_affinity, max_per_node)| RandomLra {
+            containers,
+            mem,
+            anti_affinity,
+            max_per_node,
+        },
+    )
+}
+
+fn build_requests(lras: &[RandomLra]) -> Vec<LraRequest> {
+    lras.iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let tag = Tag::new(format!("svc{i}"));
+            let mut constraints = Vec::new();
+            if l.anti_affinity {
+                constraints.push(PlacementConstraint::anti_affinity(
+                    TagExpr::tag(tag.clone()),
+                    TagExpr::tag(tag.clone()),
+                    NodeGroupId::node(),
+                ));
+            } else {
+                constraints.push(PlacementConstraint::new(
+                    TagExpr::tag(tag.clone()),
+                    TagExpr::tag(tag.clone()),
+                    Cardinality::at_most(l.max_per_node),
+                    NodeGroupId::node(),
+                ));
+            }
+            LraRequest::uniform(
+                ApplicationId(1000 + i as u64),
+                l.containers,
+                Resources::new(l.mem, 1),
+                vec![tag],
+                constraints,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every algorithm returns placements that commit within capacity,
+    /// place all-or-nothing, and leave no residue for unplaced apps.
+    #[test]
+    fn placements_respect_structural_invariants(
+        lras in prop::collection::vec(lra_strategy(), 1..5),
+        nodes in 2..10usize,
+    ) {
+        let requests = build_requests(&lras);
+        for alg in [
+            LraAlgorithm::Ilp,
+            LraAlgorithm::NodeCandidates,
+            LraAlgorithm::TagPopularity,
+            LraAlgorithm::Serial,
+            LraAlgorithm::JKube,
+            LraAlgorithm::JKubePlusPlus,
+            LraAlgorithm::Yarn,
+        ] {
+            let mut state = ClusterState::homogeneous(
+                nodes,
+                Resources::new(8 * 1024, 8),
+                (nodes / 2).max(1),
+            );
+            let scheduler = LraScheduler::new(alg);
+            let outcomes = scheduler.place(&state, &requests, &[]);
+            prop_assert_eq!(outcomes.len(), requests.len());
+            for (req, out) in requests.iter().zip(&outcomes) {
+                if let Some(pl) = out.placement() {
+                    // All-or-nothing: every container got a node.
+                    prop_assert_eq!(pl.nodes.len(), req.containers.len());
+                    // Commit must succeed against live state (no
+                    // overcommitted proposals from a fresh snapshot).
+                    for (c, &n) in req.containers.iter().zip(&pl.nodes) {
+                        let r = state.allocate(req.app, n, c, ExecutionKind::LongRunning);
+                        prop_assert!(
+                            r.is_ok(),
+                            "{}: proposal exceeded capacity on {:?}",
+                            alg.name(),
+                            n
+                        );
+                    }
+                }
+            }
+            // Cluster accounting stays exact.
+            let allocated: Resources = state.allocations().map(|a| a.resources).sum();
+            prop_assert_eq!(
+                state.total_free() + allocated,
+                state.total_capacity()
+            );
+        }
+    }
+
+    /// The Medea pipeline never loses containers across random submit /
+    /// complete sequences.
+    #[test]
+    fn pipeline_conserves_containers(
+        lras in prop::collection::vec(lra_strategy(), 1..4),
+        completions in prop::collection::vec(any::<bool>(), 1..4),
+    ) {
+        let requests = build_requests(&lras);
+        let mut medea = MedeaScheduler::new(
+            ClusterState::homogeneous(8, Resources::new(8 * 1024, 8), 2),
+            LraAlgorithm::NodeCandidates,
+            10,
+        );
+        let mut now = 0u64;
+        let mut live: Vec<(ApplicationId, usize)> = Vec::new();
+        for req in &requests {
+            let app = req.app;
+            let count = req.num_containers();
+            if medea.submit_lra(req.clone(), now).is_ok() {
+                let deployed = medea.tick(now);
+                for d in &deployed {
+                    live.push((d.app, d.containers.len()));
+                }
+                let _ = (app, count);
+            }
+            now += 10;
+        }
+        for (i, &complete) in completions.iter().enumerate() {
+            if complete && i < live.len() {
+                medea.complete_lra(live[i].0);
+                live[i].1 = 0;
+            }
+        }
+        let expected: usize = live.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(medea.state().num_containers(), expected);
+    }
+}
