@@ -1,13 +1,16 @@
-//! Criterion benchmarks of LRA placement latency per algorithm and
-//! cluster size — the measured counterpart of Fig. 11a — plus the task
-//! scheduler's per-heartbeat allocation cost (requirement R4).
+//! Benchmarks of LRA placement latency per algorithm and cluster size —
+//! the measured counterpart of Fig. 11a — plus the task scheduler's
+//! per-heartbeat allocation cost (requirement R4).
+//!
+//! `harness = false`: uses the `medea_bench::bench` timing helper so the
+//! workspace stays free of external crates. Run with
+//! `cargo bench -p medea-bench --bench scheduler_bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medea_bench::bench;
 use medea_cluster::{ApplicationId, ClusterState, NodeGroupId, NodeId, Resources, Tag};
 use medea_constraints::PlacementConstraint;
-use medea_core::{
-    LraAlgorithm, LraRequest, LraScheduler, TaskJobRequest, TaskScheduler,
-};
+use medea_core::{LraAlgorithm, LraRequest, LraScheduler, TaskJobRequest, TaskScheduler};
+use medea_obs::MetricsRegistry;
 
 fn workload() -> Vec<LraRequest> {
     (0..2u64)
@@ -36,9 +39,9 @@ fn workload() -> Vec<LraRequest> {
         .collect()
 }
 
-fn bench_lra_placement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lra_placement_latency");
-    group.sample_size(10);
+fn main() {
+    let registry = MetricsRegistry::new();
+
     let algorithms = [
         LraAlgorithm::NodeCandidates,
         LraAlgorithm::TagPopularity,
@@ -50,60 +53,36 @@ fn bench_lra_placement(c: &mut Criterion) {
         let cluster = ClusterState::homogeneous(nodes, Resources::new(16 * 1024, 16), 10);
         let reqs = workload();
         for &alg in &algorithms {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), nodes),
-                &(&cluster, &reqs),
-                |b, (cluster, reqs)| {
-                    let scheduler = LraScheduler::new(alg);
-                    b.iter(|| scheduler.place(cluster, reqs, &[]));
-                },
+            let scheduler = LraScheduler::new(alg);
+            bench(
+                &registry,
+                &format!("lra_placement/{}/{nodes}", alg.name()),
+                2,
+                10,
+                || scheduler.place(&cluster, &reqs, &[]),
             );
         }
     }
-    group.finish();
-}
 
-fn bench_ilp_placement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ilp_placement_latency");
-    group.sample_size(10);
     for &nodes in &[100usize, 500] {
         let cluster = ClusterState::homogeneous(nodes, Resources::new(16 * 1024, 16), 10);
         let reqs = workload();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(nodes),
-            &(&cluster, &reqs),
-            |b, (cluster, reqs)| {
-                let scheduler = LraScheduler::new(LraAlgorithm::Ilp);
-                b.iter(|| scheduler.place(cluster, reqs, &[]));
-            },
-        );
+        let scheduler = LraScheduler::new(LraAlgorithm::Ilp);
+        bench(&registry, &format!("ilp_placement/{nodes}"), 1, 10, || {
+            scheduler.place(&cluster, &reqs, &[])
+        });
     }
-    group.finish();
-}
 
-fn bench_task_heartbeat(c: &mut Criterion) {
-    c.bench_function("task_heartbeat_allocation", |b| {
-        b.iter_batched(
-            || {
-                let cluster = ClusterState::homogeneous(100, Resources::new(16 * 1024, 64), 10);
-                let mut ts = TaskScheduler::single_queue();
-                ts.submit(
-                    TaskJobRequest::new(ApplicationId(1), Resources::new(512, 1), 32),
-                    0,
-                )
-                .unwrap();
-                (cluster, ts)
-            },
-            |(mut cluster, mut ts)| ts.on_heartbeat(&mut cluster, NodeId(0), 1),
-            criterion::BatchSize::SmallInput,
+    // Heartbeats consume pending requests, so state is rebuilt each
+    // iteration; the measurement includes that setup.
+    bench(&registry, "task_heartbeat_allocation", 2, 20, || {
+        let mut cluster = ClusterState::homogeneous(100, Resources::new(16 * 1024, 64), 10);
+        let mut ts = TaskScheduler::single_queue();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(512, 1), 32),
+            0,
         )
+        .unwrap();
+        ts.on_heartbeat(&mut cluster, NodeId(0), 1)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_lra_placement,
-    bench_ilp_placement,
-    bench_task_heartbeat
-);
-criterion_main!(benches);

@@ -1,9 +1,15 @@
-//! Criterion microbenchmarks of the MILP solver on scheduler-shaped
-//! models: LP relaxations and full branch-and-bound solves of placement
-//! problems like those Medea's LRA scheduler emits (supports Fig. 11a's
-//! latency claims at the solver level).
+//! Microbenchmarks of the MILP solver on scheduler-shaped models: LP
+//! relaxations and full branch-and-bound solves of placement problems
+//! like those Medea's LRA scheduler emits (supports Fig. 11a's latency
+//! claims at the solver level).
+//!
+//! `harness = false`: the workspace builds fully offline with zero
+//! external crates, so this uses the `medea_bench::bench` timing helper
+//! instead of criterion. Run with
+//! `cargo bench -p medea-bench --bench solver_bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medea_bench::bench;
+use medea_obs::MetricsRegistry;
 use medea_solver::{Cmp, Milp, Problem, Simplex};
 
 /// Builds an assignment-like placement model: `containers` binaries per
@@ -26,48 +32,46 @@ fn placement_model(containers: usize, nodes: usize) -> Problem {
     }
     all.push((s, -(containers as f64)));
     p.add_constraint(all, Cmp::Eq, 0.0);
-    // Capacity: at most 2 containers per node.
+    // Capacity: at most 2 containers per node (`n` walks the transposed
+    // node dimension of `x`, hence the index loop).
+    #[allow(clippy::needless_range_loop)]
     for n in 0..nodes {
-        p.add_constraint((0..containers).map(|i| (x[i][n], 1.0)), Cmp::Le, 2.0);
+        p.add_constraint(x.iter().map(|row| (row[n], 1.0)), Cmp::Le, 2.0);
     }
     // Symmetry breaking like the scheduler's.
     for w in x.windows(2) {
         let mut terms = Vec::new();
-        for n in 0..nodes {
-            terms.push((w[0][n], (n + 1) as f64));
-            terms.push((w[1][n], -((n + 1) as f64)));
+        for (n, (&va, &vb)) in w[0].iter().zip(w[1].iter()).enumerate() {
+            terms.push((va, (n + 1) as f64));
+            terms.push((vb, -((n + 1) as f64)));
         }
         p.add_constraint(terms, Cmp::Le, 0.0);
     }
     p
 }
 
-fn bench_lp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp_relaxation");
+fn main() {
+    let registry = MetricsRegistry::new();
+
     for &(containers, nodes) in &[(10usize, 16usize), (20, 32), (26, 48)] {
         let p = placement_model(containers, nodes);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{containers}x{nodes}")),
-            &p,
-            |b, p| b.iter(|| Simplex::new(p).solve()),
+        bench(
+            &registry,
+            &format!("lp_relaxation/{containers}x{nodes}"),
+            3,
+            30,
+            || Simplex::new(&p).solve(),
         );
     }
-    group.finish();
-}
 
-fn bench_milp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("milp_exact");
-    group.sample_size(10);
     for &(containers, nodes) in &[(8usize, 12usize), (12, 16)] {
         let p = placement_model(containers, nodes);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{containers}x{nodes}")),
-            &p,
-            |b, p| b.iter(|| Milp::new(p).solve().unwrap()),
+        bench(
+            &registry,
+            &format!("milp_exact/{containers}x{nodes}"),
+            1,
+            10,
+            || Milp::new(&p).solve().unwrap(),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_lp, bench_milp);
-criterion_main!(benches);

@@ -34,7 +34,8 @@ fn run(cfg: IlpConfig) -> (f64, usize, f64) {
         for (req, out) in batch.iter().zip(outcomes) {
             if let Some(pl) = out.placement() {
                 for (c, &n) in req.containers.iter().zip(&pl.nodes) {
-                    let _ = state.allocate(req.app, n, c, medea_cluster::ExecutionKind::LongRunning);
+                    let _ =
+                        state.allocate(req.app, n, c, medea_cluster::ExecutionKind::LongRunning);
                 }
                 constraints.extend(req.constraints.iter().cloned());
                 placed += 1;

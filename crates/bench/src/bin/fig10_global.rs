@@ -5,9 +5,9 @@
 
 use medea_bench::{deploy_lras, f3, pct, Report};
 use medea_cluster::ApplicationId;
-use medea_core::LraRequest;
 use medea_cluster::{ClusterState, Resources};
 use medea_core::LraAlgorithm;
+use medea_core::LraRequest;
 
 const ALGOS: [LraAlgorithm; 5] = [
     LraAlgorithm::Ilp,
@@ -40,12 +40,26 @@ fn main() {
     let mut frag = Report::new(
         "fig10a",
         "Fragmented nodes (%) vs LRA utilization",
-        &["lra_util_pct", "MEDEA-ILP", "MEDEA-NC", "MEDEA-TP", "J-KUBE", "Serial"],
+        &[
+            "lra_util_pct",
+            "MEDEA-ILP",
+            "MEDEA-NC",
+            "MEDEA-TP",
+            "J-KUBE",
+            "Serial",
+        ],
     );
     let mut cv = Report::new(
         "fig10b",
         "Coefficient of variation of node memory utilization (%) vs LRA utilization",
-        &["lra_util_pct", "MEDEA-ILP", "MEDEA-NC", "MEDEA-TP", "J-KUBE", "Serial"],
+        &[
+            "lra_util_pct",
+            "MEDEA-ILP",
+            "MEDEA-NC",
+            "MEDEA-TP",
+            "J-KUBE",
+            "Serial",
+        ],
     );
 
     let mut frag_series: Vec<Vec<f64>> = vec![Vec::new(); ALGOS.len()];

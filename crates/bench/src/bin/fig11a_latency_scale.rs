@@ -7,9 +7,13 @@
 //! fastest, J-Kube scoring every node, ILP slowest) is the claim under
 //! reproduction.
 
-use medea_bench::{deploy_lras, f2, lra_mix, Report};
-use medea_cluster::{ClusterState, Resources};
-use medea_core::LraAlgorithm;
+use std::sync::Arc;
+
+use medea_bench::{deploy_lras_with_metrics, f2, lra_mix, Report};
+use medea_cluster::{ApplicationId, ClusterState, Resources, Tag};
+use medea_core::{LraAlgorithm, LraRequest, TaskJobRequest};
+use medea_obs::MetricsRegistry;
+use medea_sim::{SimDriver, SimEvent};
 
 const ALGOS: [LraAlgorithm; 4] = [
     LraAlgorithm::Ilp,
@@ -29,6 +33,10 @@ fn main() {
         &[50, 500, 1000, 2000]
     };
 
+    // One registry across the sweep and the end-to-end run below, so the
+    // final snapshot spans bench.*, solver.*, core.*, task.*, and sim.*.
+    let registry = MetricsRegistry::new();
+
     let mut report = Report::new(
         "fig11a",
         "Mean LRA scheduling latency (ms) vs cluster size",
@@ -42,7 +50,7 @@ fn main() {
             let count = ((n as f64 * 16.0 * 0.2) / 23.25).round() as usize;
             let count = count.clamp(2, 6);
             let reqs = lra_mix(count, 1.0, 100);
-            let res = deploy_lras(cluster, alg, &reqs, 2);
+            let res = deploy_lras_with_metrics(cluster, alg, &reqs, 2, &registry);
             let per_lra_ms = if res.deployed.is_empty() {
                 f64::NAN
             } else {
@@ -62,4 +70,41 @@ fn main() {
          expensive but still small next to LRA lifetimes (hours to months). \
          Compare columns left to right in each row above."
     );
+
+    // End-to-end smoke run through the full two-scheduler pipeline (LRAs
+    // at the scheduling interval, tasks at heartbeat latency) sharing the
+    // sweep's registry, then dump the metrics snapshot.
+    let cluster = ClusterState::homogeneous(32, Resources::new(16 * 1024, 16), 4);
+    let mut sim =
+        SimDriver::new(cluster, LraAlgorithm::Ilp, 1_000).with_metrics(Arc::clone(&registry));
+    sim.start_heartbeats();
+    for (i, req) in lra_mix(4, 0.5, 9_000).into_iter().enumerate() {
+        sim.schedule(i as u64 * 500, SimEvent::SubmitLra(req));
+    }
+    sim.schedule(
+        100,
+        SimEvent::SubmitTasks {
+            job: TaskJobRequest::new(ApplicationId(9_900), Resources::new(1024, 1), 24),
+            duration: 2_000,
+        },
+    );
+    sim.schedule(
+        12_000,
+        SimEvent::SubmitLra(LraRequest::uniform(
+            ApplicationId(9_901),
+            4,
+            Resources::new(2048, 2),
+            vec![Tag::new("smoke")],
+            vec![],
+        )),
+    );
+    sim.run_until(20_000);
+    eprintln!(
+        "fig11a: end-to-end smoke run deployed {} LRAs, allocated {} tasks",
+        sim.metrics().deployments.len(),
+        sim.metrics().task_latencies.len(),
+    );
+
+    println!("\nmetrics snapshot:");
+    println!("{}", registry.snapshot_json());
 }

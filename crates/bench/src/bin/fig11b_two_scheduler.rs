@@ -8,16 +8,25 @@
 //! total LRA scheduling latency explodes for ILP-ALL at low LRA fractions
 //! because the solver time is dominated by task containers.
 
+use std::sync::Arc;
+
 use medea_bench::{f2, Report};
 use medea_cluster::{ApplicationId, ClusterState, Resources, Tag};
 use medea_core::{LraAlgorithm, LraRequest, LraScheduler};
+use medea_obs::MetricsRegistry;
 use medea_sim::apps;
 
 /// Total time spent placing the LRA requests when each solver batch also
 /// carries `task_requests` converted task jobs (ILP-ALL) or none (Medea).
-fn total_lra_latency(lra_count: usize, task_containers: usize, ilp_all: bool) -> f64 {
+fn total_lra_latency(
+    lra_count: usize,
+    task_containers: usize,
+    ilp_all: bool,
+    registry: &Arc<MetricsRegistry>,
+) -> f64 {
     let cluster = ClusterState::homogeneous(256, Resources::new(16 * 1024, 16), 8);
-    let scheduler = LraScheduler::new(LraAlgorithm::Ilp);
+    let mut scheduler = LraScheduler::new(LraAlgorithm::Ilp);
+    scheduler.ilp.metrics = Some(Arc::clone(registry));
     let mut total = 0.0;
     let mut state = cluster;
     let mut constraints = Vec::new();
@@ -47,7 +56,8 @@ fn total_lra_latency(lra_count: usize, task_containers: usize, ilp_all: bool) ->
         for (req, out) in batch.iter().zip(outcomes) {
             if let Some(pl) = out.placement() {
                 for (c, &n) in req.containers.iter().zip(&pl.nodes) {
-                    let _ = state.allocate(req.app, n, c, medea_cluster::ExecutionKind::LongRunning);
+                    let _ =
+                        state.allocate(req.app, n, c, medea_cluster::ExecutionKind::LongRunning);
                 }
                 constraints.extend(req.constraints.iter().cloned());
             }
@@ -68,12 +78,15 @@ fn main() {
         "Total LRA scheduling latency (s): Medea vs single-scheduler ILP-ALL",
         &["lra_fraction_pct", "MEDEA", "ILP-ALL", "slowdown"],
     );
+    // Separate registries expose how much solver work each design does.
+    let medea_registry = MetricsRegistry::new();
+    let ilp_all_registry = MetricsRegistry::new();
     for &f in &fractions {
         let lra_containers = (total_containers as f64 * f) as usize;
         let lra_count = (lra_containers / 13).max(1);
         let task_containers = total_containers - lra_containers;
-        let medea = total_lra_latency(lra_count, 0, false);
-        let ilp_all = total_lra_latency(lra_count, task_containers, true);
+        let medea = total_lra_latency(lra_count, 0, false, &medea_registry);
+        let ilp_all = total_lra_latency(lra_count, task_containers, true, &ilp_all_registry);
         report.push(vec![
             format!("{:.0}", f * 100.0),
             f2(medea),
@@ -89,5 +102,18 @@ fn main() {
          scheduling latency most when LRAs are a small fraction of the load \
          (9.5x at 20% in the paper); the slowdown column should shrink \
          toward 1x as the LRA fraction approaches 100%."
+    );
+
+    let pivots = |r: &MetricsRegistry| {
+        r.snapshot()
+            .counter("solver.simplex_pivots_total")
+            .unwrap_or(0)
+    };
+    println!(
+        "\nSolver effort across the whole sweep: Medea {} simplex pivots, \
+         ILP-ALL {} — routing tasks around the solver is where the latency \
+         gap comes from.",
+        pivots(&medea_registry),
+        pivots(&ilp_all_registry),
     );
 }

@@ -20,9 +20,13 @@ fn place_policy(alg: LraAlgorithm, affinity: StormAffinity) -> Vec<bool> {
 
     // Deploy memcached first (it serves many applications).
     let mem = memcached_instance(ApplicationId(1));
-    let out = scheduler.place(&cluster, &[mem.clone()], &[]);
+    let out = scheduler.place(&cluster, std::slice::from_ref(&mem), &[]);
     let mem_node: NodeId = out[0].placement().expect("memcached placed").nodes[0];
-    for (c, &n) in mem.containers.iter().zip(&out[0].placement().unwrap().nodes) {
+    for (c, &n) in mem
+        .containers
+        .iter()
+        .zip(&out[0].placement().unwrap().nodes)
+    {
         cluster
             .allocate(mem.app, n, c, ExecutionKind::LongRunning)
             .unwrap();
@@ -30,7 +34,7 @@ fn place_policy(alg: LraAlgorithm, affinity: StormAffinity) -> Vec<bool> {
 
     // Deploy the Storm topology with the policy's constraints.
     let storm = storm_instance(ApplicationId(2), affinity);
-    let deployed = scheduler.place(&cluster, &[storm.clone()], &mem.constraints);
+    let deployed = scheduler.place(&cluster, std::slice::from_ref(&storm), &mem.constraints);
     let nodes = deployed[0].placement().expect("storm placed").nodes.clone();
     nodes.iter().map(|&n| n == mem_node).collect()
 }
@@ -39,7 +43,11 @@ fn main() {
     let model = PerfModel::new();
     let policies: [(&str, LraAlgorithm, StormAffinity); 3] = [
         ("YARN", LraAlgorithm::Yarn, StormAffinity::None),
-        ("MEDEA-intra-only", LraAlgorithm::Ilp, StormAffinity::IntraOnly),
+        (
+            "MEDEA-intra-only",
+            LraAlgorithm::Ilp,
+            StormAffinity::IntraOnly,
+        ),
         ("MEDEA", LraAlgorithm::Ilp, StormAffinity::IntraInter),
     ];
 

@@ -36,7 +36,7 @@ fn mean_collocation(alg: LraAlgorithm, with_constraint: bool) -> f64 {
             vec![Tag::new("hb"), Tag::new("hb_rs")],
             constraints.clone(),
         );
-        let out = scheduler.place(&cluster, &[req.clone()], &deployed_constraints);
+        let out = scheduler.place(&cluster, std::slice::from_ref(&req), &deployed_constraints);
         if let Some(pl) = out[0].placement() {
             for (c, &n) in req.containers.iter().zip(&pl.nodes) {
                 let _ = cluster.allocate(req.app, n, c, ExecutionKind::LongRunning);
@@ -76,9 +76,7 @@ fn main() {
 
     let yarn_coll = mean_collocation(LraAlgorithm::Yarn, false);
     let medea_coll = mean_collocation(LraAlgorithm::Ilp, true);
-    println!(
-        "mean collocated region servers: YARN={yarn_coll:.2}, MEDEA={medea_coll:.2}"
-    );
+    println!("mean collocated region servers: YARN={yarn_coll:.2}, MEDEA={medea_coll:.2}");
 
     let plain = PerfModel::new();
     let iso = PerfModel::new().with_cgroups();
@@ -115,6 +113,10 @@ fn main() {
          anti-affinity (measured: {}).",
         (1.0 - sums[0] / sums[2]) * 100.0,
         (sums[1] / sums[0] - 1.0) * 100.0,
-        if sums[1] < sums[2] { "holds" } else { "VIOLATED" }
+        if sums[1] < sums[2] {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     );
 }

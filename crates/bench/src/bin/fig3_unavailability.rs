@@ -41,7 +41,10 @@ fn main() {
         }
     }
     report.write_csv();
-    println!("Figure 3 trace written to CSV ({} hourly rows).", trace.hours());
+    println!(
+        "Figure 3 trace written to CSV ({} hourly rows).",
+        trace.hours()
+    );
     println!(
         "Paper claims: SU unavailability usually <3% (measured: {:.0}% of \
          hours), spikes reach 25-100% (measured SU peak: {:.0}%), and the \

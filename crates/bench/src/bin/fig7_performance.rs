@@ -8,9 +8,12 @@
 //! runtimes come from the performance model applied to the placements the
 //! schedulers actually produced.
 
-use medea_bench::{deploy_lras, f2, Report};
+use std::sync::Arc;
+
+use medea_bench::{deploy_lras_with_metrics, f2, Report};
 use medea_cluster::{ApplicationId, ClusterState, Resources, Tag};
 use medea_core::{LraAlgorithm, LraRequest};
+use medea_obs::MetricsRegistry;
 use medea_sim::apps;
 use medea_sim::{box_stats, fill_with_batch, BoxStats, PerfModel, PlacementProfile};
 
@@ -49,12 +52,12 @@ struct SchedulerRuntimes {
     unplaced: usize,
 }
 
-fn run(alg: LraAlgorithm, seed: u64) -> SchedulerRuntimes {
+fn run(alg: LraAlgorithm, seed: u64, registry: &Arc<MetricsRegistry>) -> SchedulerRuntimes {
     let mut cluster = ClusterState::homogeneous(150, Resources::new(16 * 1024, 16), 10);
     // GridMix jobs account for 50% of the cluster's memory (§7.2).
     fill_with_batch(&mut cluster, 0.5, seed);
     let reqs = fleet();
-    let result = deploy_lras(cluster, alg, &reqs, 2);
+    let result = deploy_lras_with_metrics(cluster, alg, &reqs, 2, registry);
 
     let model = PerfModel::new();
     let hb_model = PerfModel::io_bound();
@@ -82,9 +85,8 @@ fn run(alg: LraAlgorithm, seed: u64) -> SchedulerRuntimes {
     // GridMix runtimes are unaffected by the LRA scheduler (the task path
     // is identical); only placement noise differs.
     for i in 0..40u64 {
-        out.gridmix.push(
-            30.0 * (1.0 + 0.05 * ((seed * 7 + i) % 10) as f64 / 10.0),
-        );
+        out.gridmix
+            .push(30.0 * (1.0 + 0.05 * ((seed * 7 + i) % 10) as f64 / 10.0));
     }
     out
 }
@@ -128,9 +130,10 @@ fn main() {
         &["scheduler", "p5", "p25", "p50", "p75", "p99"],
     );
 
+    let registry = MetricsRegistry::new();
     let mut medians = Vec::new();
     for (name, alg) in algorithms {
-        let r = run(alg, 11);
+        let r = run(alg, 11, &registry);
         println!("{name}: deployed with {} unplaced", r.unplaced);
         let tf = box_stats(&r.tf);
         push_box(&mut tf_report, name, &tf);
@@ -160,4 +163,17 @@ fn main() {
         tf_y / tf_m,
         wa_y / wa_m,
     );
+
+    let snap = registry.snapshot();
+    if let Some(h) = snap.histogram("core.ilp_solve_us") {
+        println!(
+            "\nILP solver effort (MEDEA runs): {} solves, p50 {:.0} us, \
+             p99 {:.0} us, max {} us; {} branch-and-bound nodes explored.",
+            h.count,
+            h.p50,
+            h.p99,
+            h.max,
+            snap.counter("solver.bnb_nodes_explored_total").unwrap_or(0),
+        );
+    }
 }

@@ -76,7 +76,7 @@ fn place_fleet(alg: LraAlgorithm) -> Vec<Vec<u32>> {
             vec![Tag::new("svc")],
             vec![spread.clone()],
         );
-        let out = scheduler.place(&cluster, &[req.clone()], &deployed_constraints);
+        let out = scheduler.place(&cluster, std::slice::from_ref(&req), &deployed_constraints);
         let mut counts = vec![0u32; SUS];
         if let Some(pl) = out[0].placement() {
             for (c, &n) in req.containers.iter().zip(&pl.nodes) {

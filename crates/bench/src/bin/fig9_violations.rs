@@ -54,7 +54,14 @@ fn fig9a() {
     let mut report = Report::new(
         "fig9a",
         "Constraint violations (%) vs LRA cluster utilization",
-        &["lra_util_pct", "MEDEA-ILP", "MEDEA-NC", "MEDEA-TP", "J-KUBE", "Serial"],
+        &[
+            "lra_util_pct",
+            "MEDEA-ILP",
+            "MEDEA-NC",
+            "MEDEA-TP",
+            "J-KUBE",
+            "Serial",
+        ],
     );
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); ALGOS.len()];
     for (ai, &alg) in ALGOS.iter().enumerate() {
@@ -93,7 +100,14 @@ fn fig9b() {
     let mut report = Report::new(
         "fig9b",
         "Constraint violations (%) vs task-based utilization (LRAs at 10%)",
-        &["task_util_pct", "MEDEA-ILP", "MEDEA-NC", "MEDEA-TP", "J-KUBE", "Serial"],
+        &[
+            "task_util_pct",
+            "MEDEA-ILP",
+            "MEDEA-NC",
+            "MEDEA-TP",
+            "J-KUBE",
+            "Serial",
+        ],
     );
     for &tu in &task_utils {
         let mut row = vec![format!("{:.0}", tu * 100.0)];
@@ -125,7 +139,14 @@ fn fig9c() {
     let mut report = Report::new(
         "fig9c",
         "Constraint violations at placement time (%) vs scheduling periodicity",
-        &["periodicity", "MEDEA-ILP", "MEDEA-NC", "MEDEA-TP", "J-KUBE", "Serial"],
+        &[
+            "periodicity",
+            "MEDEA-ILP",
+            "MEDEA-NC",
+            "MEDEA-TP",
+            "J-KUBE",
+            "Serial",
+        ],
     );
     for &p in &periodicities {
         let mut row = vec![p.to_string()];
@@ -146,8 +167,7 @@ fn fig9c() {
                 // its commit (at-placement violations).
                 let batch_constraints: Vec<_> =
                     batch.iter().flat_map(|r| r.constraints.clone()).collect();
-                let stats =
-                    medea_constraints::violation_stats(&state, batch_constraints.iter());
+                let stats = medea_constraints::violation_stats(&state, batch_constraints.iter());
                 violated += stats.containers_violating;
                 // Denominator: every LRA container placed, as in the
                 // paper's "percentage of containers" metric.
@@ -239,7 +259,14 @@ fn fig9d() {
     let mut report = Report::new(
         "fig9d",
         "Constraint violations (%) vs inter-application constraint complexity",
-        &["complexity", "MEDEA-ILP", "MEDEA-NC", "MEDEA-TP", "J-KUBE", "Serial"],
+        &[
+            "complexity",
+            "MEDEA-ILP",
+            "MEDEA-NC",
+            "MEDEA-TP",
+            "J-KUBE",
+            "Serial",
+        ],
     );
     for &x in &complexities {
         let mut row = vec![x.to_string()];

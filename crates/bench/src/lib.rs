@@ -1,5 +1,6 @@
 //! Experiment harness for the Medea reproduction: shared scaffolding used
-//! by the per-figure binaries in `src/bin/` and the criterion benches.
+//! by the per-figure binaries in `src/bin/` and the `benches/` timing
+//! targets.
 //!
 //! Run any experiment with
 //! `cargo run --release -p medea-bench --bin <target>`; see DESIGN.md §8
@@ -10,6 +11,10 @@
 
 mod output;
 mod scenarios;
+mod timing;
 
 pub use output::{f2, f3, pct, Report};
-pub use scenarios::{deploy_lras, hbase_count_for_utilization, lra_mix, DeployResult};
+pub use scenarios::{
+    deploy_lras, deploy_lras_with_metrics, hbase_count_for_utilization, lra_mix, DeployResult,
+};
+pub use timing::bench;

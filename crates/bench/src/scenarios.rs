@@ -1,11 +1,13 @@
 //! Shared experiment scaffolding: deploy LRA mixes with a chosen
 //! algorithm and measure the §7.4 global-objective metrics.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use medea_cluster::{ApplicationId, ClusterState, ExecutionKind};
 use medea_constraints::{violation_stats, PlacementConstraint, ViolationStats};
 use medea_core::{LraAlgorithm, LraRequest, LraScheduler};
+use medea_obs::MetricsRegistry;
 use medea_sim::apps;
 
 /// Result of statically deploying a list of LRAs.
@@ -43,12 +45,42 @@ impl DeployResult {
 /// paper's *periodicity*: how many LRAs each scheduling cycle considers),
 /// committing successful placements and accumulating constraints.
 pub fn deploy_lras(
-    mut cluster: ClusterState,
+    cluster: ClusterState,
     algorithm: LraAlgorithm,
     requests: &[LraRequest],
     batch_size: usize,
 ) -> DeployResult {
-    let scheduler = LraScheduler::new(algorithm);
+    deploy_with(
+        cluster,
+        LraScheduler::new(algorithm),
+        requests,
+        batch_size,
+        None,
+    )
+}
+
+/// Like [`deploy_lras`], but wires `registry` into the scheduler so the
+/// ILP path reports `solver.*` / `core.*` series, and records each batch
+/// placement time into the `bench.place_batch_us` histogram.
+pub fn deploy_lras_with_metrics(
+    cluster: ClusterState,
+    algorithm: LraAlgorithm,
+    requests: &[LraRequest],
+    batch_size: usize,
+    registry: &Arc<MetricsRegistry>,
+) -> DeployResult {
+    let mut scheduler = LraScheduler::new(algorithm);
+    scheduler.ilp.metrics = Some(Arc::clone(registry));
+    deploy_with(cluster, scheduler, requests, batch_size, Some(registry))
+}
+
+fn deploy_with(
+    mut cluster: ClusterState,
+    scheduler: LraScheduler,
+    requests: &[LraRequest],
+    batch_size: usize,
+    registry: Option<&Arc<MetricsRegistry>>,
+) -> DeployResult {
     let mut constraints: Vec<PlacementConstraint> = Vec::new();
     let mut deployed = Vec::new();
     let mut unplaced = 0usize;
@@ -57,7 +89,11 @@ pub fn deploy_lras(
     for batch in requests.chunks(batch_size.max(1)) {
         let t0 = Instant::now();
         let outcomes = scheduler.place(&cluster, batch, &constraints);
-        batch_times.push(t0.elapsed());
+        let elapsed = t0.elapsed();
+        if let Some(m) = registry {
+            m.histogram("bench.place_batch_us").record_duration(elapsed);
+        }
+        batch_times.push(elapsed);
         for (req, outcome) in batch.iter().zip(outcomes) {
             match outcome.placement() {
                 Some(pl) => {
@@ -136,6 +172,21 @@ mod tests {
         assert_eq!(res.batch_times.len(), 2);
         let v = res.violations();
         assert!(v.containers_checked > 0);
+    }
+
+    #[test]
+    fn deploy_with_metrics_records_batches() {
+        let cluster = ClusterState::homogeneous(20, Resources::new(16 * 1024, 16), 4);
+        let reqs = lra_mix(4, 0.5, 100);
+        let registry = MetricsRegistry::new();
+        let res =
+            deploy_lras_with_metrics(cluster, LraAlgorithm::NodeCandidates, &reqs, 2, &registry);
+        assert_eq!(res.batch_times.len(), 2);
+        let snap = registry.snapshot();
+        let hist = snap
+            .histogram("bench.place_batch_us")
+            .expect("series exists");
+        assert_eq!(hist.count, 2);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Minimal timing harness for the `harness = false` benchmark targets.
+//!
+//! The workspace builds fully offline with zero external crates, so the
+//! benches cannot use criterion; this module provides the small subset
+//! they need — warmup, repeated timed runs, and a median/mean report —
+//! while recording every sample in a `medea-obs` histogram so the bench
+//! output doubles as an instrumentation smoke test.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use medea_obs::MetricsRegistry;
+
+/// Times `f` for `iters` iterations after `warmup` untimed runs and
+/// prints a one-line summary; per-iteration latencies are also recorded
+/// into `registry` under `bench.<name>_us`.
+pub fn bench<F, R>(
+    registry: &Arc<MetricsRegistry>,
+    name: &str,
+    warmup: usize,
+    iters: usize,
+    mut f: F,
+) where
+    F: FnMut() -> R,
+{
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let hist = registry.histogram(&format!("bench.{name}_us"));
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let us = t.elapsed().as_micros() as u64;
+        hist.record(us);
+        samples.push(us);
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+    let max = *samples.last().unwrap();
+    println!(
+        "{name:<44} median {median:>8} us   mean {mean:>8} us   max {max:>8} us   ({iters} iters)"
+    );
+}

@@ -155,7 +155,9 @@ impl NodeGroups {
     /// The `node` group is synthesized on the fly as singletons.
     pub fn sets_of(&self, group: &NodeGroupId) -> Result<Vec<Vec<NodeId>>, GroupError> {
         if group == &NodeGroupId::node() {
-            return Ok((0..self.num_nodes).map(|i| vec![NodeId(i as u32)]).collect());
+            return Ok((0..self.num_nodes)
+                .map(|i| vec![NodeId(i as u32)])
+                .collect());
         }
         self.sets
             .get(group)
@@ -176,10 +178,7 @@ impl NodeGroups {
             .membership
             .get(group)
             .ok_or_else(|| GroupError::UnknownGroup(group.clone()))?;
-        Ok(member
-            .get(node.0 as usize)
-            .cloned()
-            .unwrap_or_default())
+        Ok(member.get(node.0 as usize).cloned().unwrap_or_default())
     }
 
     /// Returns the members of one set of a group.
@@ -263,7 +262,8 @@ mod tests {
             vec![vec![NodeId(0), NodeId(1)], vec![NodeId(1), NodeId(2)]],
         );
         assert_eq!(
-            g.sets_containing(&NodeGroupId::new("zone"), NodeId(1)).unwrap(),
+            g.sets_containing(&NodeGroupId::new("zone"), NodeId(1))
+                .unwrap(),
             vec![0, 1]
         );
         assert!(g

@@ -65,8 +65,7 @@ mod tests {
 
     #[test]
     fn builder_sets_fields() {
-        let n = Node::new(NodeId(3), Resources::new(1024, 4))
-            .with_static_tags([Tag::new("gpu")]);
+        let n = Node::new(NodeId(3), Resources::new(1024, 4)).with_static_tags([Tag::new("gpu")]);
         assert_eq!(n.id.index(), 3);
         assert_eq!(n.hostname, "host-0003");
         assert_eq!(n.static_tags, vec![Tag::new("gpu")]);

@@ -177,7 +177,9 @@ impl ClusterState {
         let group_ids: Vec<NodeGroupId> = self.groups.group_ids().cloned().collect();
         self.group_tags.clear();
         for g in group_ids {
-            let Ok(sets) = self.groups.sets_of(&g) else { continue };
+            let Ok(sets) = self.groups.sets_of(&g) else {
+                continue;
+            };
             let multisets: Vec<TagMultiset> = sets
                 .iter()
                 .map(|members| {
@@ -211,10 +213,7 @@ impl ClusterState {
     /// Builds a homogeneous cluster: `n` nodes of equal `capacity` in
     /// `racks` racks (the shape of every experiment in §7).
     pub fn homogeneous(n: usize, capacity: Resources, racks: usize) -> Self {
-        ClusterState::new(
-            (0..n).map(|i| Node::new(NodeId(i as u32), capacity)),
-            racks,
-        )
+        ClusterState::new((0..n).map(|i| Node::new(NodeId(i as u32), capacity)), racks)
     }
 
     /// Number of nodes.
@@ -229,7 +228,9 @@ impl ClusterState {
 
     /// Returns the static description of a node.
     pub fn node(&self, id: NodeId) -> Result<&Node, ClusterError> {
-        self.nodes.get(id.index()).ok_or(ClusterError::UnknownNode(id))
+        self.nodes
+            .get(id.index())
+            .ok_or(ClusterError::UnknownNode(id))
     }
 
     /// Returns the node-group registry.
@@ -481,10 +482,7 @@ mod tests {
     }
 
     fn req(mem: u64, tags: &[&str]) -> ContainerRequest {
-        ContainerRequest::new(
-            Resources::new(mem, 1),
-            tags.iter().map(|t| Tag::new(*t)),
-        )
+        ContainerRequest::new(Resources::new(mem, 1), tags.iter().map(|t| Tag::new(*t)))
     }
 
     #[test]
@@ -542,11 +540,21 @@ mod tests {
     fn vcore_capacity_is_enforced() {
         let mut c = small_cluster();
         for _ in 0..8 {
-            c.allocate(ApplicationId(1), NodeId(0), &req(64, &[]), ExecutionKind::Task)
-                .unwrap();
+            c.allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(64, &[]),
+                ExecutionKind::Task,
+            )
+            .unwrap();
         }
         let err = c
-            .allocate(ApplicationId(1), NodeId(0), &req(64, &[]), ExecutionKind::Task)
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(64, &[]),
+                ExecutionKind::Task,
+            )
             .unwrap_err();
         assert!(matches!(err, ClusterError::InsufficientResources { .. }));
     }
@@ -556,12 +564,22 @@ mod tests {
         let mut c = small_cluster();
         c.set_available(NodeId(2), false).unwrap();
         let err = c
-            .allocate(ApplicationId(1), NodeId(2), &req(64, &[]), ExecutionKind::Task)
+            .allocate(
+                ApplicationId(1),
+                NodeId(2),
+                &req(64, &[]),
+                ExecutionKind::Task,
+            )
             .unwrap_err();
         assert_eq!(err, ClusterError::NodeUnavailable(NodeId(2)));
         c.set_available(NodeId(2), true).unwrap();
         assert!(c
-            .allocate(ApplicationId(1), NodeId(2), &req(64, &[]), ExecutionKind::Task)
+            .allocate(
+                ApplicationId(1),
+                NodeId(2),
+                &req(64, &[]),
+                ExecutionKind::Task
+            )
             .is_ok());
     }
 
@@ -579,10 +597,7 @@ mod tests {
         }
         assert_eq!(c.gamma(NodeId(0), &Tag::new("hb")), 3);
         assert_eq!(c.gamma(NodeId(0), &Tag::new("hb_rs")), 3);
-        let rack0: Vec<NodeId> = c
-            .groups()
-            .set_members(&NodeGroupId::rack(), 0)
-            .unwrap();
+        let rack0: Vec<NodeId> = c.groups().set_members(&NodeGroupId::rack(), 0).unwrap();
         assert_eq!(c.gamma_set(&rack0, &Tag::new("hb")), 3);
     }
 
@@ -607,8 +622,13 @@ mod tests {
     fn fragmentation_stats() {
         let mut c = ClusterState::homogeneous(2, Resources::new(4096, 4), 1);
         // Node 0: leave 1 GB free (< 2 GB threshold, not fully used).
-        c.allocate(ApplicationId(1), NodeId(0), &req(3072, &[]), ExecutionKind::Task)
-            .unwrap();
+        c.allocate(
+            ApplicationId(1),
+            NodeId(0),
+            &req(3072, &[]),
+            ExecutionKind::Task,
+        )
+        .unwrap();
         let stats = c.utilization_stats();
         assert!((stats.fragmented_fraction - 0.5).abs() < 1e-12);
         assert!(stats.mean_memory_utilization > 0.0);

@@ -1,45 +1,76 @@
-//! Property tests for cluster-state bookkeeping invariants.
+//! Randomized tests for cluster-state bookkeeping invariants, driven by
+//! the workspace's deterministic PRNG (`medea-rand`): the same op
+//! sequences are replayed on every run.
 
 use medea_cluster::{
     ApplicationId, ClusterState, ContainerId, ContainerRequest, ExecutionKind, NodeId, Resources,
     Tag,
 };
-use proptest::prelude::*;
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
 
 /// A random sequence of allocate/release operations.
 #[derive(Debug, Clone)]
 enum Op {
-    Alloc { app: u64, node: u32, mem: u64, tags: Vec<u8> },
-    Release { idx: usize },
+    Alloc {
+        app: u64,
+        node: u32,
+        mem: u64,
+        tags: Vec<u8>,
+    },
+    Release {
+        idx: usize,
+    },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0..4u64, 0..6u32, 1..2048u64, prop::collection::vec(0..5u8, 0..3))
-            .prop_map(|(app, node, mem, tags)| Op::Alloc { app, node, mem, tags }),
-        1 => (0..64usize).prop_map(|idx| Op::Release { idx }),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    // 3:1 alloc/release mix, as in the original distribution.
+    if rng.random_range(0..4u32) < 3 {
+        let n_tags = rng.random_range(0..3usize);
+        Op::Alloc {
+            app: rng.random_range(0..4u64),
+            node: rng.random_range(0..6u32),
+            mem: rng.random_range(1..2048u64),
+            tags: (0..n_tags)
+                .map(|_| rng.random_range(0..5u64) as u8)
+                .collect(),
+        }
+    } else {
+        Op::Release {
+            idx: rng.random_range(0..64usize),
+        }
+    }
+}
+
+fn random_ops(rng: &mut StdRng) -> Vec<Op> {
+    let len = rng.random_range(1..80usize);
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 fn tag_name(t: u8) -> Tag {
     Tag::new(format!("t{t}"))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Under any allocate/release sequence: free + allocated == capacity on
-    /// every node, gamma counts match live containers exactly, and
-    /// releasing everything restores the pristine state.
-    #[test]
-    fn bookkeeping_is_exact(ops in prop::collection::vec(op_strategy(), 1..80)) {
+/// Under any allocate/release sequence: free + allocated == capacity on
+/// every node, gamma counts match live containers exactly, and
+/// releasing everything restores the pristine state.
+#[test]
+fn bookkeeping_is_exact() {
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0xB00C ^ case);
+        let ops = random_ops(&mut rng);
         let capacity = Resources::new(16 * 1024, 64);
         let mut cluster = ClusterState::homogeneous(6, capacity, 2);
         let mut live: Vec<ContainerId> = Vec::new();
 
         for op in &ops {
             match op {
-                Op::Alloc { app, node, mem, tags } => {
+                Op::Alloc {
+                    app,
+                    node,
+                    mem,
+                    tags,
+                } => {
                     let req = ContainerRequest::new(
                         Resources::new(*mem, 1),
                         tags.iter().map(|&t| tag_name(t)),
@@ -69,7 +100,7 @@ proptest! {
                     .iter()
                     .map(|&c| cluster.allocation(c).unwrap().resources)
                     .sum();
-                prop_assert_eq!(cluster.free(n).unwrap() + allocated, capacity);
+                assert_eq!(cluster.free(n).unwrap() + allocated, capacity);
             }
 
             // Invariant 2: gamma equals tags of live containers per node.
@@ -90,7 +121,7 @@ proptest! {
                                 .count() as u32
                         })
                         .sum();
-                    prop_assert_eq!(cluster.gamma(n, &tag), expected);
+                    assert_eq!(cluster.gamma(n, &tag), expected, "case {case}");
                 }
             }
         }
@@ -99,18 +130,22 @@ proptest! {
         for id in live {
             cluster.release(id).unwrap();
         }
-        prop_assert_eq!(cluster.num_containers(), 0);
-        prop_assert_eq!(cluster.total_free(), cluster.total_capacity());
+        assert_eq!(cluster.num_containers(), 0);
+        assert_eq!(cluster.total_free(), cluster.total_capacity());
         for n in cluster.node_ids() {
-            prop_assert!(cluster.node_tags(n).unwrap().is_empty());
+            assert!(cluster.node_tags(n).unwrap().is_empty());
         }
     }
+}
 
-    /// The incrementally-maintained per-group γ caches always agree with
-    /// a from-scratch scan of the set's members.
-    #[test]
-    fn group_gamma_cache_is_coherent(ops in prop::collection::vec(op_strategy(), 1..80)) {
-        use medea_cluster::NodeGroupId;
+/// The incrementally-maintained per-group γ caches always agree with
+/// a from-scratch scan of the set's members.
+#[test]
+fn group_gamma_cache_is_coherent() {
+    use medea_cluster::NodeGroupId;
+    for case in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(0xCAC4E ^ case);
+        let ops = random_ops(&mut rng);
         let capacity = Resources::new(16 * 1024, 64);
         let mut cluster = ClusterState::homogeneous(6, capacity, 2);
         // A custom overlapping group exercises multi-membership updates.
@@ -124,7 +159,12 @@ proptest! {
         let mut live: Vec<ContainerId> = Vec::new();
         for op in &ops {
             match op {
-                Op::Alloc { app, node, mem, tags } => {
+                Op::Alloc {
+                    app,
+                    node,
+                    mem,
+                    tags,
+                } => {
                     let req = ContainerRequest::new(
                         Resources::new(*mem, 1),
                         tags.iter().map(|&t| tag_name(t)),
@@ -152,9 +192,9 @@ proptest! {
                         let tag = tag_name(t);
                         let cached = cluster.gamma_in_set(&group, si, &tag);
                         let scanned = cluster.gamma_set(members, &tag);
-                        prop_assert_eq!(
+                        assert_eq!(
                             cached, scanned,
-                            "cache drift: group {} set {} tag {}", group, si, tag
+                            "cache drift: case {case} group {group} set {si} tag {tag}"
                         );
                     }
                 }

@@ -56,7 +56,7 @@ impl Cardinality {
 
     /// Returns `true` if `count` satisfies the interval.
     pub fn satisfied_by(&self, count: u32) -> bool {
-        count >= self.min && self.max.map_or(true, |m| count <= m)
+        count >= self.min && self.max.is_none_or(|m| count <= m)
     }
 
     /// Violation extent of `count` against this interval, normalized per
@@ -298,10 +298,7 @@ impl PlacementConstraint {
         let subject_app = self.subject.tags().iter().find(|t| t.is_app_id());
         match subject_app {
             None => false,
-            Some(app) => self
-                .expr
-                .leaves()
-                .all(|l| l.target.tags().contains(app)),
+            Some(app) => self.expr.leaves().all(|l| l.target.tags().contains(app)),
         }
     }
 
@@ -350,7 +347,10 @@ mod tests {
         assert_eq!(Cardinality::affinity(), Cardinality { min: 1, max: None });
         assert_eq!(
             Cardinality::anti_affinity(),
-            Cardinality { min: 0, max: Some(0) }
+            Cardinality {
+                min: 0,
+                max: Some(0)
+            }
         );
         assert!(Cardinality::affinity().satisfied_by(3));
         assert!(!Cardinality::affinity().satisfied_by(0));
@@ -382,7 +382,9 @@ mod tests {
         assert!(Cardinality::range(2, 4).is_more_restrictive_than(&Cardinality::range(1, 5)));
         assert!(!Cardinality::range(0, 4).is_more_restrictive_than(&Cardinality::range(1, 5)));
         assert!(Cardinality::at_most(2).is_more_restrictive_than(&Cardinality::at_most(2)));
-        assert!(Cardinality::at_most(2).is_more_restrictive_than(&Cardinality { min: 0, max: None }));
+        assert!(
+            Cardinality::at_most(2).is_more_restrictive_than(&Cardinality { min: 0, max: None })
+        );
     }
 
     #[test]

@@ -131,7 +131,10 @@ impl TagExpr {
             }
             return count;
         }
-        let members = state.groups().set_members(group, set_idx).unwrap_or_default();
+        let members = state
+            .groups()
+            .set_members(group, set_idx)
+            .unwrap_or_default();
         self.cardinality_on_set(state, &members, exclude)
     }
 }
@@ -165,21 +168,34 @@ impl From<&str> for TagExpr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medea_cluster::{
-        ApplicationId, ClusterState, ContainerRequest, ExecutionKind, Resources,
-    };
+    use medea_cluster::{ApplicationId, ClusterState, ContainerRequest, ExecutionKind, Resources};
 
     fn cluster_with_containers() -> ClusterState {
         let mut c = ClusterState::homogeneous(2, Resources::new(8192, 8), 1);
         let mk = |tags: &[&str]| {
             ContainerRequest::new(Resources::new(256, 1), tags.iter().map(|t| Tag::new(*t)))
         };
-        c.allocate(ApplicationId(1), NodeId(0), &mk(&["hb", "hb_m"]), ExecutionKind::LongRunning)
-            .unwrap();
-        c.allocate(ApplicationId(1), NodeId(0), &mk(&["hb", "hb_rs"]), ExecutionKind::LongRunning)
-            .unwrap();
-        c.allocate(ApplicationId(2), NodeId(1), &mk(&["hb", "hb_rs"]), ExecutionKind::LongRunning)
-            .unwrap();
+        c.allocate(
+            ApplicationId(1),
+            NodeId(0),
+            &mk(&["hb", "hb_m"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
+        c.allocate(
+            ApplicationId(1),
+            NodeId(0),
+            &mk(&["hb", "hb_rs"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
+        c.allocate(
+            ApplicationId(2),
+            NodeId(1),
+            &mk(&["hb", "hb_rs"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
         c
     }
 

@@ -28,10 +28,10 @@ pub use constraint::{
     Cardinality, PlacementConstraint, TagConstraint, TagConstraintExpr, HARD_WEIGHT,
 };
 pub use expr::TagExpr;
-pub use parse::{parse_constraint, ParseError};
 pub use manager::{
     validate_constraint, ConstraintError, ConstraintManager, ConstraintSource, StoredConstraint,
 };
+pub use parse::{parse_constraint, ParseError};
 pub use violation::{
     check_container, evaluate_constraint, violation_stats, ConstraintReport, ContainerCheck,
     ViolationStats,

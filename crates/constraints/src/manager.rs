@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use medea_cluster::{ApplicationId, NodeGroups};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::constraint::{Cardinality, PlacementConstraint};
 
@@ -141,13 +141,21 @@ impl ConstraintManager {
         for c in &constraints {
             validate_constraint(c, groups)?;
         }
-        self.inner.write().app.insert(app, constraints);
+        self.inner
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .app
+            .insert(app, constraints);
         Ok(())
     }
 
     /// Removes an application's constraints (application finished).
     pub fn remove_app(&self, app: ApplicationId) {
-        self.inner.write().app.remove(&app);
+        self.inner
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .app
+            .remove(&app);
     }
 
     /// Validates and adds a cluster-operator constraint.
@@ -157,19 +165,28 @@ impl ConstraintManager {
         groups: &NodeGroups,
     ) -> Result<(), ConstraintError> {
         validate_constraint(&constraint, groups)?;
-        self.inner.write().operator.push(constraint);
+        self.inner
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .operator
+            .push(constraint);
         Ok(())
     }
 
     /// Removes all operator constraints.
     pub fn clear_operator(&self) {
-        self.inner.write().operator.clear();
+        self.inner
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .operator
+            .clear();
     }
 
     /// Constraints of one application, if registered.
     pub fn app_constraints(&self, app: ApplicationId) -> Vec<PlacementConstraint> {
         self.inner
             .read()
+            .unwrap_or_else(|e| e.into_inner())
             .app
             .get(&app)
             .cloned()
@@ -178,7 +195,11 @@ impl ConstraintManager {
 
     /// Number of registered applications.
     pub fn num_apps(&self) -> usize {
-        self.inner.read().app.len()
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .app
+            .len()
     }
 
     /// Returns every stored constraint with provenance, applying the §5.2
@@ -186,7 +207,7 @@ impl ConstraintManager {
     /// operator constraint with the same subject, target, and group is
     /// more restrictive on every leaf.
     pub fn active(&self) -> Vec<StoredConstraint> {
-        let inner = self.inner.read();
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
         let mut out: Vec<StoredConstraint> = Vec::new();
         for (app, cs) in &inner.app {
             for c in cs {
@@ -261,7 +282,8 @@ mod tests {
         let cm = ConstraintManager::new();
         let g = groups();
         let c = PlacementConstraint::affinity("a", "b", NodeGroupId::rack());
-        cm.register_app(ApplicationId(1), vec![c.clone()], &g).unwrap();
+        cm.register_app(ApplicationId(1), vec![c.clone()], &g)
+            .unwrap();
         cm.register_operator(
             PlacementConstraint::anti_affinity("x", "x", NodeGroupId::node()),
             &g,
@@ -288,12 +310,7 @@ mod tests {
     #[test]
     fn validation_rejects_bad_cardinality_and_weight() {
         let g = groups();
-        let bad = PlacementConstraint::new(
-            "a",
-            "b",
-            Cardinality::range(5, 2),
-            NodeGroupId::node(),
-        );
+        let bad = PlacementConstraint::new("a", "b", Cardinality::range(5, 2), NodeGroupId::node());
         assert!(matches!(
             validate_constraint(&bad, &g),
             Err(ConstraintError::InvalidCardinality { min: 5, max: 2 })
@@ -352,7 +369,8 @@ mod tests {
         let c1 = PlacementConstraint::affinity("a", "b", NodeGroupId::rack());
         let c2 = PlacementConstraint::anti_affinity("a", "b", NodeGroupId::rack());
         cm.register_app(ApplicationId(1), vec![c1], &g).unwrap();
-        cm.register_app(ApplicationId(1), vec![c2.clone()], &g).unwrap();
+        cm.register_app(ApplicationId(1), vec![c2.clone()], &g)
+            .unwrap();
         assert_eq!(cm.app_constraints(ApplicationId(1)), vec![c2]);
     }
 }

@@ -113,12 +113,11 @@ impl<'a> Parser<'a> {
     fn eat_word(&mut self, word: &str) -> bool {
         self.skip_ws();
         let r = self.rest();
-        if r.starts_with(word) {
-            let after = &r[word.len()..];
+        if let Some(after) = r.strip_prefix(word) {
             if after
                 .chars()
                 .next()
-                .map_or(true, |c| !c.is_alphanumeric() && c != '_' && c != ':')
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_' && c != ':')
             {
                 self.pos += word.len();
                 return true;
@@ -196,7 +195,7 @@ impl<'a> Parser<'a> {
             .rest()
             .chars()
             .next()
-            .map_or(false, |c| c.is_ascii_digit())
+            .is_some_and(|c| c.is_ascii_digit())
         {
             self.pos += 1;
         }
@@ -243,7 +242,7 @@ impl<'a> Parser<'a> {
             .rest()
             .chars()
             .next()
-            .map_or(false, |c| c.is_ascii_digit() || c == '.' || c == '-')
+            .is_some_and(|c| c.is_ascii_digit() || c == '.' || c == '-')
         {
             self.pos += 1;
         }
@@ -311,10 +310,8 @@ mod tests {
 
     #[test]
     fn paper_appid_example() {
-        let c = parse_constraint(
-            "{appid:0023 ∧ storm, {appid:0023 ∧ hb ∧ mem, 1, ∞}, node}",
-        )
-        .unwrap();
+        let c =
+            parse_constraint("{appid:0023 ∧ storm, {appid:0023 ∧ hb ∧ mem, 1, ∞}, node}").unwrap();
         assert_eq!(
             c.subject,
             TagExpr::and([Tag::new("appid:0023"), Tag::new("storm")])
@@ -350,12 +347,14 @@ mod tests {
 
     #[test]
     fn weights() {
-        assert!((parse_constraint("{a, {b, 0, 0}, node} weight=2.5")
-            .unwrap()
-            .weight
-            - 2.5)
-            .abs()
-            < 1e-12);
+        assert!(
+            (parse_constraint("{a, {b, 0, 0}, node} weight=2.5")
+                .unwrap()
+                .weight
+                - 2.5)
+                .abs()
+                < 1e-12
+        );
         assert!(parse_constraint("{a, {b, 0, 0}, node} weight=hard")
             .unwrap()
             .is_hard());

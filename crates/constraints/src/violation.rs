@@ -231,10 +231,20 @@ mod tests {
     fn node_affinity_satisfied_and_violated() {
         let mut c = cluster();
         let storm = c
-            .allocate(ApplicationId(1), NodeId(0), &req(&["storm"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(&["storm"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
-        c.allocate(ApplicationId(2), NodeId(0), &req(&["hb", "mem"]), ExecutionKind::LongRunning)
-            .unwrap();
+        c.allocate(
+            ApplicationId(2),
+            NodeId(0),
+            &req(&["hb", "mem"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
         // Caf = {storm, {hb ∧ mem, 1, ∞}, node}: satisfied on node 0.
         let caf = PlacementConstraint::affinity(
             "storm",
@@ -246,8 +256,13 @@ mod tests {
 
         // Move the hb container away: now violated with extent 1.
         c.release_app(ApplicationId(2));
-        c.allocate(ApplicationId(2), NodeId(3), &req(&["hb", "mem"]), ExecutionKind::LongRunning)
-            .unwrap();
+        c.allocate(
+            ApplicationId(2),
+            NodeId(3),
+            &req(&["hb", "mem"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
         let check = check_container(&c, &caf, storm).unwrap();
         assert!(!check.satisfied);
         assert!((check.extent - 1.0).abs() < 1e-12);
@@ -259,15 +274,25 @@ mod tests {
         // A single hb container must not count itself as a violation of
         // "{hb, {hb, 0, 0}, node}" (intra-app anti-affinity).
         let only = c
-            .allocate(ApplicationId(1), NodeId(1), &req(&["hb"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(1),
+                &req(&["hb"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
         let caa = PlacementConstraint::anti_affinity("hb", "hb", NodeGroupId::node());
         let check = check_container(&c, &caa, only).unwrap();
         assert!(check.satisfied);
 
         // A second hb container on the same node violates for both.
-        c.allocate(ApplicationId(1), NodeId(1), &req(&["hb"]), ExecutionKind::LongRunning)
-            .unwrap();
+        c.allocate(
+            ApplicationId(1),
+            NodeId(1),
+            &req(&["hb"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
         let report = evaluate_constraint(&c, &caa);
         assert_eq!(report.subjects, 2);
         assert_eq!(report.violated, 2);
@@ -280,14 +305,24 @@ mod tests {
         // sees 2 others, so [0,2] holds; a fourth breaks it.
         let cca = PlacementConstraint::cardinality("spark", "spark", 0, 2, NodeGroupId::rack());
         for node in [0u32, 0, 1] {
-            c.allocate(ApplicationId(1), NodeId(node), &req(&["spark"]), ExecutionKind::LongRunning)
-                .unwrap();
+            c.allocate(
+                ApplicationId(1),
+                NodeId(node),
+                &req(&["spark"]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
         }
         let report = evaluate_constraint(&c, &cca);
         assert_eq!(report.subjects, 3);
         assert_eq!(report.violated, 0);
-        c.allocate(ApplicationId(1), NodeId(1), &req(&["spark"]), ExecutionKind::LongRunning)
-            .unwrap();
+        c.allocate(
+            ApplicationId(1),
+            NodeId(1),
+            &req(&["spark"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
         let report = evaluate_constraint(&c, &cca);
         assert_eq!(report.subjects, 4);
         assert_eq!(report.violated, 4);
@@ -306,10 +341,20 @@ mod tests {
             Cardinality::at_least(3),
             NodeGroupId::rack(),
         );
-        c.allocate(ApplicationId(1), NodeId(0), &req(&["spark"]), ExecutionKind::LongRunning)
-            .unwrap();
-        c.allocate(ApplicationId(1), NodeId(1), &req(&["spark"]), ExecutionKind::LongRunning)
-            .unwrap();
+        c.allocate(
+            ApplicationId(1),
+            NodeId(0),
+            &req(&["spark"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
+        c.allocate(
+            ApplicationId(1),
+            NodeId(1),
+            &req(&["spark"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
         let report = evaluate_constraint(&c, &cmin);
         assert_eq!(report.violated, 2);
         assert!((report.total_extent - 2.0 * (2.0 / 3.0)).abs() < 1e-9);
@@ -319,10 +364,20 @@ mod tests {
     fn dnf_any_conjunct_satisfies() {
         let mut c = cluster();
         let s = c
-            .allocate(ApplicationId(1), NodeId(0), &req(&["w"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(&["w"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
-        c.allocate(ApplicationId(2), NodeId(0), &req(&["cache"]), ExecutionKind::LongRunning)
-            .unwrap();
+        c.allocate(
+            ApplicationId(2),
+            NodeId(0),
+            &req(&["cache"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
         // (affinity to db) OR (affinity to cache): cache present -> ok.
         let expr = TagConstraintExpr::any([
             vec![TagConstraint::new("db", Cardinality::affinity())],
@@ -349,8 +404,13 @@ mod tests {
         let mut c = cluster();
         // Two constraints both subject the same containers.
         for _ in 0..2 {
-            c.allocate(ApplicationId(1), NodeId(2), &req(&["x"]), ExecutionKind::LongRunning)
-                .unwrap();
+            c.allocate(
+                ApplicationId(1),
+                NodeId(2),
+                &req(&["x"]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
         }
         let c1 = PlacementConstraint::anti_affinity("x", "x", NodeGroupId::node());
         let c2 = PlacementConstraint::anti_affinity("x", "x", NodeGroupId::rack());
@@ -375,7 +435,12 @@ mod tests {
         // Register a group covering only nodes 0-1; place subject on 3.
         c.register_group(NodeGroupId::new("zone"), vec![vec![NodeId(0), NodeId(1)]]);
         let s = c
-            .allocate(ApplicationId(1), NodeId(3), &req(&["y"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(3),
+                &req(&["y"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
         let pc = PlacementConstraint::affinity("y", "y", NodeGroupId::new("zone"));
         let check = check_container(&c, &pc, s).unwrap();

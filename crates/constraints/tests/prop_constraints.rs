@@ -1,100 +1,134 @@
-//! Property tests for the constraint language: parser/printer round
-//! trips, cardinality algebra, and violation-extent invariants.
+//! Randomized tests for the constraint language: parser/printer round
+//! trips, cardinality algebra, and violation-extent invariants, driven by
+//! the workspace's deterministic PRNG (`medea-rand`).
 
 use medea_cluster::{NodeGroupId, Tag};
 use medea_constraints::{
     parse_constraint, Cardinality, PlacementConstraint, TagConstraint, TagConstraintExpr, TagExpr,
 };
-use proptest::prelude::*;
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
 
-fn tag_strategy() -> impl Strategy<Value = Tag> {
-    "[a-z][a-z0-9_]{0,8}".prop_map(Tag::new)
+/// A random identifier matching `[a-z][a-z0-9_]{0,8}`.
+fn random_tag(rng: &mut StdRng) -> Tag {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let len = rng.random_range(0..9usize);
+    let mut s = String::new();
+    s.push(*rng.choose(HEAD).unwrap() as char);
+    for _ in 0..len {
+        s.push(*rng.choose(TAIL).unwrap() as char);
+    }
+    Tag::new(s)
 }
 
-fn tag_expr_strategy() -> impl Strategy<Value = TagExpr> {
-    prop::collection::vec(tag_strategy(), 1..3).prop_map(TagExpr::and)
+fn random_tag_expr(rng: &mut StdRng) -> TagExpr {
+    let n = rng.random_range(1..3usize);
+    TagExpr::and((0..n).map(|_| random_tag(rng)).collect::<Vec<_>>())
 }
 
-fn cardinality_strategy() -> impl Strategy<Value = Cardinality> {
-    (0u32..6, prop::option::of(0u32..10)).prop_map(|(min, max)| Cardinality {
-        min,
-        max: max.map(|m| m.max(min)),
-    })
+fn random_cardinality(rng: &mut StdRng) -> Cardinality {
+    let min = rng.random_range(0..6u32);
+    let max = if rng.random_bool(0.5) {
+        Some(rng.random_range(0..10u32).max(min))
+    } else {
+        None
+    };
+    Cardinality { min, max }
 }
 
-fn constraint_strategy() -> impl Strategy<Value = PlacementConstraint> {
-    (
-        tag_expr_strategy(),
-        prop::collection::vec(
-            prop::collection::vec((tag_expr_strategy(), cardinality_strategy()), 1..3),
-            1..3,
-        ),
-        prop::sample::select(vec!["node", "rack", "upgrade_domain"]),
-    )
-        .prop_map(|(subject, dnf, group)| {
-            let expr = TagConstraintExpr::any(dnf.into_iter().map(|conj| {
-                conj.into_iter()
-                    .map(|(t, c)| TagConstraint::new(t, c))
-                    .collect::<Vec<_>>()
-            }));
-            PlacementConstraint::compound(subject, expr, NodeGroupId::new(group))
+fn random_constraint(rng: &mut StdRng) -> PlacementConstraint {
+    let subject = random_tag_expr(rng);
+    let n_disjuncts = rng.random_range(1..3usize);
+    let dnf: Vec<Vec<TagConstraint>> = (0..n_disjuncts)
+        .map(|_| {
+            let n_conj = rng.random_range(1..3usize);
+            (0..n_conj)
+                .map(|_| TagConstraint::new(random_tag_expr(rng), random_cardinality(rng)))
+                .collect()
         })
+        .collect();
+    let group = *rng.choose(&["node", "rack", "upgrade_domain"]).unwrap();
+    PlacementConstraint::compound(
+        subject,
+        TagConstraintExpr::any(dnf),
+        NodeGroupId::new(group),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Display emits the paper syntax, which the parser accepts back,
-    /// yielding an identical constraint.
-    #[test]
-    fn display_parse_roundtrip(c in constraint_strategy()) {
+/// Display emits the paper syntax, which the parser accepts back,
+/// yielding an identical constraint.
+#[test]
+fn display_parse_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xD15 ^ case);
+        let c = random_constraint(&mut rng);
         let printed = c.to_string();
         let reparsed = parse_constraint(&printed)
-            .unwrap_or_else(|e| panic!("cannot reparse '{printed}': {e}"));
-        prop_assert_eq!(c, reparsed);
+            .unwrap_or_else(|e| panic!("case {case}: cannot reparse '{printed}': {e}"));
+        assert_eq!(c, reparsed, "case {case}");
     }
+}
 
-    /// A count satisfies the interval iff its violation extent is zero,
-    /// and the extent grows monotonically with the distance outside.
-    #[test]
-    fn extent_iff_unsatisfied(card in cardinality_strategy(), count in 0u32..20) {
+/// A count satisfies the interval iff its violation extent is zero,
+/// and the extent grows monotonically with the distance outside.
+#[test]
+fn extent_iff_unsatisfied() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xE7 ^ case);
+        let card = random_cardinality(&mut rng);
+        let count = rng.random_range(0..20u32);
         let satisfied = card.satisfied_by(count);
         let extent = card.violation_extent(count);
-        prop_assert_eq!(satisfied, extent == 0.0);
-        prop_assert!(extent >= 0.0);
+        assert_eq!(
+            satisfied,
+            extent == 0.0,
+            "case {case}: {card:?} count {count}"
+        );
+        assert!(extent >= 0.0);
         // Monotonicity below cmin: moving further under the minimum never
         // shrinks the extent.
         if count > 0 && count < card.min {
-            prop_assert!(card.violation_extent(count - 1) >= extent);
+            assert!(card.violation_extent(count - 1) >= extent);
         }
         // Monotonicity above cmax.
         if let Some(max) = card.max {
             if count > max {
-                prop_assert!(card.violation_extent(count + 1) >= extent);
+                assert!(card.violation_extent(count + 1) >= extent);
             }
         }
     }
+}
 
-    /// Restrictiveness is a partial order compatible with satisfaction:
-    /// anything satisfying the more restrictive interval satisfies the
-    /// less restrictive one.
-    #[test]
-    fn restrictive_implies_satisfaction_subset(
-        a in cardinality_strategy(),
-        b in cardinality_strategy(),
-        count in 0u32..20,
-    ) {
+/// Restrictiveness is a partial order compatible with satisfaction:
+/// anything satisfying the more restrictive interval satisfies the
+/// less restrictive one.
+#[test]
+fn restrictive_implies_satisfaction_subset() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x5B ^ case);
+        let a = random_cardinality(&mut rng);
+        let b = random_cardinality(&mut rng);
+        let count = rng.random_range(0..20u32);
         if a.is_more_restrictive_than(&b) && a.satisfied_by(count) {
-            prop_assert!(b.satisfied_by(count));
+            assert!(
+                b.satisfied_by(count),
+                "case {case}: {a:?} vs {b:?} at {count}"
+            );
         }
     }
+}
 
-    /// Tag expressions are canonical: construction order never matters.
-    #[test]
-    fn tag_expr_is_canonical(mut tags in prop::collection::vec(tag_strategy(), 1..5)) {
+/// Tag expressions are canonical: construction order never matters.
+#[test]
+fn tag_expr_is_canonical() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xCA ^ case);
+        let n = rng.random_range(1..5usize);
+        let mut tags: Vec<Tag> = (0..n).map(|_| random_tag(&mut rng)).collect();
         let a = TagExpr::and(tags.clone());
         tags.reverse();
         let b = TagExpr::and(tags);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

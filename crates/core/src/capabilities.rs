@@ -63,15 +63,105 @@ pub struct CapabilityRow {
 pub fn paper_table1() -> Vec<CapabilityRow> {
     use Support::*;
     vec![
-        CapabilityRow { system: "YARN", affinity: Implicit, anti_affinity: None, cardinality: None, intra: Implicit, inter: None, high_level: None, global_objectives: None, low_latency: Full },
-        CapabilityRow { system: "Slider", affinity: Implicit, anti_affinity: Implicit, cardinality: None, intra: Implicit, inter: None, high_level: None, global_objectives: None, low_latency: None },
-        CapabilityRow { system: "Borg", affinity: Implicit, anti_affinity: Implicit, cardinality: None, intra: Implicit, inter: Implicit, high_level: None, global_objectives: Partial, low_latency: Full },
-        CapabilityRow { system: "Kubernetes", affinity: Full, anti_affinity: Full, cardinality: None, intra: Full, inter: Full, high_level: Full, global_objectives: Partial, low_latency: Full },
-        CapabilityRow { system: "Mesos", affinity: Implicit, anti_affinity: None, cardinality: None, intra: Implicit, inter: None, high_level: None, global_objectives: None, low_latency: None },
-        CapabilityRow { system: "Marathon", affinity: Full, anti_affinity: Full, cardinality: Full, intra: Full, inter: None, high_level: None, global_objectives: None, low_latency: None },
-        CapabilityRow { system: "Aurora", affinity: Implicit, anti_affinity: Full, cardinality: Full, intra: Full, inter: None, high_level: None, global_objectives: None, low_latency: None },
-        CapabilityRow { system: "TetriSched", affinity: Implicit, anti_affinity: Implicit, cardinality: Implicit, intra: Full, inter: None, high_level: None, global_objectives: Partial, low_latency: Full },
-        CapabilityRow { system: "Medea", affinity: Full, anti_affinity: Full, cardinality: Full, intra: Full, inter: Full, high_level: Full, global_objectives: Full, low_latency: Full },
+        CapabilityRow {
+            system: "YARN",
+            affinity: Implicit,
+            anti_affinity: None,
+            cardinality: None,
+            intra: Implicit,
+            inter: None,
+            high_level: None,
+            global_objectives: None,
+            low_latency: Full,
+        },
+        CapabilityRow {
+            system: "Slider",
+            affinity: Implicit,
+            anti_affinity: Implicit,
+            cardinality: None,
+            intra: Implicit,
+            inter: None,
+            high_level: None,
+            global_objectives: None,
+            low_latency: None,
+        },
+        CapabilityRow {
+            system: "Borg",
+            affinity: Implicit,
+            anti_affinity: Implicit,
+            cardinality: None,
+            intra: Implicit,
+            inter: Implicit,
+            high_level: None,
+            global_objectives: Partial,
+            low_latency: Full,
+        },
+        CapabilityRow {
+            system: "Kubernetes",
+            affinity: Full,
+            anti_affinity: Full,
+            cardinality: None,
+            intra: Full,
+            inter: Full,
+            high_level: Full,
+            global_objectives: Partial,
+            low_latency: Full,
+        },
+        CapabilityRow {
+            system: "Mesos",
+            affinity: Implicit,
+            anti_affinity: None,
+            cardinality: None,
+            intra: Implicit,
+            inter: None,
+            high_level: None,
+            global_objectives: None,
+            low_latency: None,
+        },
+        CapabilityRow {
+            system: "Marathon",
+            affinity: Full,
+            anti_affinity: Full,
+            cardinality: Full,
+            intra: Full,
+            inter: None,
+            high_level: None,
+            global_objectives: None,
+            low_latency: None,
+        },
+        CapabilityRow {
+            system: "Aurora",
+            affinity: Implicit,
+            anti_affinity: Full,
+            cardinality: Full,
+            intra: Full,
+            inter: None,
+            high_level: None,
+            global_objectives: None,
+            low_latency: None,
+        },
+        CapabilityRow {
+            system: "TetriSched",
+            affinity: Implicit,
+            anti_affinity: Implicit,
+            cardinality: Implicit,
+            intra: Full,
+            inter: None,
+            high_level: None,
+            global_objectives: Partial,
+            low_latency: Full,
+        },
+        CapabilityRow {
+            system: "Medea",
+            affinity: Full,
+            anti_affinity: Full,
+            cardinality: Full,
+            intra: Full,
+            inter: Full,
+            high_level: Full,
+            global_objectives: Full,
+            low_latency: Full,
+        },
     ]
 }
 
@@ -95,7 +185,11 @@ pub fn implemented_capabilities(alg: LraAlgorithm) -> CapabilityRow {
                 high_level: Full,
                 // Only the ILP *optimizes* global objectives; the
                 // heuristics approximate them greedily.
-                global_objectives: if alg == LraAlgorithm::Ilp { Full } else { Partial },
+                global_objectives: if alg == LraAlgorithm::Ilp {
+                    Full
+                } else {
+                    Partial
+                },
                 low_latency: Full,
             }
         }

@@ -145,8 +145,7 @@ impl HeuristicScheduler {
                 remaining.swap_remove(pos);
                 let it = &items[item_idx];
                 let app = requests[it.req_idx].app;
-                if let Some((node, id)) = place_best(&scorer, &mut work, app, &it.request, &nodes)
-                {
+                if let Some((node, id)) = place_best(&scorer, &mut work, app, &it.request, &nodes) {
                     placements[it.req_idx][it.cont_idx] = Some(node);
                     placed_ids[it.req_idx][it.cont_idx] = Some(id);
                     // Lazy recompute: only items sharing a tag with the
@@ -173,8 +172,7 @@ impl HeuristicScheduler {
         } else {
             for it in &items {
                 let app = requests[it.req_idx].app;
-                if let Some((node, id)) = place_best(&scorer, &mut work, app, &it.request, &nodes)
-                {
+                if let Some((node, id)) = place_best(&scorer, &mut work, app, &it.request, &nodes) {
                     placements[it.req_idx][it.cont_idx] = Some(node);
                     placed_ids[it.req_idx][it.cont_idx] = Some(id);
                 }
@@ -212,14 +210,19 @@ fn place_best(
     let mut best: Option<(NodeId, f64)> = None;
     for &n in nodes {
         if let Some(s) = scorer.score(work, app, request, n) {
-            if best.map_or(true, |(_, bs)| s > bs) {
+            if best.is_none_or(|(_, bs)| s > bs) {
                 best = Some((n, s));
             }
         }
     }
     let (node, _) = best?;
     let id = work
-        .allocate(app, node, request, medea_cluster::ExecutionKind::LongRunning)
+        .allocate(
+            app,
+            node,
+            request,
+            medea_cluster::ExecutionKind::LongRunning,
+        )
         .ok()?;
     Some((node, id))
 }
@@ -274,7 +277,11 @@ mod tests {
 
     #[test]
     fn all_orderings_place_simple_batch() {
-        for ordering in [Ordering::Submission, Ordering::TagPopularity, Ordering::NodeCandidates] {
+        for ordering in [
+            Ordering::Submission,
+            Ordering::TagPopularity,
+            Ordering::NodeCandidates,
+        ] {
             let state = cluster(4, 2);
             let req = LraRequest::uniform(
                 ApplicationId(1),
@@ -299,7 +306,11 @@ mod tests {
             vec![Tag::new("w")],
             vec![caa.clone()],
         );
-        let out = HeuristicScheduler::new(Ordering::NodeCandidates).place(&state, &[req.clone()], &[]);
+        let out = HeuristicScheduler::new(Ordering::NodeCandidates).place(
+            &state,
+            std::slice::from_ref(&req),
+            &[],
+        );
         let mut st = cluster(6, 2);
         commit(&mut st, &[req], &out);
         let stats = violation_stats(&st, [&caa]);

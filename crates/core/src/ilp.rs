@@ -17,11 +17,15 @@
 //!    their violation status is a constant the placement cannot change.
 
 use std::collections::HashMap;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use medea_cluster::{ClusterState, NodeId};
 use medea_constraints::{PlacementConstraint, TagConstraint};
+use medea_obs::MetricsRegistry;
 use medea_solver::{Cmp, Milp, Problem, VarId, VarKind};
+
+use crate::obs_bridge::SolverMetricsBridge;
 
 use crate::objective::ObjectiveWeights;
 use crate::request::{LraPlacement, LraRequest, PlacementOutcome};
@@ -45,6 +49,11 @@ pub struct IlpConfig {
     /// Ablation toggle: seed branch and bound with the greedy heuristic's
     /// placement (on by default; makes the solve anytime).
     pub mip_start: bool,
+    /// Optional metrics registry: when set, each solve reports solver
+    /// events (`solver.*` counters via [`SolverMetricsBridge`]), its
+    /// wall-clock time (`core.ilp_solve_us`), and heuristic fallbacks
+    /// (`core.heuristic_fallback_total`).
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for IlpConfig {
@@ -57,6 +66,7 @@ impl Default for IlpConfig {
             gap: 0.02,
             symmetry_breaking: true,
             mip_start: true,
+            metrics: None,
         }
     }
 }
@@ -141,10 +151,9 @@ pub fn place_with_ilp(
     // provably contains the heuristic solution), and its placement becomes
     // the initial incumbent — making the solve anytime: with any deadline
     // the result is heuristic-or-better.
-    let heuristic = crate::heuristics::HeuristicScheduler::new(
-        crate::heuristics::Ordering::NodeCandidates,
-    )
-    .place(state, requests, deployed_constraints);
+    let heuristic =
+        crate::heuristics::HeuristicScheduler::new(crate::heuristics::Ordering::NodeCandidates)
+            .place(state, requests, deployed_constraints);
     let heuristic_nodes: Vec<NodeId> = {
         let mut v: Vec<NodeId> = heuristic
             .iter()
@@ -196,20 +205,36 @@ pub fn place_with_ilp(
             milp = milp.with_incumbent(point);
         }
     }
-    let solution = milp.solve();
-
-    let Ok(sol) = solution else {
-        return requests
-            .iter()
-            .map(|r| PlacementOutcome::Unplaced { app: r.app })
-            .collect();
-    };
-    if !sol.has_solution() {
-        return requests
-            .iter()
-            .map(|r| PlacementOutcome::Unplaced { app: r.app })
-            .collect();
+    let bridge = cfg.metrics.as_deref().map(SolverMetricsBridge::new);
+    if let Some(bridge) = &bridge {
+        milp = milp.with_instrumentation(bridge);
     }
+    let t_solve = Instant::now();
+    let solution = milp.solve();
+    if let Some(m) = cfg.metrics.as_deref() {
+        m.histogram("core.ilp_solve_us")
+            .record_duration(t_solve.elapsed());
+    }
+
+    // Anytime degradation: if the MILP produced nothing usable (an error
+    // or a limit hit before any incumbent), fall back to the heuristic
+    // placement that anchored the candidate set rather than rejecting the
+    // whole batch — the two-scheduler design prefers a heuristic-quality
+    // placement now over no placement at all.
+    let fallback = |reason: &str| {
+        if let Some(m) = cfg.metrics.as_deref() {
+            m.counter("core.heuristic_fallback_total").inc();
+        }
+        if std::env::var_os("MEDEA_SOLVER_DEBUG").is_some() {
+            eprintln!("ilp: falling back to heuristic placement ({reason})");
+        }
+        heuristic.clone()
+    };
+    let sol = match &solution {
+        Err(_) => return fallback("problem validation error"),
+        Ok(sol) if !sol.has_solution() => return fallback("no incumbent within limits"),
+        Ok(sol) => sol,
+    };
 
     // Extract placements.
     let mut outcomes = Vec::with_capacity(requests.len());
@@ -287,7 +312,7 @@ fn assignment_from_outcomes(
             }
             None => {
                 placed_flags.push(false);
-                assignment.extend(std::iter::repeat(None).take(r.containers.len()));
+                assignment.extend(std::iter::repeat_n(None, r.containers.len()));
             }
         }
     }
@@ -324,10 +349,7 @@ fn initial_point(
     // z: free memory after placement >= rmin.
     let rmin = cfg.weights.rmin.memory_mb as f64;
     for (ni, &cand) in candidates.iter().enumerate() {
-        let free = state
-            .free(cand)
-            .map(|f| f.memory_mb as f64)
-            .unwrap_or(0.0);
+        let free = state.free(cand).map(|f| f.memory_mb as f64).unwrap_or(0.0);
         let used: f64 = assignment
             .iter()
             .enumerate()
@@ -338,9 +360,10 @@ fn initial_point(
     }
     // Constraint blocks.
     for block in &model.blocks {
-        let new_subject_in_set = block.new_subjects.iter().any(|&gci| {
-            assignment[gci].map_or(false, |ni| block.cand_in_set.contains(&ni))
-        });
+        let new_subject_in_set = block
+            .new_subjects
+            .iter()
+            .any(|&gci| assignment[gci].is_some_and(|ni| block.cand_in_set.contains(&ni)));
         let active = block.existing_subjects > 0 || new_subject_in_set;
         v[block.b.index()] = if active { 1.0 } else { 0.0 };
         if !active {
@@ -355,11 +378,15 @@ fn initial_point(
                     .new_targets
                     .iter()
                     .filter(|&&gci| {
-                        assignment[gci].map_or(false, |ni| block.cand_in_set.contains(&ni))
+                        assignment[gci].is_some_and(|ni| block.cand_in_set.contains(&ni))
                     })
                     .count() as f64;
             let need = leaf.cmin as f64 + leaf.self_m;
-            let shortfall = if leaf.cmin > 0 { (need - count).max(0.0) } else { 0.0 };
+            let shortfall = if leaf.cmin > 0 {
+                (need - count).max(0.0)
+            } else {
+                0.0
+            };
             let excess = match leaf.cmax {
                 Some(cmax) => (count - cmax as f64 - leaf.self_m).max(0.0),
                 None => 0.0,
@@ -658,9 +685,9 @@ fn build_model(
                 continue;
             }
             let mut terms: Vec<(VarId, f64)> = Vec::with_capacity(2 * n_cand);
-            for ni in 0..n_cand {
-                terms.push((x_vars[a][ni], (ni + 1) as f64));
-                terms.push((x_vars[b][ni], -((ni + 1) as f64)));
+            for (ni, (&xa, &xb)) in x_vars[a].iter().zip(x_vars[b].iter()).enumerate() {
+                terms.push((xa, (ni + 1) as f64));
+                terms.push((xb, -((ni + 1) as f64)));
             }
             p.add_constraint(terms, Cmp::Le, 0.0);
         }
@@ -758,10 +785,8 @@ fn build_model(
                 })
                 .collect();
             if multi {
-                let mut terms: Vec<(VarId, f64)> = y_vars
-                    .iter()
-                    .map(|y| (y.unwrap(), 1.0))
-                    .collect();
+                let mut terms: Vec<(VarId, f64)> =
+                    y_vars.iter().map(|y| (y.unwrap(), 1.0)).collect();
                 terms.push((b, -1.0));
                 p.add_constraint(terms, Cmp::Ge, 0.0);
             }
@@ -843,19 +868,15 @@ fn add_leaf_rows(
             .iter()
             .any(|&gci| leaf.target.matches_tags(&new_containers[gci].tags));
         let existing_self = members.iter().any(|&n| {
-            state
-                .containers_on(n)
-                .unwrap_or(&[])
-                .iter()
-                .any(|&c| {
-                    state
-                        .allocation(c)
-                        .map(|a| {
-                            constraint.subject.matches_allocation(a)
-                                && leaf.target.matches_allocation(a)
-                        })
-                        .unwrap_or(false)
-                })
+            state.containers_on(n).unwrap_or(&[]).iter().any(|&c| {
+                state
+                    .allocation(c)
+                    .map(|a| {
+                        constraint.subject.matches_allocation(a)
+                            && leaf.target.matches_allocation(a)
+                    })
+                    .unwrap_or(false)
+            })
         });
         (new_self || existing_self) as u32 as f64
     };
@@ -890,14 +911,12 @@ fn add_leaf_rows(
         // => sum(X_t) + vmin - (cmin + self + M) b [- M y] >= -existing - M [- M]
         let mut terms: Vec<(VarId, f64)> = new_targets
             .iter()
-            .map(|&gci| {
+            .flat_map(|&gci| {
                 cand_in_set
                     .iter()
                     .map(move |&ni| (x_vars[gci][ni], 1.0))
                     .collect::<Vec<_>>()
             })
-            .into_iter()
-            .flatten()
             .collect();
         terms.push((vmin, 1.0));
         let mut rhs = -existing_targets;
@@ -928,14 +947,12 @@ fn add_leaf_rows(
         // => sum(X_t) + M b [+ M y] - vmax <= cmax + self - existing + M [+ M]
         let mut terms: Vec<(VarId, f64)> = new_targets
             .iter()
-            .map(|&gci| {
+            .flat_map(|&gci| {
                 cand_in_set
                     .iter()
                     .map(move |&ni| (x_vars[gci][ni], 1.0))
                     .collect::<Vec<_>>()
             })
-            .into_iter()
-            .flatten()
             .collect();
         terms.push((vmax, -1.0));
         let mut rhs = cmax + self_m - existing_targets;
@@ -983,7 +1000,12 @@ mod tests {
             vec![Tag::new("a")],
             vec![],
         );
-        let out = place_with_ilp(&state, &[req.clone()], &[], &IlpConfig::default());
+        let out = place_with_ilp(
+            &state,
+            std::slice::from_ref(&req),
+            &[],
+            &IlpConfig::default(),
+        );
         let pl = out[0].placement().expect("should place");
         assert_eq!(pl.nodes.len(), 6);
         // 6 x 8 GB on 4 x 16 GB nodes: at most 2 per node.
@@ -1091,7 +1113,12 @@ mod tests {
             vec![Tag::new("tf")],
             vec![intra],
         );
-        let out = place_with_ilp(&state, &[req.clone()], &[], &IlpConfig::default());
+        let out = place_with_ilp(
+            &state,
+            std::slice::from_ref(&req),
+            &[],
+            &IlpConfig::default(),
+        );
         let pl = out[0].placement().expect("should place");
         let state2 = {
             let mut s = cluster(8, 4);
@@ -1164,7 +1191,10 @@ mod tests {
         let p1 = out[0].placement().expect("r1 placed");
         let p2 = out[1].placement().expect("r2 placed");
         for n1 in &p1.nodes {
-            assert!(!p2.nodes.contains(n1), "alpha and beta must not share nodes");
+            assert!(
+                !p2.nodes.contains(n1),
+                "alpha and beta must not share nodes"
+            );
         }
     }
 
@@ -1247,7 +1277,12 @@ mod tests {
             vec![Tag::new("w")],
             vec![compound.clone()],
         );
-        let out = place_with_ilp(&state, &[req.clone()], &[], &IlpConfig::default());
+        let out = place_with_ilp(
+            &state,
+            std::slice::from_ref(&req),
+            &[],
+            &IlpConfig::default(),
+        );
         let pl = out[0].placement().expect("placeable");
         assert!(
             pl.nodes.iter().all(|&n| n == NodeId(4)),
@@ -1272,10 +1307,16 @@ mod tests {
             3,
             Resources::new(1024, 1),
             vec![Tag::new("x")],
-            vec![PlacementConstraint::anti_affinity("x", "x", NodeGroupId::node())],
+            vec![PlacementConstraint::anti_affinity(
+                "x",
+                "x",
+                NodeGroupId::node(),
+            )],
         );
         let out = place_with_ilp(&state, &[req], &[], &cfg);
-        let pl = out[0].placement().expect("small model solves without start");
+        let pl = out[0]
+            .placement()
+            .expect("small model solves without start");
         let mut nodes = pl.nodes.clone();
         nodes.sort();
         nodes.dedup();

@@ -104,7 +104,7 @@ impl JKubeScheduler {
                 continue;
             }
             let score = self.score_node(work, app, request, constraints, n);
-            if best.map_or(true, |(_, bs)| score > bs) {
+            if best.is_none_or(|(_, bs)| score > bs) {
                 best = Some((n, score));
             }
         }
@@ -150,9 +150,9 @@ impl JKubeScheduler {
                     .unwrap_or_default();
                 let mut leaf_ok = false;
                 for si in sets {
-                    let count =
-                        leaf.target
-                            .cardinality_in_group_set(work, &c.group, si, Some(id));
+                    let count = leaf
+                        .target
+                        .cardinality_in_group_set(work, &c.group, si, Some(id));
                     if effective.satisfied_by(count) {
                         leaf_ok = true;
                         break;
@@ -198,7 +198,9 @@ mod tests {
         for (r, o) in reqs.iter().zip(outs) {
             if let Some(pl) = o.placement() {
                 for (c, &n) in r.containers.iter().zip(&pl.nodes) {
-                    state.allocate(r.app, n, c, ExecutionKind::LongRunning).unwrap();
+                    state
+                        .allocate(r.app, n, c, ExecutionKind::LongRunning)
+                        .unwrap();
                 }
             }
         }
@@ -230,7 +232,7 @@ mod tests {
                 vec![Tag::new("w")],
                 vec![caa.clone()],
             );
-            let out = sched.place(&state, &[req.clone()], &[]);
+            let out = sched.place(&state, std::slice::from_ref(&req), &[]);
             let mut st = cluster(6, 2);
             commit(&mut st, &[req], &out);
             let stats = violation_stats(&st, [&caa]);
@@ -244,12 +246,7 @@ mod tests {
         // 2-node cluster with 6 containers: J-Kube++ must spread 3+3 or
         // fail; J-Kube, ignoring the constraint, will pack by spreading
         // score only and can exceed the cap.
-        let card = PlacementConstraint::new(
-            "w",
-            "w",
-            Cardinality::at_most(1),
-            NodeGroupId::node(),
-        );
+        let card = PlacementConstraint::new("w", "w", Cardinality::at_most(1), NodeGroupId::node());
         let req = LraRequest::uniform(
             ApplicationId(1),
             6,
@@ -259,18 +256,22 @@ mod tests {
         );
 
         let state = cluster(4, 2);
-        let out_pp = JKubeScheduler::jkube_plus_plus().place(&state, &[req.clone()], &[]);
+        let out_pp =
+            JKubeScheduler::jkube_plus_plus().place(&state, std::slice::from_ref(&req), &[]);
         let mut st_pp = cluster(4, 2);
-        commit(&mut st_pp, &[req.clone()], &out_pp);
+        commit(&mut st_pp, std::slice::from_ref(&req), &out_pp);
         let v_pp = violation_stats(&st_pp, [&card]);
 
-        let out_jk = JKubeScheduler::jkube().place(&state, &[req.clone()], &[]);
+        let out_jk = JKubeScheduler::jkube().place(&state, std::slice::from_ref(&req), &[]);
         let mut st_jk = cluster(4, 2);
         commit(&mut st_jk, &[req], &out_jk);
         let v_jk = violation_stats(&st_jk, [&card]);
 
         // J-Kube++ satisfies the cardinality cap (4 nodes x 2 = 8 slots).
-        assert_eq!(v_pp.containers_violating, 0, "J-Kube++ must respect cardinality");
+        assert_eq!(
+            v_pp.containers_violating, 0,
+            "J-Kube++ must respect cardinality"
+        );
         // J-Kube is at best as good, and with least-allocated spreading of
         // 6 containers over 4 nodes it will collocate at most 2 anyway —
         // so instead check its *behaviour*: it treats the constraint as

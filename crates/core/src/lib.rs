@@ -29,6 +29,7 @@ mod lra;
 mod medea;
 mod migration;
 mod objective;
+mod obs_bridge;
 mod request;
 mod task_scheduler;
 mod yarn;
@@ -43,9 +44,8 @@ pub use lra::{LraAlgorithm, LraScheduler};
 pub use medea::{LraDeployment, MedeaScheduler, MedeaStats};
 pub use migration::{Migration, MigrationConfig, MigrationController};
 pub use objective::{ObjectiveWeights, Scorer};
-pub use request::{
-    Locality, LraPlacement, LraRequest, PlacementOutcome, TaskJobRequest,
-};
+pub use obs_bridge::SolverMetricsBridge;
+pub use request::{Locality, LraPlacement, LraRequest, PlacementOutcome, TaskJobRequest};
 pub use task_scheduler::{
     QueueConfig, QueuePolicy, TaskAllocation, TaskScheduler, TaskSchedulerError,
 };

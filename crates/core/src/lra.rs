@@ -96,8 +96,11 @@ impl LraScheduler {
             LraAlgorithm::Ilp => place_with_ilp(state, requests, deployed_constraints, &self.ilp),
             LraAlgorithm::NodeCandidates => HeuristicScheduler::new(Ordering::NodeCandidates)
                 .place(state, requests, deployed_constraints),
-            LraAlgorithm::TagPopularity => HeuristicScheduler::new(Ordering::TagPopularity)
-                .place(state, requests, deployed_constraints),
+            LraAlgorithm::TagPopularity => HeuristicScheduler::new(Ordering::TagPopularity).place(
+                state,
+                requests,
+                deployed_constraints,
+            ),
             LraAlgorithm::Serial => HeuristicScheduler::new(Ordering::Submission).place(
                 state,
                 requests,

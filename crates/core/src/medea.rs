@@ -10,16 +10,44 @@
 //! policy.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
-use medea_cluster::{
-    ApplicationId, ClusterState, ContainerId, ExecutionKind, NodeId,
-};
+use medea_cluster::{ApplicationId, ClusterState, ContainerId, ExecutionKind, NodeId};
 use medea_constraints::{ConstraintError, ConstraintManager};
+use medea_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::lra::{LraAlgorithm, LraScheduler};
 use crate::request::{LraRequest, PlacementOutcome, TaskJobRequest};
 use crate::task_scheduler::{TaskAllocation, TaskScheduler, TaskSchedulerError};
+
+/// Pre-resolved `core.*` metric handles: looked up once when a registry
+/// is attached, then updated lock-free in the scheduling cycle.
+struct CoreMetrics {
+    queue_depth: Arc<Gauge>,
+    cycle_time_us: Arc<Histogram>,
+    place_us: Arc<Histogram>,
+    cycles: Arc<Counter>,
+    lras_deployed: Arc<Counter>,
+    lras_unplaced: Arc<Counter>,
+    commit_conflicts: Arc<Counter>,
+    lras_dropped: Arc<Counter>,
+}
+
+impl CoreMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        CoreMetrics {
+            queue_depth: registry.gauge("core.queue_depth"),
+            cycle_time_us: registry.histogram("core.cycle_time_us"),
+            place_us: registry.histogram("core.place_us"),
+            cycles: registry.counter("core.cycles_total"),
+            lras_deployed: registry.counter("core.lras_deployed_total"),
+            lras_unplaced: registry.counter("core.lras_unplaced_total"),
+            commit_conflicts: registry.counter("core.commit_conflicts_total"),
+            lras_dropped: registry.counter("core.lras_dropped_total"),
+        }
+    }
+}
 
 /// A pending LRA with submission metadata.
 #[derive(Debug, Clone)]
@@ -89,6 +117,7 @@ pub struct MedeaScheduler {
     /// Maximum resubmission attempts before an LRA is dropped.
     pub max_attempts: u32,
     stats: MedeaStats,
+    metrics: Option<CoreMetrics>,
 }
 
 impl MedeaScheduler {
@@ -104,6 +133,7 @@ impl MedeaScheduler {
             next_run: 0,
             max_attempts: 5,
             stats: MedeaStats::default(),
+            metrics: None,
         }
     }
 
@@ -111,6 +141,22 @@ impl MedeaScheduler {
     pub fn with_task_scheduler(mut self, ts: TaskScheduler) -> Self {
         self.task_scheduler = ts;
         self
+    }
+
+    /// Attaches a metrics registry to every layer this scheduler drives:
+    /// the scheduling cycle (`core.*`), the ILP solver bridge
+    /// (`solver.*`, `core.ilp_solve_us`), and the task scheduler
+    /// (`task.*`). Builder form of [`MedeaScheduler::set_metrics`].
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.set_metrics(registry);
+        self
+    }
+
+    /// Attaches a metrics registry (see [`MedeaScheduler::with_metrics`]).
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = Some(CoreMetrics::new(&registry));
+        self.lra_scheduler.ilp.metrics = Some(Arc::clone(&registry));
+        self.task_scheduler.set_metrics(&registry);
     }
 
     /// Access to the live cluster state.
@@ -162,7 +208,11 @@ impl MedeaScheduler {
 
     /// Submits a task-based job straight to the task scheduler (the
     /// two-scheduler routing: no constraints, no LRA queue).
-    pub fn submit_tasks(&mut self, job: TaskJobRequest, now: u64) -> Result<(), TaskSchedulerError> {
+    pub fn submit_tasks(
+        &mut self,
+        job: TaskJobRequest,
+        now: u64,
+    ) -> Result<(), TaskSchedulerError> {
         self.task_scheduler.submit(job, now)
     }
 
@@ -173,7 +223,9 @@ impl MedeaScheduler {
 
     /// Completes a task container.
     pub fn complete_task(&mut self, queue: &str, container: ContainerId) {
-        let _ = self.task_scheduler.complete(&mut self.state, queue, container);
+        let _ = self
+            .task_scheduler
+            .complete(&mut self.state, queue, container);
     }
 
     /// Completes (tears down) an entire LRA, releasing containers and
@@ -193,6 +245,11 @@ impl MedeaScheduler {
         }
         self.next_run = now + self.interval;
         self.stats.cycles += 1;
+        let cycle_start = Instant::now();
+        if let Some(m) = &self.metrics {
+            m.cycles.inc();
+            m.queue_depth.set(self.pending.len() as i64);
+        }
 
         let batch: Vec<PendingLra> = self.pending.drain(..).collect();
         let requests: Vec<LraRequest> = batch.iter().map(|p| p.request.clone()).collect();
@@ -205,9 +262,7 @@ impl MedeaScheduler {
                 .active()
                 .into_iter()
                 .filter(|s| match s.source {
-                    medea_constraints::ConstraintSource::Application(a) => {
-                        !batch_apps.contains(&a)
-                    }
+                    medea_constraints::ConstraintSource::Application(a) => !batch_apps.contains(&a),
                     medea_constraints::ConstraintSource::Operator => true,
                 })
                 .map(|s| s.constraint)
@@ -217,6 +272,9 @@ impl MedeaScheduler {
         let t0 = Instant::now();
         let outcomes = self.lra_scheduler.place(&self.state, &requests, &deployed);
         let algorithm_time = t0.elapsed();
+        if let Some(m) = &self.metrics {
+            m.place_us.record_duration(algorithm_time);
+        }
 
         let mut deployed_out = Vec::new();
         for (pending, outcome) in batch.into_iter().zip(outcomes) {
@@ -225,6 +283,9 @@ impl MedeaScheduler {
                     match self.commit(&pending.request, &placement.nodes) {
                         Ok(containers) => {
                             self.stats.lras_deployed += 1;
+                            if let Some(m) = &self.metrics {
+                                m.lras_deployed.inc();
+                            }
                             deployed_out.push(LraDeployment {
                                 app: pending.request.app,
                                 nodes: placement.nodes,
@@ -235,15 +296,25 @@ impl MedeaScheduler {
                         }
                         Err(()) => {
                             self.stats.commit_conflicts += 1;
+                            if let Some(m) = &self.metrics {
+                                m.commit_conflicts.inc();
+                            }
                             self.resubmit(pending);
                         }
                     }
                 }
                 PlacementOutcome::Unplaced { .. } => {
                     self.stats.lras_unplaced += 1;
+                    if let Some(m) = &self.metrics {
+                        m.lras_unplaced.inc();
+                    }
                     self.resubmit(pending);
                 }
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.cycle_time_us.record_duration(cycle_start.elapsed());
+            m.queue_depth.set(self.pending.len() as i64);
         }
         deployed_out
     }
@@ -275,6 +346,9 @@ impl MedeaScheduler {
         pending.attempts += 1;
         if pending.attempts >= self.max_attempts {
             self.stats.lras_dropped += 1;
+            if let Some(m) = &self.metrics {
+                m.lras_dropped.inc();
+            }
             self.constraint_manager.remove_app(pending.request.app);
         } else {
             self.pending.push_back(pending);
@@ -322,7 +396,11 @@ mod tests {
             2,
             Resources::new(1024, 1),
             vec![Tag::new("hb")],
-            vec![PlacementConstraint::anti_affinity("hb", "hb", NodeGroupId::node())],
+            vec![PlacementConstraint::anti_affinity(
+                "hb",
+                "hb",
+                NodeGroupId::node(),
+            )],
         );
         m.submit_lra(req, 0).unwrap();
         assert_eq!(m.constraint_manager().num_apps(), 1);
@@ -340,7 +418,11 @@ mod tests {
             1,
             Resources::new(1024, 1),
             vec![Tag::new("x")],
-            vec![PlacementConstraint::affinity("x", "y", NodeGroupId::new("ghost"))],
+            vec![PlacementConstraint::affinity(
+                "x",
+                "y",
+                NodeGroupId::new("ghost"),
+            )],
         );
         assert!(m.submit_lra(req, 0).is_err());
         assert_eq!(m.pending_lras(), 0);
@@ -364,8 +446,11 @@ mod tests {
     #[test]
     fn tasks_flow_through_independently() {
         let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Ilp, 10);
-        m.submit_tasks(TaskJobRequest::new(ApplicationId(7), Resources::new(512, 1), 4), 0)
-            .unwrap();
+        m.submit_tasks(
+            TaskJobRequest::new(ApplicationId(7), Resources::new(512, 1), 4),
+            0,
+        )
+        .unwrap();
         // Tasks allocate on heartbeats with no LRA cycle involved.
         let allocs = m.heartbeat(NodeId(1), 2);
         assert_eq!(allocs.len(), 4);
@@ -382,8 +467,11 @@ mod tests {
         // via tasks *before* the tick, so placement itself fails — then
         // free resources and observe successful retry.
         let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
-        m.submit_tasks(TaskJobRequest::new(ApplicationId(9), Resources::new(8192, 1), 4), 0)
-            .unwrap();
+        m.submit_tasks(
+            TaskJobRequest::new(ApplicationId(9), Resources::new(8192, 1), 4),
+            0,
+        )
+        .unwrap();
         for n in 0..4u32 {
             m.heartbeat(NodeId(n), 0);
         }
@@ -410,7 +498,11 @@ mod tests {
                 3,
                 Resources::new(1024, 1),
                 vec![Tag::new("w")],
-                vec![PlacementConstraint::anti_affinity("w", "w", NodeGroupId::node())],
+                vec![PlacementConstraint::anti_affinity(
+                    "w",
+                    "w",
+                    NodeGroupId::node(),
+                )],
             );
             m.submit_lra(req, 0).unwrap();
             let deployed = m.tick(0);

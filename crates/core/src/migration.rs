@@ -138,7 +138,7 @@ impl MigrationController {
                 // container would cause at the new node.
                 let improvement = extent - delta;
                 if improvement > self.config.move_cost
-                    && best.map_or(true, |(_, _, bi)| improvement > bi)
+                    && best.is_none_or(|(_, _, bi)| improvement > bi)
                 {
                     best = Some((cid, n, improvement));
                 }
@@ -191,7 +191,12 @@ mod tests {
         // Two "svc" containers wrongly packed on one node.
         for _ in 0..2 {
             state
-                .allocate(ApplicationId(1), NodeId(0), &req(&["svc"]), ExecutionKind::LongRunning)
+                .allocate(
+                    ApplicationId(1),
+                    NodeId(0),
+                    &req(&["svc"]),
+                    ExecutionKind::LongRunning,
+                )
                 .unwrap();
         }
         let caa = PlacementConstraint::anti_affinity("svc", "svc", NodeGroupId::node());
@@ -199,7 +204,7 @@ mod tests {
         assert_eq!(before.containers_violating, 2);
 
         let moves = MigrationController::new(MigrationConfig::default())
-            .rebalance(&mut state, &[caa.clone()]);
+            .rebalance(&mut state, std::slice::from_ref(&caa));
         assert!(!moves.is_empty());
         let after = violation_stats(&state, [&caa]);
         assert_eq!(after.containers_violating, 0, "migration must repair");
@@ -210,10 +215,20 @@ mod tests {
     fn no_moves_when_nothing_violates() {
         let mut state = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
         state
-            .allocate(ApplicationId(1), NodeId(0), &req(&["a"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(&["a"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
         state
-            .allocate(ApplicationId(1), NodeId(1), &req(&["a"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(1),
+                &req(&["a"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
         let caa = PlacementConstraint::anti_affinity("a", "a", NodeGroupId::node());
         let moves =
@@ -226,7 +241,12 @@ mod tests {
         let mut state = ClusterState::homogeneous(2, Resources::new(8192, 8), 1);
         for _ in 0..2 {
             state
-                .allocate(ApplicationId(1), NodeId(0), &req(&["x"]), ExecutionKind::LongRunning)
+                .allocate(
+                    ApplicationId(1),
+                    NodeId(0),
+                    &req(&["x"]),
+                    ExecutionKind::LongRunning,
+                )
                 .unwrap();
         }
         let caa = PlacementConstraint::anti_affinity("x", "x", NodeGroupId::node());
@@ -244,7 +264,12 @@ mod tests {
         let mut state = ClusterState::homogeneous(8, Resources::new(8192, 8), 2);
         for _ in 0..6 {
             state
-                .allocate(ApplicationId(1), NodeId(0), &req(&["y"]), ExecutionKind::LongRunning)
+                .allocate(
+                    ApplicationId(1),
+                    NodeId(0),
+                    &req(&["y"]),
+                    ExecutionKind::LongRunning,
+                )
                 .unwrap();
         }
         let caa = PlacementConstraint::anti_affinity("y", "y", NodeGroupId::node());
@@ -262,7 +287,12 @@ mod tests {
         let mut state = ClusterState::homogeneous(2, Resources::new(2048, 2), 1);
         for _ in 0..2 {
             state
-                .allocate(ApplicationId(1), NodeId(0), &req(&["z"]), ExecutionKind::LongRunning)
+                .allocate(
+                    ApplicationId(1),
+                    NodeId(0),
+                    &req(&["z"]),
+                    ExecutionKind::LongRunning,
+                )
                 .unwrap();
         }
         state

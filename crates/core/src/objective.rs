@@ -264,11 +264,20 @@ mod tests {
         let mut state = cluster();
         // Existing hb container on node 0; anti-affinity hb-hb at node level.
         state
-            .allocate(ApplicationId(1), NodeId(0), &req(&["hb"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(&["hb"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
         let scorer = Scorer::new(
             ObjectiveWeights::default(),
-            vec![PlacementConstraint::anti_affinity("hb", "hb", NodeGroupId::node())],
+            vec![PlacementConstraint::anti_affinity(
+                "hb",
+                "hb",
+                NodeGroupId::node(),
+            )],
         );
         let bad = scorer.violation_delta(&mut state, ApplicationId(2), &req(&["hb"]), NodeId(0));
         let good = scorer.violation_delta(&mut state, ApplicationId(2), &req(&["hb"]), NodeId(1));
@@ -286,11 +295,20 @@ mod tests {
         let mut state = cluster();
         // Existing "srv" subject with anti-affinity against "noisy".
         state
-            .allocate(ApplicationId(1), NodeId(0), &req(&["srv"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(&["srv"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
         let scorer = Scorer::new(
             ObjectiveWeights::default(),
-            vec![PlacementConstraint::anti_affinity("srv", "noisy", NodeGroupId::node())],
+            vec![PlacementConstraint::anti_affinity(
+                "srv",
+                "noisy",
+                NodeGroupId::node(),
+            )],
         );
         // The new container is not a subject, but it is a target that
         // breaks the existing subject's constraint.
@@ -306,11 +324,20 @@ mod tests {
     fn score_prefers_constraint_satisfying_nodes() {
         let mut state = cluster();
         state
-            .allocate(ApplicationId(1), NodeId(0), &req(&["cache"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(&["cache"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
         let scorer = Scorer::new(
             ObjectiveWeights::default(),
-            vec![PlacementConstraint::affinity("web", "cache", NodeGroupId::node())],
+            vec![PlacementConstraint::affinity(
+                "web",
+                "cache",
+                NodeGroupId::node(),
+            )],
         );
         let collocated = scorer
             .score(&mut state, ApplicationId(2), &req(&["web"]), NodeId(0))
@@ -337,11 +364,21 @@ mod tests {
         // 0 is violation-free for the first two, then stops being so.
         assert!(scorer.is_violation_free(&mut state, ApplicationId(1), &req(&["w"]), NodeId(0)));
         state
-            .allocate(ApplicationId(1), NodeId(0), &req(&["w"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(&["w"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
         assert!(scorer.is_violation_free(&mut state, ApplicationId(1), &req(&["w"]), NodeId(0)));
         state
-            .allocate(ApplicationId(1), NodeId(0), &req(&["w"]), ExecutionKind::LongRunning)
+            .allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(&["w"]),
+                ExecutionKind::LongRunning,
+            )
             .unwrap();
         assert!(!scorer.is_violation_free(&mut state, ApplicationId(1), &req(&["w"]), NodeId(0)));
         assert!(scorer.is_violation_free(&mut state, ApplicationId(1), &req(&["w"]), NodeId(1)));

@@ -1,0 +1,76 @@
+//! Bridge between the dependency-free solver instrumentation hook and
+//! the `medea-obs` metrics registry.
+//!
+//! The solver crate reports discrete [`SolveEvent`]s through the
+//! [`SolveInstrumentation`] trait without linking any metrics library;
+//! this bridge resolves the `solver.*` series once at construction and
+//! maps each event onto a lock-free counter, so the per-event cost is a
+//! single relaxed atomic add.
+
+use std::sync::Arc;
+
+use medea_obs::{Counter, MetricsRegistry};
+use medea_solver::{SolveEvent, SolveInstrumentation};
+
+/// Maps [`SolveEvent`]s onto `solver.*` counters of a registry.
+#[derive(Debug)]
+pub struct SolverMetricsBridge {
+    simplex_pivots: Arc<Counter>,
+    nodes_explored: Arc<Counter>,
+    nodes_pruned: Arc<Counter>,
+    incumbent_improvements: Arc<Counter>,
+    deadline_hits: Arc<Counter>,
+    node_limit_hits: Arc<Counter>,
+}
+
+impl SolverMetricsBridge {
+    /// Resolves the solver counter series in `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        SolverMetricsBridge {
+            simplex_pivots: registry.counter("solver.simplex_pivots_total"),
+            nodes_explored: registry.counter("solver.bnb_nodes_explored_total"),
+            nodes_pruned: registry.counter("solver.bnb_nodes_pruned_total"),
+            incumbent_improvements: registry.counter("solver.incumbent_improvements_total"),
+            deadline_hits: registry.counter("solver.deadline_hits_total"),
+            node_limit_hits: registry.counter("solver.node_limit_hits_total"),
+        }
+    }
+}
+
+impl SolveInstrumentation for SolverMetricsBridge {
+    fn record(&self, event: SolveEvent) {
+        match event {
+            SolveEvent::SimplexPivots(n) => self.simplex_pivots.add(n),
+            SolveEvent::NodeExplored => self.nodes_explored.inc(),
+            SolveEvent::NodePruned => self.nodes_pruned.inc(),
+            SolveEvent::IncumbentImproved => self.incumbent_improvements.inc(),
+            SolveEvent::DeadlineHit => self.deadline_hits.inc(),
+            SolveEvent::NodeLimitHit => self.node_limit_hits.inc(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bridge_maps_events_to_counters() {
+        let registry = MetricsRegistry::new();
+        let bridge = SolverMetricsBridge::new(&registry);
+        bridge.record(SolveEvent::SimplexPivots(17));
+        bridge.record(SolveEvent::NodeExplored);
+        bridge.record(SolveEvent::NodeExplored);
+        bridge.record(SolveEvent::NodePruned);
+        bridge.record(SolveEvent::IncumbentImproved);
+        bridge.record(SolveEvent::DeadlineHit);
+        bridge.record(SolveEvent::NodeLimitHit);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("solver.simplex_pivots_total"), Some(17));
+        assert_eq!(snap.counter("solver.bnb_nodes_explored_total"), Some(2));
+        assert_eq!(snap.counter("solver.bnb_nodes_pruned_total"), Some(1));
+        assert_eq!(snap.counter("solver.incumbent_improvements_total"), Some(1));
+        assert_eq!(snap.counter("solver.deadline_hits_total"), Some(1));
+        assert_eq!(snap.counter("solver.node_limit_hits_total"), Some(1));
+    }
+}

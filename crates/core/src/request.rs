@@ -213,7 +213,9 @@ mod tests {
         });
         assert!(p.placement().is_some());
         assert_eq!(p.app(), ApplicationId(1));
-        let u = PlacementOutcome::Unplaced { app: ApplicationId(2) };
+        let u = PlacementOutcome::Unplaced {
+            app: ApplicationId(2),
+        };
         assert!(u.placement().is_none());
         assert_eq!(u.app(), ApplicationId(2));
     }

@@ -10,13 +10,33 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use medea_cluster::{
     ApplicationId, ClusterState, ContainerId, ContainerRequest, ExecutionKind, NodeGroupId, NodeId,
     Resources,
 };
+use medea_obs::{Counter, Histogram, MetricsRegistry};
 
 use crate::request::{Locality, TaskJobRequest};
+
+/// Pre-resolved `task.*` metric handles.
+#[derive(Debug)]
+struct TaskMetrics {
+    heartbeats: Arc<Counter>,
+    allocations: Arc<Counter>,
+    alloc_latency_ticks: Arc<Histogram>,
+}
+
+impl TaskMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        TaskMetrics {
+            heartbeats: registry.counter("task.heartbeats_total"),
+            allocations: registry.counter("task.allocations_total"),
+            alloc_latency_ticks: registry.histogram("task.alloc_latency_ticks"),
+        }
+    }
+}
 
 /// Intra-queue scheduling policy (§6: YARN's Capacity Scheduler uses
 /// FIFO leaf queues; the Fair Scheduler can be used instead "simply by
@@ -142,6 +162,7 @@ pub struct TaskScheduler {
     pub rack_locality_delay: u32,
     /// Maximum containers allocated per heartbeat (off-switch limit).
     pub max_per_heartbeat: usize,
+    metrics: Option<TaskMetrics>,
 }
 
 impl TaskScheduler {
@@ -167,12 +188,19 @@ impl TaskScheduler {
             node_locality_delay: 3,
             rack_locality_delay: 6,
             max_per_heartbeat: 32,
+            metrics: None,
         }
     }
 
     /// Creates a scheduler with a single `default` queue at 100% capacity.
     pub fn single_queue() -> Self {
         TaskScheduler::new(vec![QueueConfig::new("default", 1.0, 1.0)])
+    }
+
+    /// Attaches a metrics registry: heartbeats, allocations, and the
+    /// task allocation latency distribution are reported as `task.*`.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(TaskMetrics::new(registry));
     }
 
     /// Submits a task job: `count` individual task containers, FIFO.
@@ -216,6 +244,9 @@ impl TaskScheduler {
         now: u64,
     ) -> Vec<TaskAllocation> {
         let mut out = Vec::new();
+        if let Some(m) = &self.metrics {
+            m.heartbeats.inc();
+        }
         if !state.is_available(node) {
             return out;
         }
@@ -243,7 +274,8 @@ impl TaskScheduler {
 
             let mut allocated_any = false;
             for qi in order {
-                let Some(alloc) = self.try_allocate_from_queue(state, qi, node, node_rack, now, &total)
+                let Some(alloc) =
+                    self.try_allocate_from_queue(state, qi, node, node_rack, now, &total)
                 else {
                     continue;
                 };
@@ -291,7 +323,9 @@ impl TaskScheduler {
                 continue;
             }
             // Node fit.
-            let Ok(free) = state.free(node) else { return None };
+            let Ok(free) = state.free(node) else {
+                return None;
+            };
             if !task.resources.fits_in(&free) {
                 continue;
             }
@@ -313,8 +347,7 @@ impl TaskScheduler {
                 || task.constraints.iter().all(|c| {
                     c.expr.conjuncts.iter().any(|conj| {
                         conj.iter().all(|leaf| {
-                            let Ok(sets) = state.groups().sets_containing(&c.group, node)
-                            else {
+                            let Ok(sets) = state.groups().sets_containing(&c.group, node) else {
                                 return true;
                             };
                             sets.iter().any(|&si| {
@@ -339,11 +372,16 @@ impl TaskScheduler {
             };
             self.queues[qi].used += task.resources;
             *self.queues[qi].app_used.entry(task.app).or_insert(0) += task.resources.memory_mb;
+            let latency = now.saturating_sub(task.submitted_at);
+            if let Some(m) = &self.metrics {
+                m.allocations.inc();
+                m.alloc_latency_ticks.record(latency);
+            }
             return Some(TaskAllocation {
                 container,
                 app: task.app,
                 node,
-                latency: now.saturating_sub(task.submitted_at),
+                latency,
             });
         }
         None
@@ -389,8 +427,11 @@ mod tests {
     fn fifo_allocation_on_heartbeat() {
         let mut state = cluster();
         let mut ts = TaskScheduler::single_queue();
-        ts.submit(TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 5), 10)
-            .unwrap();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 5),
+            10,
+        )
+        .unwrap();
         let allocs = ts.on_heartbeat(&mut state, NodeId(0), 12);
         assert_eq!(allocs.len(), 5);
         assert!(allocs.iter().all(|a| a.latency == 2));
@@ -403,8 +444,11 @@ mod tests {
         let mut state = cluster();
         let mut ts = TaskScheduler::single_queue();
         // 8 GB node, 3 GB tasks: two fit.
-        ts.submit(TaskJobRequest::new(ApplicationId(1), Resources::new(3072, 1), 5), 0)
-            .unwrap();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(3072, 1), 5),
+            0,
+        )
+        .unwrap();
         let allocs = ts.on_heartbeat(&mut state, NodeId(0), 0);
         assert_eq!(allocs.len(), 2);
         assert_eq!(ts.pending_count(), 3);
@@ -457,7 +501,11 @@ mod tests {
         )
         .unwrap();
         let allocs = ts.on_heartbeat(&mut state, NodeId(1), 1);
-        assert_eq!(allocs[0].app, ApplicationId(2), "queue b should be served first");
+        assert_eq!(
+            allocs[0].app,
+            ApplicationId(2),
+            "queue b should be served first"
+        );
     }
 
     #[test]
@@ -514,10 +562,14 @@ mod tests {
     fn completion_releases_resources() {
         let mut state = cluster();
         let mut ts = TaskScheduler::single_queue();
-        ts.submit(TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 1), 0)
-            .unwrap();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 1),
+            0,
+        )
+        .unwrap();
         let allocs = ts.on_heartbeat(&mut state, NodeId(0), 0);
-        ts.complete(&mut state, "default", allocs[0].container).unwrap();
+        ts.complete(&mut state, "default", allocs[0].container)
+            .unwrap();
         assert_eq!(ts.queue_used("default").unwrap(), Resources::ZERO);
         assert_eq!(state.num_containers(), 0);
     }
@@ -539,7 +591,7 @@ mod tests {
         use medea_cluster::{ContainerRequest, Tag};
         use medea_constraints::PlacementConstraint;
         let mut state = cluster(); // racks {0,1}, {2,3}
-        // A memcached LRA lives on node 2.
+                                   // A memcached LRA lives on node 2.
         state
             .allocate(
                 ApplicationId(9),
@@ -592,17 +644,25 @@ mod tests {
     #[test]
     fn fair_policy_alternates_between_apps() {
         let mut state = cluster();
-        let mut ts = TaskScheduler::new(vec![
-            QueueConfig::new("default", 1.0, 1.0).fair(),
-        ]);
+        let mut ts = TaskScheduler::new(vec![QueueConfig::new("default", 1.0, 1.0).fair()]);
         // App 1 floods the queue first; app 2 arrives behind it.
-        ts.submit(TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 6), 0)
-            .unwrap();
-        ts.submit(TaskJobRequest::new(ApplicationId(2), Resources::new(1024, 1), 6), 0)
-            .unwrap();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 6),
+            0,
+        )
+        .unwrap();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(2), Resources::new(1024, 1), 6),
+            0,
+        )
+        .unwrap();
         let allocs = ts.on_heartbeat(&mut state, NodeId(0), 1);
         // Max-min fairness: the first 8 allocations split 4/4, not 6/2.
-        let app1 = allocs.iter().take(8).filter(|a| a.app == ApplicationId(1)).count();
+        let app1 = allocs
+            .iter()
+            .take(8)
+            .filter(|a| a.app == ApplicationId(1))
+            .count();
         assert_eq!(app1, 4, "fair policy must interleave applications");
     }
 
@@ -610,33 +670,50 @@ mod tests {
     fn fifo_policy_serves_in_order() {
         let mut state = cluster();
         let mut ts = TaskScheduler::single_queue();
-        ts.submit(TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 6), 0)
-            .unwrap();
-        ts.submit(TaskJobRequest::new(ApplicationId(2), Resources::new(1024, 1), 6), 0)
-            .unwrap();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 6),
+            0,
+        )
+        .unwrap();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(2), Resources::new(1024, 1), 6),
+            0,
+        )
+        .unwrap();
         let allocs = ts.on_heartbeat(&mut state, NodeId(0), 1);
-        let app1_first = allocs.iter().take(6).filter(|a| a.app == ApplicationId(1)).count();
+        let app1_first = allocs
+            .iter()
+            .take(6)
+            .filter(|a| a.app == ApplicationId(1))
+            .count();
         assert_eq!(app1_first, 6, "FIFO must drain app 1 first");
     }
 
     #[test]
     fn fair_accounting_resets_on_completion() {
         let mut state = cluster();
-        let mut ts = TaskScheduler::new(vec![
-            QueueConfig::new("default", 1.0, 1.0).fair(),
-        ]);
-        ts.submit(TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 2), 0)
-            .unwrap();
+        let mut ts = TaskScheduler::new(vec![QueueConfig::new("default", 1.0, 1.0).fair()]);
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 2),
+            0,
+        )
+        .unwrap();
         let allocs = ts.on_heartbeat(&mut state, NodeId(0), 0);
         for a in &allocs {
             ts.complete(&mut state, "default", a.container).unwrap();
         }
         // After completion app 1 is back to zero usage: a new burst from
         // app 2 does not starve it.
-        ts.submit(TaskJobRequest::new(ApplicationId(2), Resources::new(1024, 1), 2), 1)
-            .unwrap();
-        ts.submit(TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 2), 1)
-            .unwrap();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(2), Resources::new(1024, 1), 2),
+            1,
+        )
+        .unwrap();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 2),
+            1,
+        )
+        .unwrap();
         let allocs = ts.on_heartbeat(&mut state, NodeId(1), 2);
         let apps: std::collections::HashSet<_> = allocs.iter().take(2).map(|a| a.app).collect();
         assert_eq!(apps.len(), 2, "both apps served in the first two slots");
@@ -647,8 +724,11 @@ mod tests {
         let mut state = cluster();
         state.set_available(NodeId(0), false).unwrap();
         let mut ts = TaskScheduler::single_queue();
-        ts.submit(TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 1), 0)
-            .unwrap();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 1),
+            0,
+        )
+        .unwrap();
         assert!(ts.on_heartbeat(&mut state, NodeId(0), 0).is_empty());
     }
 }

@@ -41,7 +41,7 @@ impl YarnScheduler {
                     }
                     let cap = work.node(n).map(|x| x.capacity).unwrap_or_default();
                     let score = free.memory_share(&cap);
-                    if best.map_or(true, |(_, bs)| score > bs) {
+                    if best.is_none_or(|(_, bs)| score > bs) {
                         best = Some((n, score));
                     }
                 }
@@ -130,13 +130,7 @@ mod tests {
     #[test]
     fn unplaceable_is_reported() {
         let state = ClusterState::homogeneous(1, Resources::new(1024, 1), 1);
-        let req = LraRequest::uniform(
-            ApplicationId(1),
-            2,
-            Resources::new(1024, 1),
-            vec![],
-            vec![],
-        );
+        let req = LraRequest::uniform(ApplicationId(1), 2, Resources::new(1024, 1), vec![], vec![]);
         let out = YarnScheduler::new().place(&state, &[req]);
         assert!(matches!(out[0], PlacementOutcome::Unplaced { .. }));
     }

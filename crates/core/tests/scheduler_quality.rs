@@ -167,8 +167,7 @@ fn ilp_quality_is_never_below_its_heuristic_start() {
     // exceed NC violations (NC's placement seeds the search).
     for seed_nodes in [6usize, 10] {
         let reqs = capped_workload(3);
-        let all_constraints: Vec<_> =
-            reqs.iter().flat_map(|r| r.constraints.clone()).collect();
+        let all_constraints: Vec<_> = reqs.iter().flat_map(|r| r.constraints.clone()).collect();
         let mut nc_state = ClusterState::homogeneous(seed_nodes, Resources::new(16 * 1024, 16), 2);
         commit(&mut nc_state, &reqs, LraAlgorithm::NodeCandidates);
         let v_nc = violation_stats(&nc_state, all_constraints.iter()).containers_violating;

@@ -1,0 +1,328 @@
+//! Internal deterministic pseudo-random number generation.
+//!
+//! The published `rand` crate is deliberately **not** a dependency of this
+//! workspace: the build must succeed fully offline (`cargo build --release
+//! --offline`) with no registry access. This crate provides the small PRNG
+//! surface the simulator and the randomized tests need:
+//!
+//! - [`Xoshiro256PlusPlus`] — the xoshiro256++ generator of Blackman and
+//!   Vigna: fast, 256-bit state, passes BigCrush, and trivially
+//!   reproducible across platforms;
+//! - [`SplitMix64`] — the canonical seeding generator, used to expand a
+//!   single `u64` seed into full xoshiro state;
+//! - the [`SeedableRng`]/[`RngExt`] traits, mirroring the subset of the
+//!   `rand` API the codebase uses (`seed_from_u64`, `random_range`,
+//!   `shuffle`, …) so call sites read identically.
+//!
+//! Determinism is a feature, not an accident: every simulator experiment
+//! is seeded, and two runs with the same seed must produce bit-identical
+//! traces on every platform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Seeding helpers (mirrors `rand::rngs`).
+pub mod rngs {
+    /// The workspace's standard generator (xoshiro256++).
+    pub type StdRng = crate::Xoshiro256PlusPlus;
+}
+
+/// Construction of a generator from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose full state is expanded from `seed` via
+    /// SplitMix64 (so nearby seeds still yield uncorrelated streams).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw output interface of a generator.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits scaled by 2^-53: the standard dense mapping.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// SplitMix64: a tiny, fast generator used for state expansion.
+///
+/// Not a statistical heavyweight on its own, but the recommended seeder
+/// for the xoshiro family (it has no zero fixed point and decorrelates
+/// consecutive seeds).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}
+
+/// xoshiro256++ (Blackman & Vigna, 2019): the workspace's standard PRNG.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256PlusPlus {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A half-open range a generator can sample uniformly.
+///
+/// Implemented for `Range<T>` over the integer and float types the
+/// codebase samples; mirrors `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Lemire-style unbiased bounded sampling via widening
+                // multiply with rejection of the biased low zone.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let threshold = span.wrapping_neg() % span;
+                    while lo < threshold {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                self.start + ((m >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(u64, u32, usize);
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample(self, rng: &mut impl RngCore) -> i64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        let offset = (0..span).sample(rng);
+        self.start.wrapping_add(offset as i64)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut impl RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`] (mirrors the used
+/// subset of `rand::Rng`).
+pub trait RngExt: RngCore {
+    /// Uniform sample from a half-open range: `rng.random_range(0..10)`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..(i + 1));
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T>
+    where
+        Self: Sized,
+    {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.random_range(0..slice.len())])
+        }
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        // First outputs for seed 0, from the reference C implementation
+        // (Vigna, <https://prng.di.unimi.it/splitmix64.c>).
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_are_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.random_range(0..10usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 must appear");
+        for _ in 0..1000 {
+            let v = rng.random_range(20_000..60_000u64);
+            assert!((20_000..60_000).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = rng.random_range(-5..5i64);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn singleton_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(rng.random_range(7..8u32), 7);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_half_open() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.random_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&v), "got {v}");
+        }
+        // Tiny range (regression: rounding must not hit the end bound).
+        for _ in 0..1000 {
+            let v = rng.random_range(1e-9..1.0f64);
+            assert!((1e-9..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_mean_is_central() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // Shuffling 50 elements leaves them in place with probability 1/50!.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn choose_covers_slice() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let items = [1, 2, 3];
+        let empty: [i32; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*rng.choose(&items).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

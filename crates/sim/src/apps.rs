@@ -140,17 +140,19 @@ pub fn tensorflow_instance_sized(app: ApplicationId, workers: usize, ps: usize) 
 
 /// The cardinality-sweep variant used by Figs. 2c/2d: `max_per_node`
 /// workers allowed per node instead of the defaults.
-pub fn with_cardinality_limit(mut req: LraRequest, worker_tag: &str, max_per_node: u32) -> LraRequest {
+pub fn with_cardinality_limit(
+    mut req: LraRequest,
+    worker_tag: &str,
+    max_per_node: u32,
+) -> LraRequest {
     for c in &mut req.constraints {
-        let is_card = c.subject == TagExpr::tag(t(worker_tag))
-            && c.group == NodeGroupId::node();
+        let is_card = c.subject == TagExpr::tag(t(worker_tag)) && c.group == NodeGroupId::node();
         if is_card {
-            c.expr = medea_constraints::TagConstraintExpr::leaf(
-                medea_constraints::TagConstraint::new(
+            c.expr =
+                medea_constraints::TagConstraintExpr::leaf(medea_constraints::TagConstraint::new(
                     t(worker_tag),
                     Cardinality::at_most(max_per_node.saturating_sub(1)),
-                ),
-            );
+                ));
         }
     }
     req
@@ -163,7 +165,10 @@ pub fn storm_instance(app: ApplicationId, affinity: StormAffinity) -> LraRequest
     let app_tag = Tag::app_id(app);
     let containers = (0..5)
         .map(|_| {
-            medea_cluster::ContainerRequest::new(Resources::new(2048, 1), [t("storm"), t("storm_sup")])
+            medea_cluster::ContainerRequest::new(
+                Resources::new(2048, 1),
+                [t("storm"), t("storm_sup")],
+            )
         })
         .collect();
     let mut constraints = Vec::new();
@@ -232,12 +237,12 @@ mod tests {
             .filter(|c| c.tags.contains(&Tag::new("hb_rs")))
             .count();
         assert_eq!(workers, 10);
-        assert!(r.containers.iter().all(|c| c.tags.contains(&Tag::new("hb"))));
+        assert!(r
+            .containers
+            .iter()
+            .all(|c| c.tags.contains(&Tag::new("hb"))));
         // Worker shape <2 GB, 1 CPU> per §7.1.
-        assert_eq!(
-            r.containers[0].resources,
-            Resources::new(2048, 1)
-        );
+        assert_eq!(r.containers[0].resources, Resources::new(2048, 1));
     }
 
     #[test]

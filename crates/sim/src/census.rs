@@ -6,8 +6,8 @@
 //! dedicates at least 10% of its machines to LRAs, and two of the six are
 //! used exclusively for LRAs.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
 
 /// One cluster's LRA census entry.
 #[derive(Debug, Clone, PartialEq)]

@@ -8,9 +8,11 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use medea_cluster::{ApplicationId, ContainerId, NodeId};
 use medea_core::{LraDeployment, LraRequest, MedeaScheduler, TaskJobRequest};
+use medea_obs::{Counter, Gauge, MetricsRegistry};
 
 /// A scheduled simulation event.
 #[derive(Debug, Clone)]
@@ -83,6 +85,37 @@ pub struct SimMetrics {
     pub deployments: Vec<LraDeployment>,
 }
 
+/// Pre-resolved `sim.*` series, updated per handled event. Kept as
+/// `Arc` handles so the hot event loop never touches the registry map.
+#[derive(Debug)]
+struct SimObs {
+    events: Arc<Counter>,
+    heartbeats: Arc<Counter>,
+    lra_submissions: Arc<Counter>,
+    task_submissions: Arc<Counter>,
+    task_completions: Arc<Counter>,
+    lra_completions: Arc<Counter>,
+    node_failures: Arc<Counter>,
+    scheduler_ticks: Arc<Counter>,
+    clock: Arc<Gauge>,
+}
+
+impl SimObs {
+    fn new(registry: &MetricsRegistry) -> Self {
+        SimObs {
+            events: registry.counter("sim.events_total"),
+            heartbeats: registry.counter("sim.heartbeats_total"),
+            lra_submissions: registry.counter("sim.lra_submissions_total"),
+            task_submissions: registry.counter("sim.task_submissions_total"),
+            task_completions: registry.counter("sim.task_completions_total"),
+            lra_completions: registry.counter("sim.lra_completions_total"),
+            node_failures: registry.counter("sim.node_failures_total"),
+            scheduler_ticks: registry.counter("sim.scheduler_ticks_total"),
+            clock: registry.gauge("sim.clock_ticks"),
+        }
+    }
+}
+
 /// The simulator: an event queue around a [`MedeaScheduler`].
 ///
 /// # Examples
@@ -111,6 +144,7 @@ pub struct SimDriver {
     /// Task runtime per queue (set by the latest `SubmitTasks` per queue).
     queue_durations: std::collections::HashMap<String, u64>,
     default_task_duration: u64,
+    obs: Option<SimObs>,
 }
 
 impl SimDriver {
@@ -132,9 +166,25 @@ impl SimDriver {
             heartbeats_started: false,
             queue_durations: std::collections::HashMap::new(),
             default_task_duration: 1_000,
+            obs: None,
         };
         sim.schedule(0, SimEvent::SchedulerTick);
         sim
+    }
+
+    /// Wires a metrics registry into the simulator and the wrapped
+    /// [`MedeaScheduler`] (which fans it out to the LRA scheduler's ILP
+    /// path and the task scheduler), so one registry covers the
+    /// `sim.*`, `core.*`, `task.*`, and `solver.*` series.
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.obs = Some(SimObs::new(&registry));
+        self.medea.set_metrics(registry);
+    }
+
+    /// Builder-style [`SimDriver::set_metrics`].
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.set_metrics(registry);
+        self
     }
 
     /// Current simulation time.
@@ -203,6 +253,20 @@ impl SimDriver {
     }
 
     fn handle(&mut self, event: SimEvent) {
+        if let Some(obs) = &self.obs {
+            obs.events.inc();
+            obs.clock.set(self.now as i64);
+            match &event {
+                SimEvent::SubmitLra(_) => obs.lra_submissions.inc(),
+                SimEvent::SubmitTasks { .. } => obs.task_submissions.inc(),
+                SimEvent::Heartbeat(_) => obs.heartbeats.inc(),
+                SimEvent::TaskComplete { .. } => obs.task_completions.inc(),
+                SimEvent::LraComplete(_) => obs.lra_completions.inc(),
+                SimEvent::NodeFail(_) => obs.node_failures.inc(),
+                SimEvent::NodeRecover(_) => {}
+                SimEvent::SchedulerTick => obs.scheduler_ticks.inc(),
+            }
+        }
         match event {
             SimEvent::SubmitLra(req) => {
                 // Validation failures surface as missing deployments, which
@@ -232,7 +296,10 @@ impl SimDriver {
                     );
                 }
                 if self.heartbeats_started {
-                    self.schedule(self.now + self.heartbeat_interval, SimEvent::Heartbeat(node));
+                    self.schedule(
+                        self.now + self.heartbeat_interval,
+                        SimEvent::Heartbeat(node),
+                    );
                 }
             }
             SimEvent::TaskComplete { queue, container } => {
@@ -349,10 +416,47 @@ mod tests {
             },
         );
         s.run_until(3_000);
-        assert!(s.metrics().task_latencies.is_empty(), "failed node allocates nothing");
+        assert!(
+            s.metrics().task_latencies.is_empty(),
+            "failed node allocates nothing"
+        );
         s.schedule(3_000, SimEvent::NodeRecover(medea_cluster::NodeId(0)));
         s.run_until(6_000);
         assert_eq!(s.metrics().task_latencies.len(), 1);
+    }
+
+    #[test]
+    fn metrics_cover_sim_core_and_task_series() {
+        let registry = MetricsRegistry::new();
+        let mut s = sim().with_metrics(Arc::clone(&registry));
+        s.start_heartbeats();
+        s.schedule(
+            0,
+            SimEvent::SubmitLra(LraRequest::uniform(
+                ApplicationId(1),
+                2,
+                Resources::new(1024, 1),
+                vec![Tag::new("a")],
+                vec![],
+            )),
+        );
+        s.schedule(
+            0,
+            SimEvent::SubmitTasks {
+                job: TaskJobRequest::new(ApplicationId(2), Resources::new(512, 1), 4),
+                duration: 500,
+            },
+        );
+        s.run_until(5_000);
+        let snap = registry.snapshot();
+        assert!(snap.counter("sim.events_total").unwrap() > 0);
+        assert!(snap.counter("sim.heartbeats_total").unwrap() > 0);
+        assert!(snap.counter("sim.scheduler_ticks_total").unwrap() > 0);
+        assert!(snap.counter("core.cycles_total").unwrap() > 0);
+        assert_eq!(snap.counter("core.lras_deployed_total"), Some(1));
+        assert!(snap.counter("task.heartbeats_total").unwrap() > 0);
+        assert_eq!(snap.counter("task.allocations_total"), Some(4));
+        assert_eq!(snap.gauge("sim.clock_ticks"), Some(5_000));
     }
 
     #[test]

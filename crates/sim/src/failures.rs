@@ -7,8 +7,8 @@
 //! 100%"; unavailability is strongly correlated *within* an SU, and SUs
 //! "tend to fail asynchronously".
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
 
 /// Configuration of the synthetic unavailability trace.
 #[derive(Debug, Clone, Copy)]
@@ -59,7 +59,7 @@ impl UnavailabilityTrace {
             .collect();
         // Ongoing spikes: per SU remaining (hours, magnitude).
         let mut spike: Vec<(f64, f64)> = vec![(0.0, 0.0); params.service_units];
-        for hour in 0..params.hours {
+        for row in fractions.iter_mut() {
             for su in 0..params.service_units {
                 // Spike lifecycle: start, decay, end.
                 if spike[su].0 <= 0.0 && rng.random_range(0.0..1.0) < params.spike_probability {
@@ -78,7 +78,7 @@ impl UnavailabilityTrace {
                 } else {
                     base
                 };
-                fractions[hour][su] = level.clamp(0.0, 1.0);
+                row[su] = level.clamp(0.0, 1.0);
             }
         }
         UnavailabilityTrace { fractions }
@@ -165,10 +165,7 @@ mod tests {
         // §2.3: when one SU is 100% down, the total stays low (~8%).
         let t = trace();
         for hour in 0..t.hours() {
-            let max_su = t.fractions[hour]
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max);
+            let max_su = t.fractions[hour].iter().cloned().fold(0.0f64, f64::max);
             if max_su >= 0.9 {
                 assert!(
                     t.total_at(hour) < 0.3,

@@ -29,8 +29,8 @@
 //! is why it cannot replace anti-affinity.
 
 use medea_cluster::{ApplicationId, ClusterState, NodeGroupId, Tag};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
 
 /// Parameters of the performance model.
 #[derive(Debug, Clone, Copy)]
@@ -114,7 +114,7 @@ impl PlacementProfile {
         }
         let mut racks: std::collections::HashSet<usize> = std::collections::HashSet::new();
         let mut ext = 0.0;
-        for (&node, _) in &per_node {
+        for &node in per_node.keys() {
             if let Ok(sets) = state.groups().sets_containing(&NodeGroupId::rack(), node) {
                 racks.extend(sets);
             }
@@ -241,25 +241,15 @@ impl PerfModel {
     pub fn ycsb_throughput(&self, base_kops: f64, collocated: u32, batch_util: f64) -> f64 {
         let p = &self.params;
         let isolation = if self.cgroups { p.isolable_share } else { 0.0 };
-        let io = p.io_interference
-            * (collocated as f64).powf(1.3)
-            * (1.0 - isolation);
-        let ext = p.external_interference
-            * batch_util
-            * 2.0f64.ln()
-            * (1.0 - 0.5 * isolation);
+        let io = p.io_interference * (collocated as f64).powf(1.3) * (1.0 - isolation);
+        let ext = p.external_interference * batch_util * 2.0f64.ln() * (1.0 - 0.5 * isolation);
         base_kops / (1.0 + io + ext)
     }
 
     /// Memcached lookup-latency samples for the §2.2 Storm pipeline
     /// (Fig. 2a): collocating Storm with Memcached removes the network
     /// round trip from the lookup path.
-    pub fn lookup_latency_samples(
-        &self,
-        collocated: bool,
-        n: usize,
-        seed: u64,
-    ) -> Vec<f64> {
+    pub fn lookup_latency_samples(&self, collocated: bool, n: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         let base_ms = if collocated { 28.0 } else { 130.0 };
         (0..n)
@@ -305,9 +295,18 @@ mod tests {
         // external load favours more collocation.
         let low = sweep_optimum(0.05, 32);
         let high = sweep_optimum(0.70, 32);
-        assert!(low < high, "low-util optimum {low} should be below high-util {high}");
-        assert!(low >= 2, "full anti-affinity should not be optimal at low load");
-        assert!(high <= 16, "full affinity should not be optimal at high load");
+        assert!(
+            low < high,
+            "low-util optimum {low} should be below high-util {high}"
+        );
+        assert!(
+            low >= 2,
+            "full anti-affinity should not be optimal at low load"
+        );
+        assert!(
+            high <= 16,
+            "full affinity should not be optimal at high load"
+        );
     }
 
     #[test]
@@ -401,7 +400,13 @@ mod tests {
     fn runtime_noise_is_deterministic_per_seed() {
         let model = PerfModel::new();
         let prof = PlacementProfile::packed(8, 2, 1, 0.3);
-        assert_eq!(model.runtime(100.0, &prof, 5), model.runtime(100.0, &prof, 5));
-        assert_ne!(model.runtime(100.0, &prof, 5), model.runtime(100.0, &prof, 6));
+        assert_eq!(
+            model.runtime(100.0, &prof, 5),
+            model.runtime(100.0, &prof, 5)
+        );
+        assert_ne!(
+            model.runtime(100.0, &prof, 5),
+            model.runtime(100.0, &prof, 6)
+        );
     }
 }

@@ -1,10 +1,12 @@
 //! Synthetic workload generators: GridMix-like batch jobs and a
 //! Google-trace-like task stream (DESIGN.md §3, substitutions 4–5).
 
-use medea_cluster::{ApplicationId, ClusterState, ContainerRequest, ExecutionKind, NodeId, Resources};
+use medea_cluster::{
+    ApplicationId, ClusterState, ContainerRequest, ExecutionKind, NodeId, Resources,
+};
 use medea_core::TaskJobRequest;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
 
 /// GridMix-like batch-job generator (the paper uses GridMix \[24\] to
 /// produce Tez jobs resembling production workloads, parameterized by the

@@ -1,0 +1,34 @@
+//! Optional instrumentation hook for the branch-and-bound search.
+//!
+//! The solver crate stays dependency-free: rather than linking a metrics
+//! library, [`Milp`](crate::Milp) accepts an optional
+//! [`SolveInstrumentation`] implementation and reports discrete
+//! [`SolveEvent`]s through it. Callers that want observability (Medea's
+//! LRA scheduler bridges these events into `medea-obs` counters) provide
+//! an impl; everyone else pays nothing.
+
+/// A discrete event inside one MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveEvent {
+    /// A simplex run finished, performing this many pivots.
+    SimplexPivots(u64),
+    /// One branch-and-bound node was expanded (its LP was solved).
+    NodeExplored,
+    /// A node was discarded without branching (infeasible LP, bound
+    /// dominated by the incumbent, or iteration-limited LP).
+    NodePruned,
+    /// A new incumbent strictly improved (or established) the best
+    /// integral solution.
+    IncumbentImproved,
+    /// The wall-clock deadline stopped the search.
+    DeadlineHit,
+    /// The node limit stopped the search.
+    NodeLimitHit,
+}
+
+/// Receiver for [`SolveEvent`]s; implementations must be cheap — the
+/// solver calls [`SolveInstrumentation::record`] from its hot loop.
+pub trait SolveInstrumentation {
+    /// Records one event.
+    fn record(&self, event: SolveEvent);
+}

@@ -36,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod instrument;
 mod milp;
 mod presolve;
 mod problem;
 mod simplex;
 
+pub use instrument::{SolveEvent, SolveInstrumentation};
 pub use milp::{Milp, MilpSolution, MilpStatus, INT_TOL};
 pub use presolve::{presolve, PresolveStats};
 pub use problem::{

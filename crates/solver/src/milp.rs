@@ -12,6 +12,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
+use crate::instrument::{SolveEvent, SolveInstrumentation};
 use crate::problem::{Problem, Sense, VarId};
 use crate::simplex::{LpStatus, Simplex};
 
@@ -134,6 +135,9 @@ pub struct Milp<'a> {
     incumbent_point: Option<Vec<f64>>,
     /// Root bound overrides applied to the entire search.
     root_bounds: Vec<(usize, f64, f64)>,
+    /// Optional event sink (see [`SolveInstrumentation`]); `None` costs
+    /// nothing on the hot path.
+    instrumentation: Option<&'a dyn SolveInstrumentation>,
 }
 
 impl<'a> Milp<'a> {
@@ -147,6 +151,22 @@ impl<'a> Milp<'a> {
             start: None,
             incumbent_point: None,
             root_bounds: Vec::new(),
+            instrumentation: None,
+        }
+    }
+
+    /// Attaches an instrumentation sink receiving [`SolveEvent`]s
+    /// (simplex pivots, nodes explored/pruned, incumbent improvements,
+    /// limit hits) during [`Milp::solve`].
+    pub fn with_instrumentation(mut self, sink: &'a dyn SolveInstrumentation) -> Self {
+        self.instrumentation = Some(sink);
+        self
+    }
+
+    /// Emits an event to the attached sink, if any.
+    fn emit(&self, event: SolveEvent) {
+        if let Some(sink) = self.instrumentation {
+            sink.record(event);
         }
     }
 
@@ -227,6 +247,7 @@ impl<'a> Milp<'a> {
         } else {
             Some(&self.root_bounds)
         });
+        self.emit(SolveEvent::SimplexPivots(root.iterations as u64));
         match root.status {
             LpStatus::Infeasible => {
                 return Ok(self.finish(MilpStatus::Infeasible, None, f64::NAN, 0, start))
@@ -250,6 +271,7 @@ impl<'a> Milp<'a> {
             if point.len() == p.num_vars() && p.is_feasible(point, 1e-6) {
                 let obj = sign * p.objective_value(point);
                 incumbent = Some((point.clone(), obj));
+                self.emit(SolveEvent::IncumbentImproved);
             } else if std::env::var_os("MEDEA_SOLVER_DEBUG").is_some() {
                 eprintln!(
                     "milp: rejected infeasible incumbent point (len {} vs {})",
@@ -278,12 +300,14 @@ impl<'a> Milp<'a> {
                 start: None,
                 incumbent_point: None,
                 root_bounds: bounds,
+                instrumentation: self.instrumentation,
             };
             if let Ok(sol) = warm.solve() {
                 if sol.has_solution() && p.is_feasible(&sol.values, 1e-6) {
                     let obj = sign * sol.objective;
-                    if incumbent.as_ref().map_or(true, |(_, inc)| obj < *inc) {
+                    if incumbent.as_ref().is_none_or(|(_, inc)| obj < *inc) {
                         incumbent = Some((sol.values.clone(), obj));
+                        self.emit(SolveEvent::IncumbentImproved);
                     }
                 }
             }
@@ -311,15 +335,19 @@ impl<'a> Milp<'a> {
                 steps += 1;
                 if let Some(d) = self.deadline {
                     if start.elapsed() >= d {
+                        self.emit(SolveEvent::DeadlineHit);
                         heap.push(HeapNode(cur));
                         break;
                     }
                 }
                 let lp = simplex.solve_with_bounds(Some(&cur.bounds));
+                self.emit(SolveEvent::SimplexPivots(lp.iterations as u64));
                 if lp.status != LpStatus::Optimal {
+                    self.emit(SolveEvent::NodePruned);
                     break;
                 }
                 nodes += 1;
+                self.emit(SolveEvent::NodeExplored);
                 let node_obj = sign * lp.objective;
                 // Rounding heuristic: try the nearest integral point.
                 self.try_rounded(&lp.values, &int_vars, sign, &mut incumbent);
@@ -329,7 +357,7 @@ impl<'a> Milp<'a> {
                     let frac = (v - v.round()).abs();
                     if frac > INT_TOL {
                         let score = (v - v.floor() - 0.5).abs();
-                        if branch.map_or(true, |(_, _, s)| score < s) {
+                        if branch.is_none_or(|(_, _, s)| score < s) {
                             branch = Some((j, v, score));
                         }
                     }
@@ -341,8 +369,9 @@ impl<'a> Milp<'a> {
                         vals[jj] = vals[jj].round();
                     }
                     let obj = sign * p.objective_value(&vals);
-                    if incumbent.as_ref().map_or(true, |(_, inc)| obj < *inc) {
+                    if incumbent.as_ref().is_none_or(|(_, inc)| obj < *inc) {
                         incumbent = Some((vals, obj));
+                        self.emit(SolveEvent::IncumbentImproved);
                     }
                     break;
                 };
@@ -385,34 +414,52 @@ impl<'a> Milp<'a> {
                 }
             }
             if nodes >= self.node_limit {
+                self.emit(SolveEvent::NodeLimitHit);
                 break;
             }
             if let Some(d) = self.deadline {
                 if start.elapsed() >= d {
+                    self.emit(SolveEvent::DeadlineHit);
                     break;
                 }
             }
             nodes += 1;
+            self.emit(SolveEvent::NodeExplored);
 
             let lp = simplex.solve_with_bounds(Some(&node.bounds));
+            self.emit(SolveEvent::SimplexPivots(lp.iterations as u64));
             match lp.status {
-                LpStatus::Infeasible => continue,
+                LpStatus::Infeasible => {
+                    self.emit(SolveEvent::NodePruned);
+                    continue;
+                }
                 LpStatus::Unbounded => {
                     // With an incumbent this cannot improve reporting;
                     // without one the whole MILP may be unbounded, but for
                     // bounded-variable integer programs (Medea's case) this
                     // indicates continuous unboundedness: report it.
                     if incumbent.is_none() {
-                        return Ok(self.finish(MilpStatus::Unbounded, None, f64::NAN, nodes, start));
+                        return Ok(self.finish(
+                            MilpStatus::Unbounded,
+                            None,
+                            f64::NAN,
+                            nodes,
+                            start,
+                        ));
                     }
+                    self.emit(SolveEvent::NodePruned);
                     continue;
                 }
-                LpStatus::IterationLimit => continue,
+                LpStatus::IterationLimit => {
+                    self.emit(SolveEvent::NodePruned);
+                    continue;
+                }
                 LpStatus::Optimal => {}
             }
             let node_obj = sign * lp.objective;
             if let Some((_, inc_obj)) = &incumbent {
                 if node_obj >= inc_obj - self.gap_abs(*inc_obj) {
+                    self.emit(SolveEvent::NodePruned);
                     continue;
                 }
             }
@@ -425,7 +472,7 @@ impl<'a> Milp<'a> {
                 let frac = (v - v.round()).abs();
                 if frac > INT_TOL {
                     let score = (v - v.floor() - 0.5).abs(); // closer to .5 is better
-                    if branch.map_or(true, |(_, _, s)| score < s) {
+                    if branch.is_none_or(|(_, _, s)| score < s) {
                         branch = Some((j, v, score));
                     }
                 }
@@ -439,11 +486,10 @@ impl<'a> Milp<'a> {
                         vals[j] = vals[j].round();
                     }
                     let obj = sign * p.objective_value(&vals);
-                    let better = incumbent
-                        .as_ref()
-                        .map_or(true, |(_, inc)| obj < *inc - 1e-12);
+                    let better = incumbent.as_ref().is_none_or(|(_, inc)| obj < *inc - 1e-12);
                     if better {
                         incumbent = Some((vals, obj));
+                        self.emit(SolveEvent::IncumbentImproved);
                     }
                 }
                 Some((j, v, _)) => {
@@ -479,7 +525,7 @@ impl<'a> Milp<'a> {
             Some((vals, obj)) => {
                 let proven = heap
                     .peek()
-                    .map_or(true, |HeapNode(n)| n.bound >= obj - self.gap_abs(obj));
+                    .is_none_or(|HeapNode(n)| n.bound >= obj - self.gap_abs(obj));
                 let status = if proven {
                     MilpStatus::Optimal
                 } else {
@@ -498,9 +544,7 @@ impl<'a> Milp<'a> {
             None => {
                 let exhausted = heap.is_empty()
                     && elapsed_nodes < self.node_limit
-                    && self
-                        .deadline
-                        .map_or(true, |d| start.elapsed() < d);
+                    && self.deadline.is_none_or(|d| start.elapsed() < d);
                 let status = if exhausted {
                     MilpStatus::Infeasible
                 } else {
@@ -536,8 +580,9 @@ impl<'a> Milp<'a> {
             return;
         }
         let obj = sign * self.problem.objective_value(&vals);
-        if incumbent.as_ref().map_or(true, |(_, inc)| obj < *inc - 1e-12) {
+        if incumbent.as_ref().is_none_or(|(_, inc)| obj < *inc - 1e-12) {
             *incumbent = Some((vals, obj));
+            self.emit(SolveEvent::IncumbentImproved);
         }
     }
 
@@ -672,6 +717,8 @@ mod tests {
                 v[i][j] = Some(p.add_binary(cost[i][j], format!("x{i}{j}")));
             }
         }
+        // `i` addresses both a row and a column of `v`.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             p.add_constraint((0..3).map(|j| (v[i][j].unwrap(), 1.0)), Cmp::Eq, 1.0);
             p.add_constraint((0..3).map(|j| (v[j][i].unwrap(), 1.0)), Cmp::Eq, 1.0);
@@ -698,7 +745,9 @@ mod tests {
     #[test]
     fn node_limit_reports_feasible_or_none() {
         let mut p = Problem::maximize();
-        let vars: Vec<_> = (0..12).map(|i| p.add_binary(1.0 + i as f64 * 0.1, format!("v{i}"))).collect();
+        let vars: Vec<_> = (0..12)
+            .map(|i| p.add_binary(1.0 + i as f64 * 0.1, format!("v{i}")))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         p.add_constraint(terms, Cmp::Le, 6.0);
         let s = Milp::new(&p).node_limit(2).solve().unwrap();

@@ -115,9 +115,17 @@ pub fn presolve(problem: &mut Problem) -> PresolveStats {
                 let (lo, hi) = (v.lower, v.upper);
                 if coeff > 0.0 {
                     min_act += coeff * lo;
-                    max_act += if hi.is_finite() { coeff * hi } else { f64::INFINITY };
+                    max_act += if hi.is_finite() {
+                        coeff * hi
+                    } else {
+                        f64::INFINITY
+                    };
                 } else {
-                    min_act += if hi.is_finite() { coeff * hi } else { f64::NEG_INFINITY };
+                    min_act += if hi.is_finite() {
+                        coeff * hi
+                    } else {
+                        f64::NEG_INFINITY
+                    };
                     max_act += coeff * lo;
                 }
             }

@@ -335,11 +335,7 @@ impl Problem {
 
     /// Evaluates the objective at a point given as a dense vector.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.vars
-            .iter()
-            .zip(x)
-            .map(|(v, &xi)| v.cost * xi)
-            .sum()
+        self.vars.iter().zip(x).map(|(v, &xi)| v.cost * xi).sum()
     }
 
     /// Checks primal feasibility of a dense point within tolerance `tol`.

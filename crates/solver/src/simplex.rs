@@ -114,8 +114,8 @@ impl State {
             if coeff == 0.0 {
                 continue;
             }
-            for i in 0..self.m {
-                w[i] += self.binv[i * self.m + row] * coeff;
+            for (i, wi) in w.iter_mut().enumerate().take(self.m) {
+                *wi += self.binv[i * self.m + row] * coeff;
             }
         }
     }
@@ -584,7 +584,7 @@ impl<'a> Simplex<'a> {
                     break;
                 }
                 let score = d.abs();
-                if entering.map_or(true, |(_, _, s)| score > s) {
+                if entering.is_none_or(|(_, _, s)| score > s) {
                     entering = Some((j, dir, score));
                 }
             }
@@ -599,8 +599,8 @@ impl<'a> Simplex<'a> {
             let span = st.upper[j_in] - st.lower[j_in];
             let mut t_best = span; // own bound flip (may be +inf)
             let mut leave: Option<(usize, NonbasicAt)> = None; // (row, bound hit)
-            for i in 0..m {
-                let delta = dir * w[i];
+            for (i, &wi) in w.iter().enumerate().take(m) {
+                let delta = dir * wi;
                 if delta > PIVOT_TOL {
                     // Basic variable decreases toward its lower bound.
                     let bi = st.basis[i];
@@ -609,7 +609,7 @@ impl<'a> Simplex<'a> {
                     if t < t_best - 1e-12
                         || (use_bland
                             && (t - t_best).abs() <= 1e-12
-                            && leave.map_or(false, |(r, _)| st.basis[i] < st.basis[r]))
+                            && leave.is_some_and(|(r, _)| st.basis[i] < st.basis[r]))
                     {
                         t_best = t.max(0.0);
                         leave = Some((i, NonbasicAt::Lower));
@@ -625,7 +625,7 @@ impl<'a> Simplex<'a> {
                     if t < t_best - 1e-12
                         || (use_bland
                             && (t - t_best).abs() <= 1e-12
-                            && leave.map_or(false, |(r, _)| st.basis[i] < st.basis[r]))
+                            && leave.is_some_and(|(r, _)| st.basis[i] < st.basis[r]))
                     {
                         t_best = t.max(0.0);
                         leave = Some((i, NonbasicAt::Upper));
@@ -647,8 +647,8 @@ impl<'a> Simplex<'a> {
                 None => {
                     // Bound flip: the entering variable travels its full
                     // span and rests at the opposite bound.
-                    for i in 0..m {
-                        st.xb[i] -= dir * t_best * w[i];
+                    for (xb, &wi) in st.xb.iter_mut().zip(w.iter()).take(m) {
+                        *xb -= dir * t_best * wi;
                     }
                     st.at[j_in] = match st.at[j_in] {
                         NonbasicAt::Lower => NonbasicAt::Upper,
@@ -662,10 +662,8 @@ impl<'a> Simplex<'a> {
                 }
             }
 
-            if st.pivots_since_refactor >= REFACTOR_PERIOD {
-                if !st.refactorize() {
-                    return PhaseOutcome::IterationLimit;
-                }
+            if st.pivots_since_refactor >= REFACTOR_PERIOD && !st.refactorize() {
+                return PhaseOutcome::IterationLimit;
             }
         }
     }
@@ -687,9 +685,9 @@ impl<'a> Simplex<'a> {
         let m = st.m;
         let j_out = st.basis[row];
         // Update basic values.
-        for i in 0..m {
+        for (i, (xb, &wi)) in st.xb.iter_mut().zip(w.iter()).enumerate().take(m) {
             if i != row {
-                st.xb[i] -= dir * t * w[i];
+                *xb -= dir * t * wi;
             }
         }
         st.xb[row] = new_val;
@@ -698,12 +696,8 @@ impl<'a> Simplex<'a> {
         for c in 0..m {
             st.binv[row * m + c] /= piv;
         }
-        for i in 0..m {
-            if i == row {
-                continue;
-            }
-            let f = w[i];
-            if f == 0.0 {
+        for (i, &f) in w.iter().enumerate().take(m) {
+            if i == row || f == 0.0 {
                 continue;
             }
             for c in 0..m {
@@ -859,8 +853,16 @@ mod tests {
         let y = p.add_nonneg(-150.0, "x2");
         let z = p.add_nonneg(0.02, "x3");
         let w = p.add_nonneg(-6.0, "x4");
-        p.add_constraint(vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Cmp::Le, 0.0);
-        p.add_constraint(vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Cmp::Le, 0.0);
+        p.add_constraint(
+            vec![(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            Cmp::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            Cmp::Le,
+            0.0,
+        );
         p.add_constraint(vec![(z, 1.0)], Cmp::Le, 1.0);
         let s = Simplex::new(&p).solve();
         assert_eq!(s.status, LpStatus::Optimal);

@@ -1,0 +1,144 @@
+//! Regression tests for the solver's *anytime* contract (§5.2: a
+//! scheduling interval bounds the time available for placement, so a
+//! limit hit must degrade to the best incumbent, never to an error).
+//!
+//! Every instance is generated with the workspace's deterministic PRNG,
+//! so each run solves the same problems.
+
+use std::time::Duration;
+
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
+use medea_solver::{Cmp, Milp, MilpStatus, Problem};
+
+/// A random knapsack-family maximization: all-zeros is always feasible,
+/// so a warm start is available for every instance.
+fn knapsack(rng: &mut StdRng, vars: usize, rows: usize) -> Problem {
+    let mut p = Problem::maximize();
+    let xs: Vec<_> = (0..vars)
+        .map(|i| p.add_binary(rng.random_range(1..20i64) as f64, format!("x{i}")))
+        .collect();
+    for _ in 0..rows {
+        let coeffs: Vec<i64> = (0..vars).map(|_| rng.random_range(0..8i64)).collect();
+        let budget: i64 = coeffs.iter().sum::<i64>() / 2 + 1;
+        p.add_constraint(
+            xs.iter().zip(&coeffs).map(|(&v, &c)| (v, c as f64)),
+            Cmp::Le,
+            budget as f64,
+        );
+    }
+    p
+}
+
+#[test]
+fn zero_time_limit_returns_feasible_with_warm_start() {
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xA11_71E ^ case);
+        let p = knapsack(&mut rng, 14, 6);
+        let zeros = vec![0.0; p.num_vars()];
+        let sol = Milp::new(&p)
+            .with_incumbent(zeros)
+            .time_limit(Duration::ZERO)
+            .solve()
+            .expect("time limit must never surface as an error");
+        assert!(
+            sol.has_solution(),
+            "case {case}: warm start must survive a zero deadline"
+        );
+        // All objective coefficients are positive, so all-zeros scores 0
+        // and any improvement the solver reports must only raise it.
+        assert!(sol.objective >= 0.0, "case {case}: objective regressed");
+    }
+}
+
+#[test]
+fn node_limit_returns_feasible_with_warm_start() {
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0x0DE_517 ^ case);
+        let p = knapsack(&mut rng, 16, 8);
+        let zeros = vec![0.0; p.num_vars()];
+        let sol = Milp::new(&p)
+            .with_incumbent(zeros)
+            .node_limit(1)
+            .solve()
+            .expect("node limit must never surface as an error");
+        assert!(
+            sol.has_solution(),
+            "case {case}: warm start must survive a node limit of 1"
+        );
+        assert!(sol.objective >= 0.0, "case {case}: objective regressed");
+    }
+}
+
+#[test]
+fn limits_never_error_even_without_warm_start() {
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xC01D ^ case);
+        let p = knapsack(&mut rng, 12, 5);
+        let timed = Milp::new(&p).time_limit(Duration::ZERO).solve();
+        assert!(timed.is_ok(), "case {case}: zero deadline errored");
+        let limited = Milp::new(&p).node_limit(1).solve();
+        assert!(limited.is_ok(), "case {case}: node limit errored");
+        // The knapsack family is feasible (all-zeros), so a status of
+        // Infeasible/Unbounded would be a wrong answer; a limit hit with
+        // no incumbent must report NoSolutionFound instead.
+        for sol in [timed.unwrap(), limited.unwrap()] {
+            assert!(
+                !matches!(sol.status, MilpStatus::Infeasible | MilpStatus::Unbounded),
+                "case {case}: limit produced wrong status {:?}",
+                sol.status
+            );
+        }
+    }
+}
+
+#[test]
+fn limited_solves_are_deterministic_per_seed() {
+    for case in 0..8u64 {
+        let solve_once = || {
+            let mut rng = StdRng::seed_from_u64(0xD_E7E ^ case);
+            let p = knapsack(&mut rng, 18, 8);
+            let zeros = vec![0.0; p.num_vars()];
+            Milp::new(&p)
+                .with_incumbent(zeros)
+                .node_limit(16)
+                .solve()
+                .expect("limited solve")
+        };
+        let a = solve_once();
+        let b = solve_once();
+        assert_eq!(a.status, b.status, "case {case}: status diverged");
+        assert_eq!(a.objective, b.objective, "case {case}: objective diverged");
+        assert_eq!(a.values, b.values, "case {case}: solution point diverged");
+        assert_eq!(a.nodes, b.nodes, "case {case}: node count diverged");
+    }
+}
+
+#[test]
+fn incumbent_improves_monotonically_with_budget() {
+    for case in 0..8u64 {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(0xB0D6E7 ^ case);
+            knapsack(&mut rng, 18, 8)
+        };
+        let p_small = build();
+        let small = Milp::new(&p_small)
+            .with_incumbent(vec![0.0; p_small.num_vars()])
+            .node_limit(2)
+            .solve()
+            .expect("small budget solve");
+        let p_big = build();
+        let big = Milp::new(&p_big)
+            .with_incumbent(vec![0.0; p_big.num_vars()])
+            .node_limit(10_000)
+            .solve()
+            .expect("big budget solve");
+        assert!(
+            big.objective >= small.objective - 1e-9,
+            "case {case}: more budget must not worsen the incumbent \
+             ({} < {})",
+            big.objective,
+            small.objective
+        );
+    }
+}

@@ -56,11 +56,7 @@ fn mip_start_makes_tight_deadlines_anytime() {
             point[i] = 1.0;
         }
     }
-    let greedy_value: f64 = values
-        .iter()
-        .zip(&point)
-        .map(|(&v, &x)| v as f64 * x)
-        .sum();
+    let greedy_value: f64 = values.iter().zip(&point).map(|(&v, &x)| v as f64 * x).sum();
 
     let sol = Milp::new(&p)
         .with_incumbent(point)
@@ -134,7 +130,11 @@ fn node_limit_is_respected() {
     let (p, _) = knapsack(&values, &weights, 60);
     let sol = Milp::new(&p).node_limit(5).solve().unwrap();
     // Severely limited: a status is still produced and nodes stay small.
-    assert!(sol.nodes <= 200, "dive plus a handful of nodes, got {}", sol.nodes);
+    assert!(
+        sol.nodes <= 200,
+        "dive plus a handful of nodes, got {}",
+        sol.nodes
+    );
 }
 
 #[test]
@@ -143,7 +143,11 @@ fn equality_constrained_scheduling_shape() {
     // with an S indicator — the scheduler's Eq. 2/4 structure.
     let mut p = Problem::maximize();
     let x: Vec<Vec<_>> = (0..3)
-        .map(|i| (0..3).map(|n| p.add_binary(0.0, format!("x{i}{n}"))).collect())
+        .map(|i| {
+            (0..3)
+                .map(|n| p.add_binary(0.0, format!("x{i}{n}")))
+                .collect()
+        })
         .collect();
     let s = p.add_binary(1.0, "s");
     let mut all = Vec::new();
@@ -153,6 +157,8 @@ fn equality_constrained_scheduling_shape() {
     }
     all.push((s, -3.0));
     p.add_constraint(all, Cmp::Eq, 0.0);
+    // `n` walks the transposed node dimension of `x`.
+    #[allow(clippy::needless_range_loop)]
     for n in 0..3 {
         p.add_constraint((0..3).map(|i| (x[i][n], 1.0)), Cmp::Le, 1.0);
     }

@@ -1,15 +1,19 @@
-//! Property-based tests for the MILP solver.
+//! Randomized tests for the MILP solver.
 //!
 //! Random small binary programs are solved both by branch and bound and by
 //! exhaustive enumeration; the solver must agree with brute force on
 //! feasibility and on the optimal objective value. Random LPs are checked
 //! for primal feasibility and weak-duality-style sanity (the reported
 //! objective is attained by the reported point).
+//!
+//! Programs are generated with the workspace's deterministic PRNG
+//! (`medea-rand`), so every run solves the same instances.
 
-use medea_solver::{Cmp, Milp, MilpStatus, Problem, Simplex, LpStatus};
-use proptest::prelude::*;
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
+use medea_solver::{Cmp, LpStatus, Milp, MilpStatus, Problem, Simplex};
 
-/// Description of a random binary program, generated by proptest.
+/// Description of a random binary program.
 #[derive(Debug, Clone)]
 struct BinaryProgram {
     maximize: bool,
@@ -18,25 +22,23 @@ struct BinaryProgram {
     rows: Vec<(Vec<i8>, u8, f64)>,
 }
 
-fn binary_program(max_vars: usize, max_rows: usize) -> impl Strategy<Value = BinaryProgram> {
-    (1..=max_vars, 0..=max_rows, any::<bool>()).prop_flat_map(move |(nv, nr, maximize)| {
-        let costs = prop::collection::vec(-10..=10i32, nv)
-            .prop_map(|cs| cs.into_iter().map(|c| c as f64).collect::<Vec<_>>());
-        let rows = prop::collection::vec(
-            (
-                prop::collection::vec(-3..=3i8, nv),
-                0..3u8,
-                -6..=12i32,
-            )
-                .prop_map(|(coeffs, cmp, rhs)| (coeffs, cmp, rhs as f64)),
-            nr,
-        );
-        (costs, rows).prop_map(move |(costs, rows)| BinaryProgram {
-            maximize,
-            costs,
-            rows,
-        })
-    })
+fn binary_program(rng: &mut StdRng, max_vars: usize, max_rows: usize) -> BinaryProgram {
+    let nv = rng.random_range(1..(max_vars + 1));
+    let nr = rng.random_range(0..(max_rows + 1));
+    BinaryProgram {
+        maximize: rng.random_bool(0.5),
+        costs: (0..nv)
+            .map(|_| rng.random_range(-10..11i64) as f64)
+            .collect(),
+        rows: (0..nr)
+            .map(|_| {
+                let coeffs: Vec<i8> = (0..nv).map(|_| rng.random_range(-3..4i64) as i8).collect();
+                let cmp = rng.random_range(0..3u32) as u8;
+                let rhs = rng.random_range(-6..13i64) as f64;
+                (coeffs, cmp, rhs)
+            })
+            .collect(),
+    }
 }
 
 fn build(bp: &BinaryProgram) -> Problem {
@@ -76,11 +78,7 @@ fn brute_force(bp: &BinaryProgram) -> Option<f64> {
         let x: Vec<f64> = (0..n).map(|i| ((mask >> i) & 1) as f64).collect();
         let mut feasible = true;
         for (coeffs, cmp, rhs) in &bp.rows {
-            let lhs: f64 = coeffs
-                .iter()
-                .zip(&x)
-                .map(|(&c, &xi)| c as f64 * xi)
-                .sum();
+            let lhs: f64 = coeffs.iter().zip(&x).map(|(&c, &xi)| c as f64 * xi).sum();
             let ok = match cmp {
                 0 => lhs <= rhs + 1e-9,
                 1 => lhs >= rhs - 1e-9,
@@ -109,61 +107,74 @@ fn brute_force(bp: &BinaryProgram) -> Option<f64> {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Branch and bound agrees with brute force on random binary programs.
-    #[test]
-    fn milp_matches_brute_force(bp in binary_program(6, 5)) {
+/// Branch and bound agrees with brute force on random binary programs.
+#[test]
+fn milp_matches_brute_force() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xA1B0 ^ case);
+        let bp = binary_program(&mut rng, 6, 5);
         let p = build(&bp);
         let sol = Milp::new(&p).solve().unwrap();
         match brute_force(&bp) {
-            None => prop_assert_eq!(sol.status, MilpStatus::Infeasible),
+            None => assert_eq!(sol.status, MilpStatus::Infeasible, "case {case}: {bp:?}"),
             Some(best) => {
-                prop_assert_eq!(sol.status, MilpStatus::Optimal);
-                prop_assert!((sol.objective - best).abs() < 1e-6,
-                    "solver found {}, brute force {}", sol.objective, best);
-                prop_assert!(p.is_feasible(&sol.values, 1e-6));
+                assert_eq!(sol.status, MilpStatus::Optimal, "case {case}: {bp:?}");
+                assert!(
+                    (sol.objective - best).abs() < 1e-6,
+                    "case {case}: solver found {}, brute force {best}",
+                    sol.objective
+                );
+                assert!(p.is_feasible(&sol.values, 1e-6));
             }
         }
     }
+}
 
-    /// LP relaxations return feasible points that attain the reported
-    /// objective, and the relaxation bound dominates the integer optimum.
-    #[test]
-    fn lp_relaxation_bounds_integer_optimum(bp in binary_program(6, 5)) {
+/// LP relaxations return feasible points that attain the reported
+/// objective, and the relaxation bound dominates the integer optimum.
+#[test]
+fn lp_relaxation_bounds_integer_optimum() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x1B ^ case);
+        let bp = binary_program(&mut rng, 6, 5);
         let p = build(&bp);
         let lp = Simplex::new(&p).solve();
         if lp.status == LpStatus::Optimal {
             // The reported point must be feasible for the relaxation
             // (box + rows, ignoring integrality) and attain the objective.
             for (v, &x) in p.vars().iter().zip(&lp.values) {
-                prop_assert!(x >= v.lower - 1e-6 && x <= v.upper + 1e-6);
+                assert!(x >= v.lower - 1e-6 && x <= v.upper + 1e-6, "case {case}");
             }
             let recomputed = p.objective_value(&lp.values);
-            prop_assert!((recomputed - lp.objective).abs() < 1e-6);
+            assert!((recomputed - lp.objective).abs() < 1e-6, "case {case}");
             if let Some(best) = brute_force(&bp) {
                 let (relax, int) = (lp.objective, best);
                 if bp.maximize {
-                    prop_assert!(relax >= int - 1e-6,
-                        "relaxation {} below integer optimum {}", relax, int);
+                    assert!(
+                        relax >= int - 1e-6,
+                        "case {case}: relaxation {relax} below integer optimum {int}"
+                    );
                 } else {
-                    prop_assert!(relax <= int + 1e-6,
-                        "relaxation {} above integer optimum {}", relax, int);
+                    assert!(
+                        relax <= int + 1e-6,
+                        "case {case}: relaxation {relax} above integer optimum {int}"
+                    );
                 }
             }
         } else if lp.status == LpStatus::Infeasible {
             // If the relaxation is infeasible the MILP must be too.
-            prop_assert!(brute_force(&bp).is_none());
+            assert!(brute_force(&bp).is_none(), "case {case}: {bp:?}");
         }
     }
+}
 
-    /// Fixing every binary via bound overrides yields exactly that point.
-    #[test]
-    fn bound_fixing_pins_solution(
-        bp in binary_program(5, 3),
-        mask in 0u32..32,
-    ) {
+/// Fixing every binary via bound overrides yields exactly that point.
+#[test]
+fn bound_fixing_pins_solution() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xF1 ^ case);
+        let bp = binary_program(&mut rng, 5, 3);
+        let mask = rng.random_range(0..32u32);
         let p = build(&bp);
         let n = p.num_vars();
         let overrides: Vec<(usize, f64, f64)> = (0..n)
@@ -175,7 +186,7 @@ proptest! {
         let lp = Simplex::new(&p).solve_with_bounds(Some(&overrides));
         if lp.status == LpStatus::Optimal {
             for (i, &(_, lo, _)) in overrides.iter().enumerate() {
-                prop_assert!((lp.values[i] - lo).abs() < 1e-6);
+                assert!((lp.values[i] - lo).abs() < 1e-6, "case {case}");
             }
         }
     }
@@ -231,5 +242,9 @@ fn moderately_sized_set_cover_is_exact() {
             best = best.min(w);
         }
     }
-    assert!((sol.objective - best).abs() < 1e-9, "milp {} vs brute {best}", sol.objective);
+    assert!(
+        (sol.objective - best).abs() < 1e-9,
+        "milp {} vs brute {best}",
+        sol.objective
+    );
 }

@@ -46,7 +46,13 @@ fn deploy(spread: bool) -> Vec<u32> {
     };
     medea
         .submit_lra(
-            LraRequest::uniform(app, 30, Resources::new(2048, 1), vec![Tag::new("svc")], constraints),
+            LraRequest::uniform(
+                app,
+                30,
+                Resources::new(2048, 1),
+                vec![Tag::new("svc")],
+                constraints,
+            ),
             0,
         )
         .unwrap();

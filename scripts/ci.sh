@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Everything runs offline: the workspace has
+# no external crates, so any registry access is a regression this script
+# must catch.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release --offline (all targets)"
+cargo build --release --offline --workspace --benches --tests
+
+echo "==> cargo test (debug)"
+cargo test --offline --workspace -q
+
+echo "==> cargo test (release)"
+cargo test --release --offline --workspace -q
+
+echo "CI gate passed."

@@ -84,11 +84,7 @@ fn main() {
         }
     }
 
-    let cluster = ClusterState::homogeneous(
-        args.nodes,
-        Resources::new(16 * 1024, 16),
-        args.racks,
-    );
+    let cluster = ClusterState::homogeneous(args.nodes, Resources::new(16 * 1024, 16), args.racks);
     let mut medea = MedeaScheduler::new(cluster, LraAlgorithm::Ilp, 10);
     let req = LraRequest::uniform(
         ApplicationId(1),

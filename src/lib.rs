@@ -61,8 +61,8 @@ pub mod prelude {
         TagConstraintExpr, TagExpr,
     };
     pub use medea_core::{
-        IlpConfig, Locality, LraAlgorithm, LraDeployment, LraRequest, LraScheduler,
-        MedeaScheduler, MigrationConfig, MigrationController, ObjectiveWeights, PlacementOutcome,
-        QueueConfig, QueuePolicy, TaskJobRequest, TaskScheduler,
+        IlpConfig, Locality, LraAlgorithm, LraDeployment, LraRequest, LraScheduler, MedeaScheduler,
+        MigrationConfig, MigrationController, ObjectiveWeights, PlacementOutcome, QueueConfig,
+        QueuePolicy, TaskJobRequest, TaskScheduler,
     };
 }

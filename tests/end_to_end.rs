@@ -24,7 +24,10 @@ fn full_lifecycle_submit_place_complete() {
 
     // Constraint satisfaction end to end.
     let stats = violation_stats(medea.state(), req.constraints.iter());
-    assert_eq!(stats.containers_violating, 0, "fresh cluster must satisfy all");
+    assert_eq!(
+        stats.containers_violating, 0,
+        "fresh cluster must satisfy all"
+    );
 
     // Teardown removes containers and constraints.
     medea.complete_lra(ApplicationId(1));
@@ -38,7 +41,10 @@ fn lras_and_tasks_share_the_cluster_without_interfering() {
 
     // Tasks first: they allocate on heartbeats immediately (R4).
     medea
-        .submit_tasks(TaskJobRequest::new(ApplicationId(50), Resources::new(1024, 1), 20), 0)
+        .submit_tasks(
+            TaskJobRequest::new(ApplicationId(50), Resources::new(1024, 1), 20),
+            0,
+        )
         .unwrap();
     let mut task_allocs = Vec::new();
     for n in 0..10u32 {
@@ -54,7 +60,11 @@ fn lras_and_tasks_share_the_cluster_without_interfering() {
                 5,
                 Resources::new(2048, 1),
                 vec![Tag::new("svc")],
-                vec![PlacementConstraint::anti_affinity("svc", "svc", NodeGroupId::node())],
+                vec![PlacementConstraint::anti_affinity(
+                    "svc",
+                    "svc",
+                    NodeGroupId::node(),
+                )],
             ),
             2,
         )
@@ -69,7 +79,11 @@ fn lras_and_tasks_share_the_cluster_without_interfering() {
 #[test]
 fn operator_constraints_steer_all_algorithms() {
     // The operator bans more than one "noisy" container per node.
-    for alg in [LraAlgorithm::Ilp, LraAlgorithm::NodeCandidates, LraAlgorithm::TagPopularity] {
+    for alg in [
+        LraAlgorithm::Ilp,
+        LraAlgorithm::NodeCandidates,
+        LraAlgorithm::TagPopularity,
+    ] {
         let state = cluster(8, 2);
         let scheduler = LraScheduler::new(alg);
         let operator = PlacementConstraint::new(
@@ -85,7 +99,11 @@ fn operator_constraints_steer_all_algorithms() {
             vec![Tag::new("noisy")],
             vec![],
         );
-        let out = scheduler.place(&state, &[req.clone()], std::slice::from_ref(&operator));
+        let out = scheduler.place(
+            &state,
+            std::slice::from_ref(&req),
+            std::slice::from_ref(&operator),
+        );
         let pl = out[0].placement().expect("placeable");
         let mut nodes = pl.nodes.clone();
         nodes.sort();
@@ -100,7 +118,8 @@ fn constraint_manager_resolves_operator_conflicts_end_to_end() {
     let cm = ConstraintManager::new();
     let app = PlacementConstraint::cardinality("w", "w", 0, 9, NodeGroupId::rack());
     let op = PlacementConstraint::cardinality("w", "w", 0, 3, NodeGroupId::rack());
-    cm.register_app(ApplicationId(1), vec![app], state.groups()).unwrap();
+    cm.register_app(ApplicationId(1), vec![app], state.groups())
+        .unwrap();
     cm.register_operator(op, state.groups()).unwrap();
     let active = cm.active();
     assert_eq!(active.len(), 1);
@@ -112,14 +131,23 @@ fn conflict_between_placement_and_commit_resubmits() {
     let mut medea = MedeaScheduler::new(cluster(2, 1), LraAlgorithm::Serial, 10);
     // Occupy the whole cluster with tasks.
     medea
-        .submit_tasks(TaskJobRequest::new(ApplicationId(9), Resources::new(16 * 1024, 1), 2), 0)
+        .submit_tasks(
+            TaskJobRequest::new(ApplicationId(9), Resources::new(16 * 1024, 1), 2),
+            0,
+        )
         .unwrap();
     medea.heartbeat(NodeId(0), 0);
     medea.heartbeat(NodeId(1), 0);
 
     medea
         .submit_lra(
-            LraRequest::uniform(ApplicationId(1), 2, Resources::new(4096, 1), vec![Tag::new("x")], vec![]),
+            LraRequest::uniform(
+                ApplicationId(1),
+                2,
+                Resources::new(4096, 1),
+                vec![Tag::new("x")],
+                vec![],
+            ),
             0,
         )
         .unwrap();
@@ -144,7 +172,11 @@ fn failure_injection_and_resilient_respread() {
                 4,
                 Resources::new(1024, 1),
                 vec![Tag::new("svc")],
-                vec![PlacementConstraint::anti_affinity("svc", "svc", NodeGroupId::node())],
+                vec![PlacementConstraint::anti_affinity(
+                    "svc",
+                    "svc",
+                    NodeGroupId::node(),
+                )],
             ),
             0,
         )
@@ -157,7 +189,13 @@ fn failure_injection_and_resilient_respread() {
     medea.state_mut().set_available(lost_node, false).unwrap();
     medea
         .submit_lra(
-            LraRequest::uniform(ApplicationId(2), 3, Resources::new(1024, 1), vec![Tag::new("b")], vec![]),
+            LraRequest::uniform(
+                ApplicationId(2),
+                3,
+                Resources::new(1024, 1),
+                vec![Tag::new("b")],
+                vec![],
+            ),
             11,
         )
         .unwrap();
@@ -194,7 +232,13 @@ fn stats_track_cycles_and_outcomes() {
     let mut medea = MedeaScheduler::new(cluster(4, 2), LraAlgorithm::Serial, 10);
     medea
         .submit_lra(
-            LraRequest::uniform(ApplicationId(1), 2, Resources::new(1024, 1), vec![Tag::new("a")], vec![]),
+            LraRequest::uniform(
+                ApplicationId(1),
+                2,
+                Resources::new(1024, 1),
+                vec![Tag::new("a")],
+                vec![],
+            ),
             0,
         )
         .unwrap();

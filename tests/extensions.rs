@@ -3,7 +3,7 @@
 //! — all through the public facade API.
 
 use medea::prelude::*;
-use medea::scheduler::{QueuePolicy};
+use medea::scheduler::QueuePolicy;
 use medea_constraints::violation_stats;
 
 #[test]
@@ -127,17 +127,29 @@ fn task_jobs_respect_lra_affinity_through_the_pipeline() {
 fn fair_queues_share_between_competing_jobs() {
     let cluster = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
     let ts = TaskScheduler::new(vec![QueueConfig::new("default", 1.0, 1.0).fair()]);
-    let mut medea =
-        MedeaScheduler::new(cluster, LraAlgorithm::Serial, 10).with_task_scheduler(ts);
+    let mut medea = MedeaScheduler::new(cluster, LraAlgorithm::Serial, 10).with_task_scheduler(ts);
     medea
-        .submit_tasks(TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 8), 0)
+        .submit_tasks(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 8),
+            0,
+        )
         .unwrap();
     medea
-        .submit_tasks(TaskJobRequest::new(ApplicationId(2), Resources::new(1024, 1), 8), 0)
+        .submit_tasks(
+            TaskJobRequest::new(ApplicationId(2), Resources::new(1024, 1), 8),
+            0,
+        )
         .unwrap();
     let allocs = medea.heartbeat(NodeId(0), 1);
-    let first_six_app1 = allocs.iter().take(6).filter(|a| a.app == ApplicationId(1)).count();
-    assert_eq!(first_six_app1, 3, "fair policy splits the first slots evenly");
+    let first_six_app1 = allocs
+        .iter()
+        .take(6)
+        .filter(|a| a.app == ApplicationId(1))
+        .count();
+    assert_eq!(
+        first_six_app1, 3,
+        "fair policy splits the first slots evenly"
+    );
 }
 
 #[test]

@@ -16,10 +16,20 @@ fn req(mem: u64, tags: &[&str]) -> ContainerRequest {
 #[test]
 fn section_4_1_node_tag_sets() {
     let mut c = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
-    c.allocate(ApplicationId(1), NodeId(0), &req(512, &["hb", "hb_m"]), ExecutionKind::LongRunning)
-        .unwrap();
-    c.allocate(ApplicationId(1), NodeId(0), &req(512, &["hb", "hb_rs"]), ExecutionKind::LongRunning)
-        .unwrap();
+    c.allocate(
+        ApplicationId(1),
+        NodeId(0),
+        &req(512, &["hb", "hb_m"]),
+        ExecutionKind::LongRunning,
+    )
+    .unwrap();
+    c.allocate(
+        ApplicationId(1),
+        NodeId(0),
+        &req(512, &["hb", "hb_rs"]),
+        ExecutionKind::LongRunning,
+    )
+    .unwrap();
     assert_eq!(c.gamma(NodeId(0), &Tag::new("hb")), 2);
     assert_eq!(c.gamma(NodeId(0), &Tag::new("hb_m")), 1);
     assert_eq!(c.gamma(NodeId(0), &Tag::new("hb_rs")), 1);
@@ -27,11 +37,22 @@ fn section_4_1_node_tag_sets() {
     // "Let nodes n1 and n2 belong to rack r1, and assume 𝒯n2 = {hb, hb_rs}
     // ... Then γr1(hb) = 3, γr1(hb_m) = 1, and γr1(hb_rs) = 2."
     // Rack 0 holds nodes {0, 1} in this cluster.
-    c.allocate(ApplicationId(2), NodeId(1), &req(512, &["hb", "hb_rs"]), ExecutionKind::LongRunning)
-        .unwrap();
+    c.allocate(
+        ApplicationId(2),
+        NodeId(1),
+        &req(512, &["hb", "hb_rs"]),
+        ExecutionKind::LongRunning,
+    )
+    .unwrap();
     assert_eq!(c.gamma_in_set(&NodeGroupId::rack(), 0, &Tag::new("hb")), 3);
-    assert_eq!(c.gamma_in_set(&NodeGroupId::rack(), 0, &Tag::new("hb_m")), 1);
-    assert_eq!(c.gamma_in_set(&NodeGroupId::rack(), 0, &Tag::new("hb_rs")), 2);
+    assert_eq!(
+        c.gamma_in_set(&NodeGroupId::rack(), 0, &Tag::new("hb_m")),
+        1
+    );
+    assert_eq!(
+        c.gamma_in_set(&NodeGroupId::rack(), 0, &Tag::new("hb_rs")),
+        2
+    );
 }
 
 /// §4.2 Caf: "{storm, {hb ∧ mem, 1, ∞}, node} requests each container
@@ -43,15 +64,35 @@ fn section_4_2_affinity_example() {
     let mut c = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
     // hb∧mem on node 1; hb alone on node 2 (must NOT satisfy: both tags
     // are required on the same container).
-    c.allocate(ApplicationId(1), NodeId(1), &req(512, &["hb", "mem"]), ExecutionKind::LongRunning)
-        .unwrap();
-    c.allocate(ApplicationId(2), NodeId(2), &req(512, &["hb"]), ExecutionKind::LongRunning)
-        .unwrap();
+    c.allocate(
+        ApplicationId(1),
+        NodeId(1),
+        &req(512, &["hb", "mem"]),
+        ExecutionKind::LongRunning,
+    )
+    .unwrap();
+    c.allocate(
+        ApplicationId(2),
+        NodeId(2),
+        &req(512, &["hb"]),
+        ExecutionKind::LongRunning,
+    )
+    .unwrap();
     let ok = c
-        .allocate(ApplicationId(3), NodeId(1), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(3),
+            NodeId(1),
+            &req(512, &["storm"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     let bad = c
-        .allocate(ApplicationId(3), NodeId(2), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(3),
+            NodeId(2),
+            &req(512, &["storm"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     assert!(check_container(&c, &caf, ok).unwrap().satisfied);
     assert!(!check_container(&c, &caf, bad).unwrap().satisfied);
@@ -73,15 +114,30 @@ fn section_4_2_anti_affinity_example() {
             vec![NodeId(4), NodeId(5)],
         ],
     );
-    c.allocate(ApplicationId(1), NodeId(0), &req(512, &["hb"]), ExecutionKind::LongRunning)
-        .unwrap();
+    c.allocate(
+        ApplicationId(1),
+        NodeId(0),
+        &req(512, &["hb"]),
+        ExecutionKind::LongRunning,
+    )
+    .unwrap();
     // Same domain as the hb container (node 1 shares domain 0): violated.
     let bad = c
-        .allocate(ApplicationId(2), NodeId(1), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(2),
+            NodeId(1),
+            &req(512, &["storm"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     // Different domain: satisfied.
     let ok = c
-        .allocate(ApplicationId(2), NodeId(4), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(2),
+            NodeId(4),
+            &req(512, &["storm"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     assert!(!check_container(&c, &caa, bad).unwrap().satisfied);
     assert!(check_container(&c, &caa, ok).unwrap().satisfied);
@@ -104,14 +160,29 @@ fn section_4_2_cardinality_example() {
         .unwrap();
     }
     for i in 4..6 {
-        c.allocate(ApplicationId(1), NodeId(i), &req(512, &["spark"]), ExecutionKind::LongRunning)
-            .unwrap();
+        c.allocate(
+            ApplicationId(1),
+            NodeId(i),
+            &req(512, &["spark"]),
+            ExecutionKind::LongRunning,
+        )
+        .unwrap();
     }
     let overloaded = c
-        .allocate(ApplicationId(2), NodeId(0), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(2),
+            NodeId(0),
+            &req(512, &["storm"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     let fine = c
-        .allocate(ApplicationId(2), NodeId(5), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(2),
+            NodeId(5),
+            &req(512, &["storm"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     assert!(!check_container(&c, &cca, overloaded).unwrap().satisfied);
     assert!(check_container(&c, &cca, fine).unwrap().satisfied);
@@ -142,7 +213,12 @@ fn section_4_2_group_cardinality_example() {
     }
     // A lone spark in rack 1 sees zero others -> below cmin, violated.
     let lone = c
-        .allocate(ApplicationId(2), NodeId(5), &req(512, &["spark"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(2),
+            NodeId(5),
+            &req(512, &["spark"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     assert!(!check_container(&c, &ccg, lone).unwrap().satisfied);
 }
@@ -151,22 +227,39 @@ fn section_4_2_group_cardinality_example() {
 /// with ID 0023 ..." — appid-namespaced tags scope constraints.
 #[test]
 fn section_4_2_appid_scoping() {
-    let scoped = parse_constraint(
-        "{appid:23 ∧ storm, {appid:23 ∧ hb, 1, ∞}, node}",
-    )
-    .unwrap();
+    let scoped = parse_constraint("{appid:23 ∧ storm, {appid:23 ∧ hb, 1, ∞}, node}").unwrap();
     let mut c = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
     // App 23's hb on node 0; app 99's hb on node 1.
-    c.allocate(ApplicationId(23), NodeId(0), &req(512, &["hb"]), ExecutionKind::LongRunning)
-        .unwrap();
-    c.allocate(ApplicationId(99), NodeId(1), &req(512, &["hb"]), ExecutionKind::LongRunning)
-        .unwrap();
+    c.allocate(
+        ApplicationId(23),
+        NodeId(0),
+        &req(512, &["hb"]),
+        ExecutionKind::LongRunning,
+    )
+    .unwrap();
+    c.allocate(
+        ApplicationId(99),
+        NodeId(1),
+        &req(512, &["hb"]),
+        ExecutionKind::LongRunning,
+    )
+    .unwrap();
     // App 23's storm next to the *wrong* app's hb: violated.
     let wrong = c
-        .allocate(ApplicationId(23), NodeId(1), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(23),
+            NodeId(1),
+            &req(512, &["storm"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     let right = c
-        .allocate(ApplicationId(23), NodeId(0), &req(512, &["storm"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(23),
+            NodeId(0),
+            &req(512, &["storm"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     assert!(!check_container(&c, &scoped, wrong).unwrap().satisfied);
     assert!(check_container(&c, &scoped, right).unwrap().satisfied);
@@ -183,10 +276,20 @@ fn section_4_1_static_attributes_as_tags() {
     ];
     let mut c = ClusterState::with_groups(nodes, NodeGroups::new(2));
     let on_plain = c
-        .allocate(ApplicationId(1), NodeId(0), &req(512, &["trainer"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(1),
+            NodeId(0),
+            &req(512, &["trainer"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     let on_gpu = c
-        .allocate(ApplicationId(1), NodeId(1), &req(512, &["trainer"]), ExecutionKind::LongRunning)
+        .allocate(
+            ApplicationId(1),
+            NodeId(1),
+            &req(512, &["trainer"]),
+            ExecutionKind::LongRunning,
+        )
         .unwrap();
     assert!(!check_container(&c, &wants_gpu, on_plain).unwrap().satisfied);
     assert!(check_container(&c, &wants_gpu, on_gpu).unwrap().satisfied);

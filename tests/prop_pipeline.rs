@@ -1,9 +1,14 @@
-//! Cross-crate property tests: for random clusters and LRA mixes, every
+//! Cross-crate randomized tests: for random clusters and LRA mixes, every
 //! scheduling algorithm must uphold the structural invariants of the
 //! system — capacity, all-or-nothing placement, and rollback cleanliness.
+//!
+//! Cases are generated with the workspace's deterministic PRNG
+//! (`medea-rand`), so every run exercises the same inputs and failures
+//! reproduce from the printed case seed.
 
 use medea::prelude::*;
-use proptest::prelude::*;
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
 
 #[derive(Debug, Clone)]
 struct RandomLra {
@@ -13,15 +18,13 @@ struct RandomLra {
     max_per_node: u32,
 }
 
-fn lra_strategy() -> impl Strategy<Value = RandomLra> {
-    (1..8usize, 512..4096u64, any::<bool>(), 1..4u32).prop_map(
-        |(containers, mem, anti_affinity, max_per_node)| RandomLra {
-            containers,
-            mem,
-            anti_affinity,
-            max_per_node,
-        },
-    )
+fn random_lra(rng: &mut StdRng) -> RandomLra {
+    RandomLra {
+        containers: rng.random_range(1..8usize),
+        mem: rng.random_range(512..4096u64),
+        anti_affinity: rng.random_bool(0.5),
+        max_per_node: rng.random_range(1..4u32),
+    }
 }
 
 fn build_requests(lras: &[RandomLra]) -> Vec<LraRequest> {
@@ -55,16 +58,15 @@ fn build_requests(lras: &[RandomLra]) -> Vec<LraRequest> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every algorithm returns placements that commit within capacity,
-    /// place all-or-nothing, and leave no residue for unplaced apps.
-    #[test]
-    fn placements_respect_structural_invariants(
-        lras in prop::collection::vec(lra_strategy(), 1..5),
-        nodes in 2..10usize,
-    ) {
+/// Every algorithm returns placements that commit within capacity,
+/// place all-or-nothing, and leave no residue for unplaced apps.
+#[test]
+fn placements_respect_structural_invariants() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x70AC_E11E ^ case);
+        let n_lras = rng.random_range(1..5usize);
+        let lras: Vec<RandomLra> = (0..n_lras).map(|_| random_lra(&mut rng)).collect();
+        let nodes = rng.random_range(2..10usize);
         let requests = build_requests(&lras);
         for alg in [
             LraAlgorithm::Ilp,
@@ -75,25 +77,22 @@ proptest! {
             LraAlgorithm::JKubePlusPlus,
             LraAlgorithm::Yarn,
         ] {
-            let mut state = ClusterState::homogeneous(
-                nodes,
-                Resources::new(8 * 1024, 8),
-                (nodes / 2).max(1),
-            );
+            let mut state =
+                ClusterState::homogeneous(nodes, Resources::new(8 * 1024, 8), (nodes / 2).max(1));
             let scheduler = LraScheduler::new(alg);
             let outcomes = scheduler.place(&state, &requests, &[]);
-            prop_assert_eq!(outcomes.len(), requests.len());
+            assert_eq!(outcomes.len(), requests.len(), "case {case} {}", alg.name());
             for (req, out) in requests.iter().zip(&outcomes) {
                 if let Some(pl) = out.placement() {
                     // All-or-nothing: every container got a node.
-                    prop_assert_eq!(pl.nodes.len(), req.containers.len());
+                    assert_eq!(pl.nodes.len(), req.containers.len());
                     // Commit must succeed against live state (no
                     // overcommitted proposals from a fresh snapshot).
                     for (c, &n) in req.containers.iter().zip(&pl.nodes) {
                         let r = state.allocate(req.app, n, c, ExecutionKind::LongRunning);
-                        prop_assert!(
+                        assert!(
                             r.is_ok(),
-                            "{}: proposal exceeded capacity on {:?}",
+                            "case {case} {}: proposal exceeded capacity on {:?}",
                             alg.name(),
                             n
                         );
@@ -102,20 +101,22 @@ proptest! {
             }
             // Cluster accounting stays exact.
             let allocated: Resources = state.allocations().map(|a| a.resources).sum();
-            prop_assert_eq!(
-                state.total_free() + allocated,
-                state.total_capacity()
-            );
+            assert_eq!(state.total_free() + allocated, state.total_capacity());
         }
     }
+}
 
-    /// The Medea pipeline never loses containers across random submit /
-    /// complete sequences.
-    #[test]
-    fn pipeline_conserves_containers(
-        lras in prop::collection::vec(lra_strategy(), 1..4),
-        completions in prop::collection::vec(any::<bool>(), 1..4),
-    ) {
+/// The Medea pipeline never loses containers across random submit /
+/// complete sequences.
+#[test]
+fn pipeline_conserves_containers() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x9E37_79B9 ^ case);
+        let n_lras = rng.random_range(1..4usize);
+        let lras: Vec<RandomLra> = (0..n_lras).map(|_| random_lra(&mut rng)).collect();
+        let completions: Vec<bool> = (0..rng.random_range(1..4usize))
+            .map(|_| rng.random_bool(0.5))
+            .collect();
         let requests = build_requests(&lras);
         let mut medea = MedeaScheduler::new(
             ClusterState::homogeneous(8, Resources::new(8 * 1024, 8), 2),
@@ -125,14 +126,11 @@ proptest! {
         let mut now = 0u64;
         let mut live: Vec<(ApplicationId, usize)> = Vec::new();
         for req in &requests {
-            let app = req.app;
-            let count = req.num_containers();
             if medea.submit_lra(req.clone(), now).is_ok() {
                 let deployed = medea.tick(now);
                 for d in &deployed {
                     live.push((d.app, d.containers.len()));
                 }
-                let _ = (app, count);
             }
             now += 10;
         }
@@ -143,6 +141,6 @@ proptest! {
             }
         }
         let expected: usize = live.iter().map(|&(_, c)| c).sum();
-        prop_assert_eq!(medea.state().num_containers(), expected);
+        assert_eq!(medea.state().num_containers(), expected, "case {case}");
     }
 }
