@@ -265,6 +265,72 @@ impl ClusterState {
             .ok_or(ClusterError::UnknownNode(id))
     }
 
+    /// Adds a node-level tag occurrence (not attached to any container),
+    /// keeping the per-group `γ_𝒮` caches coherent. Used by the recovery
+    /// pipeline to mark fault domains (e.g. `fault_domain` on every node
+    /// of a failing service unit) so re-placement constraints can steer
+    /// away from them.
+    pub fn add_node_tag(&mut self, node: NodeId, tag: Tag) -> Result<(), ClusterError> {
+        let state = self
+            .node_state
+            .get_mut(node.index())
+            .ok_or(ClusterError::UnknownNode(node))?;
+        state.tags.add(tag.clone());
+        for (g, sets) in self.group_tags.iter_mut() {
+            if let Ok(indices) = self.groups.sets_containing(g, node) {
+                for si in indices {
+                    if let Some(m) = sets.get_mut(si) {
+                        m.add(tag.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes one occurrence of a node-level tag added by
+    /// [`ClusterState::add_node_tag`]. Removing a tag that is not present
+    /// is a no-op (the multiset ignores it).
+    pub fn remove_node_tag(&mut self, node: NodeId, tag: &Tag) -> Result<(), ClusterError> {
+        let state = self
+            .node_state
+            .get_mut(node.index())
+            .ok_or(ClusterError::UnknownNode(node))?;
+        state.tags.remove(tag);
+        for (g, sets) in self.group_tags.iter_mut() {
+            if let Ok(indices) = self.groups.sets_containing(g, node) {
+                for si in indices {
+                    if let Some(m) = sets.get_mut(si) {
+                        m.remove(tag);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases every container on a node (crash semantics: the machine is
+    /// lost, so its containers are gone too). Returns the released
+    /// allocations so callers can rebuild bookkeeping and re-place lost
+    /// long-running containers.
+    ///
+    /// Unlike [`ClusterState::set_available`], which models a node that is
+    /// temporarily unreachable but keeps its containers, this models hard
+    /// loss — the recovery pipeline uses both: mark unavailable, then
+    /// release and re-place.
+    pub fn release_node(&mut self, node: NodeId) -> Result<Vec<Allocation>, ClusterError> {
+        let ids: Vec<ContainerId> = self
+            .node_state
+            .get(node.index())
+            .ok_or(ClusterError::UnknownNode(node))?
+            .containers
+            .clone();
+        Ok(ids
+            .into_iter()
+            .filter_map(|id| self.release(id).ok())
+            .collect())
+    }
+
     /// The dynamic tag multiset of a node (`𝒯_n` with cardinalities, §4.1).
     pub fn node_tags(&self, id: NodeId) -> Result<&TagMultiset, ClusterError> {
         self.node_state
@@ -647,6 +713,56 @@ mod tests {
         .unwrap();
         let stats = c.utilization_stats();
         assert_eq!(stats.fragmented_fraction, 0.0);
+    }
+
+    #[test]
+    fn node_tags_mark_and_unmark() {
+        let mut c = small_cluster();
+        let fault = Tag::new("fault_domain");
+        c.add_node_tag(NodeId(0), fault.clone()).unwrap();
+        c.add_node_tag(NodeId(0), fault.clone()).unwrap();
+        assert_eq!(c.gamma(NodeId(0), &fault), 2);
+        // Rack-level γ cache sees the mark too.
+        let rack0: Vec<NodeId> = c.groups().set_members(&NodeGroupId::rack(), 0).unwrap();
+        assert_eq!(c.gamma_set(&rack0, &fault), 2);
+        assert_eq!(c.gamma_in_set(&NodeGroupId::rack(), 0, &fault), 2);
+        c.remove_node_tag(NodeId(0), &fault).unwrap();
+        assert_eq!(c.gamma(NodeId(0), &fault), 1);
+        c.remove_node_tag(NodeId(0), &fault).unwrap();
+        assert_eq!(c.gamma(NodeId(0), &fault), 0);
+        assert_eq!(c.gamma_in_set(&NodeGroupId::rack(), 0, &fault), 0);
+        // Removing an absent tag is a no-op, and unknown nodes error.
+        c.remove_node_tag(NodeId(0), &fault).unwrap();
+        assert!(c.add_node_tag(NodeId(99), fault.clone()).is_err());
+        assert!(c.remove_node_tag(NodeId(99), &fault).is_err());
+    }
+
+    #[test]
+    fn release_node_drops_all_its_containers() {
+        let mut c = small_cluster();
+        for _ in 0..3 {
+            c.allocate(
+                ApplicationId(1),
+                NodeId(0),
+                &req(512, &["svc"]),
+                ExecutionKind::LongRunning,
+            )
+            .unwrap();
+        }
+        c.allocate(
+            ApplicationId(2),
+            NodeId(1),
+            &req(512, &["svc"]),
+            ExecutionKind::Task,
+        )
+        .unwrap();
+        let lost = c.release_node(NodeId(0)).unwrap();
+        assert_eq!(lost.len(), 3);
+        assert!(lost.iter().all(|a| a.node == NodeId(0)));
+        assert_eq!(c.num_containers(), 1);
+        assert_eq!(c.free(NodeId(0)).unwrap(), Resources::new(8192, 8));
+        assert_eq!(c.gamma(NodeId(0), &Tag::new("svc")), 0);
+        assert!(c.release_node(NodeId(42)).is_err());
     }
 
     #[test]

@@ -137,11 +137,13 @@ impl HeuristicScheduler {
             let mut remaining: Vec<usize> = (0..items.len()).collect();
             while !remaining.is_empty() {
                 // Pick the remaining item with the smallest Nc.
-                let (pos, &item_idx) = remaining
+                let Some((pos, &item_idx)) = remaining
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, &i)| nc[i].unwrap_or(usize::MAX))
-                    .expect("non-empty");
+                    .min_by_key(|(_, &i)| nc.get(i).copied().flatten().unwrap_or(usize::MAX))
+                else {
+                    break;
+                };
                 remaining.swap_remove(pos);
                 let it = &items[item_idx];
                 let app = requests[it.req_idx].app;
@@ -185,7 +187,7 @@ impl HeuristicScheduler {
             if placements[ri].iter().all(|p| p.is_some()) {
                 outcomes.push(PlacementOutcome::Placed(LraPlacement {
                     app: r.app,
-                    nodes: placements[ri].iter().map(|p| p.unwrap()).collect(),
+                    nodes: placements[ri].iter().filter_map(|p| *p).collect(),
                 }));
             } else {
                 for id in placed_ids[ri].iter().flatten() {

@@ -71,6 +71,18 @@ impl Default for IlpConfig {
     }
 }
 
+/// Outcome quality of one ILP batch solve, reported alongside the
+/// placements so callers (the scheduler's circuit breaker) can react to
+/// sustained solver degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IlpSolveStatus {
+    /// The MILP produced a usable incumbent within its limits.
+    Solved,
+    /// The solve fell back to the heuristic placement: a validation
+    /// error, or the deadline/node limit was hit before any incumbent.
+    Degraded,
+}
+
 /// Internal description of one new container in the model.
 struct NewContainer {
     /// Index of the owning request in `requests`.
@@ -94,8 +106,19 @@ pub fn place_with_ilp(
     deployed_constraints: &[PlacementConstraint],
     cfg: &IlpConfig,
 ) -> Vec<PlacementOutcome> {
+    place_with_ilp_status(state, requests, deployed_constraints, cfg).0
+}
+
+/// Like [`place_with_ilp`], additionally reporting whether the solve
+/// degraded to the heuristic (for the scheduler's circuit breaker).
+pub fn place_with_ilp_status(
+    state: &ClusterState,
+    requests: &[LraRequest],
+    deployed_constraints: &[PlacementConstraint],
+    cfg: &IlpConfig,
+) -> (Vec<PlacementOutcome>, IlpSolveStatus) {
     if requests.is_empty() {
-        return Vec::new();
+        return (Vec::new(), IlpSolveStatus::Solved);
     }
 
     // Flatten new containers with their effective tags.
@@ -117,15 +140,18 @@ pub fn place_with_ilp(
     }
     let t_total = new_containers.len();
     if t_total == 0 {
-        return requests
-            .iter()
-            .map(|r| {
-                PlacementOutcome::Placed(LraPlacement {
-                    app: r.app,
-                    nodes: Vec::new(),
+        return (
+            requests
+                .iter()
+                .map(|r| {
+                    PlacementOutcome::Placed(LraPlacement {
+                        app: r.app,
+                        nodes: Vec::new(),
+                    })
                 })
-            })
-            .collect();
+                .collect(),
+            IlpSolveStatus::Solved,
+        );
     }
 
     // Active constraints: deployed + the new requests', relevance-filtered
@@ -177,10 +203,15 @@ pub fn place_with_ilp(
         t_total,
     );
     if candidates.is_empty() {
-        return requests
-            .iter()
-            .map(|r| PlacementOutcome::Unplaced { app: r.app })
-            .collect();
+        // No usable node can host even the smallest container: the batch
+        // is unplaceable regardless of algorithm — not a solver failure.
+        return (
+            requests
+                .iter()
+                .map(|r| PlacementOutcome::Unplaced { app: r.app })
+                .collect(),
+            IlpSolveStatus::Solved,
+        );
     }
 
     let model = build_model(state, requests, &new_containers, &candidates, &active, cfg);
@@ -228,7 +259,7 @@ pub fn place_with_ilp(
         if std::env::var_os("MEDEA_SOLVER_DEBUG").is_some() {
             eprintln!("ilp: falling back to heuristic placement ({reason})");
         }
-        heuristic.clone()
+        (heuristic.clone(), IlpSolveStatus::Degraded)
     };
     let sol = match &solution {
         Err(_) => return fallback("problem validation error"),
@@ -268,7 +299,7 @@ pub fn place_with_ilp(
             outcomes.push(PlacementOutcome::Unplaced { app: r.app });
         }
     }
-    outcomes
+    (outcomes, IlpSolveStatus::Solved)
 }
 
 /// Converts heuristic placement outcomes into the per-container candidate
@@ -519,15 +550,15 @@ fn select_candidates(
     }
     let mut per_class: Vec<Vec<NodeId>> = classes
         .into_values()
-        .map(|mut v| {
+        .filter_map(|mut v| {
             v.sort();
             v.truncate(t_total);
-            v
+            (!v.is_empty()).then_some(v)
         })
         .collect();
     // Freest classes first; node id breaks ties deterministically.
     per_class.sort_by_key(|v| {
-        let n = v[0];
+        let n = v.first().copied().unwrap_or(NodeId(u32::MAX));
         let free = state.free(n).unwrap_or(medea_cluster::Resources::ZERO);
         (std::cmp::Reverse(free.memory_mb), n)
     });
@@ -786,7 +817,7 @@ fn build_model(
                 .collect();
             if multi {
                 let mut terms: Vec<(VarId, f64)> =
-                    y_vars.iter().map(|y| (y.unwrap(), 1.0)).collect();
+                    y_vars.iter().filter_map(|y| y.map(|v| (v, 1.0))).collect();
                 terms.push((b, -1.0));
                 p.add_constraint(terms, Cmp::Ge, 0.0);
             }

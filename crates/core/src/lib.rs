@@ -13,7 +13,12 @@
 //!   constraint violations, and fragmentation in the objective;
 //! - the **heuristics** of §5.3 (node candidates, tag popularity) plus the
 //!   evaluation baselines: `Serial`, `J-Kube`, `J-Kube++`, and `YARN`;
-//! - the **capability matrix** of Table 1.
+//! - the **capability matrix** of Table 1;
+//! - the **container recovery pipeline** (§2.3, §7.3): on node loss,
+//!   lost LRA containers are re-enqueued with anti-affinity to the
+//!   failing fault domain, retried with exponential backoff under a
+//!   bounded attempt budget, while a [`CircuitBreaker`] degrades ILP
+//!   scheduling to the heuristic after repeated solver stalls.
 //!
 //! See `medea-constraints` for the constraint language and
 //! `medea-cluster` for the cluster model.
@@ -30,6 +35,7 @@ mod medea;
 mod migration;
 mod objective;
 mod obs_bridge;
+mod recovery;
 mod request;
 mod task_scheduler;
 mod yarn;
@@ -38,13 +44,17 @@ pub use capabilities::{
     implemented_capabilities, paper_table1, render_table, CapabilityRow, Support,
 };
 pub use heuristics::{HeuristicScheduler, Ordering};
-pub use ilp::{place_with_ilp, IlpConfig};
+pub use ilp::{place_with_ilp, place_with_ilp_status, IlpConfig, IlpSolveStatus};
 pub use jkube::JKubeScheduler;
 pub use lra::{LraAlgorithm, LraScheduler};
 pub use medea::{LraDeployment, MedeaScheduler, MedeaStats};
 pub use migration::{Migration, MigrationConfig, MigrationController};
 pub use objective::{ObjectiveWeights, Scorer};
 pub use obs_bridge::SolverMetricsBridge;
+pub use recovery::{
+    fault_domain_tag, BreakerState, CircuitBreaker, NodeLossReport, RecoveryConfig, RecoveryReport,
+    FAULT_DOMAIN_TAG,
+};
 pub use request::{Locality, LraPlacement, LraRequest, PlacementOutcome, TaskJobRequest};
 pub use task_scheduler::{
     QueueConfig, QueuePolicy, TaskAllocation, TaskScheduler, TaskSchedulerError,

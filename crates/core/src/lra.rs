@@ -6,7 +6,7 @@ use medea_cluster::ClusterState;
 use medea_constraints::PlacementConstraint;
 
 use crate::heuristics::{HeuristicScheduler, Ordering};
-use crate::ilp::{place_with_ilp, IlpConfig};
+use crate::ilp::{place_with_ilp_status, IlpConfig, IlpSolveStatus};
 use crate::jkube::JKubeScheduler;
 use crate::request::{LraRequest, PlacementOutcome};
 use crate::yarn::YarnScheduler;
@@ -92,10 +92,59 @@ impl LraScheduler {
         requests: &[LraRequest],
         deployed_constraints: &[PlacementConstraint],
     ) -> Vec<PlacementOutcome> {
+        self.place_with_status(state, requests, deployed_constraints)
+            .0
+    }
+
+    /// Like [`LraScheduler::place`], additionally reporting whether the
+    /// ILP path degraded to its heuristic fallback. Non-ILP algorithms
+    /// always report [`IlpSolveStatus::Solved`] (they have no solver to
+    /// degrade).
+    pub fn place_with_status(
+        &self,
+        state: &ClusterState,
+        requests: &[LraRequest],
+        deployed_constraints: &[PlacementConstraint],
+    ) -> (Vec<PlacementOutcome>, IlpSolveStatus) {
+        if self.algorithm == LraAlgorithm::Ilp {
+            return place_with_ilp_status(state, requests, deployed_constraints, &self.ilp);
+        }
+        (
+            self.place_non_ilp(state, requests, deployed_constraints),
+            IlpSolveStatus::Solved,
+        )
+    }
+
+    /// The degraded path the circuit breaker switches to while open: the
+    /// node-candidates heuristic (§5.3), regardless of the configured
+    /// algorithm.
+    pub fn place_degraded(
+        &self,
+        state: &ClusterState,
+        requests: &[LraRequest],
+        deployed_constraints: &[PlacementConstraint],
+    ) -> Vec<PlacementOutcome> {
+        HeuristicScheduler::new(Ordering::NodeCandidates).place(
+            state,
+            requests,
+            deployed_constraints,
+        )
+    }
+
+    fn place_non_ilp(
+        &self,
+        state: &ClusterState,
+        requests: &[LraRequest],
+        deployed_constraints: &[PlacementConstraint],
+    ) -> Vec<PlacementOutcome> {
         match self.algorithm {
-            LraAlgorithm::Ilp => place_with_ilp(state, requests, deployed_constraints, &self.ilp),
-            LraAlgorithm::NodeCandidates => HeuristicScheduler::new(Ordering::NodeCandidates)
-                .place(state, requests, deployed_constraints),
+            // Only reachable via place_with_status, which routes ILP
+            // through the solver; degrade to the anchor heuristic rather
+            // than panic if a future caller slips through.
+            LraAlgorithm::Ilp | LraAlgorithm::NodeCandidates => HeuristicScheduler::new(
+                Ordering::NodeCandidates,
+            )
+            .place(state, requests, deployed_constraints),
             LraAlgorithm::TagPopularity => HeuristicScheduler::new(Ordering::TagPopularity).place(
                 state,
                 requests,

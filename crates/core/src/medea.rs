@@ -8,16 +8,28 @@
 //! commit (task containers grabbed the resources), the commit fails and
 //! the LRA is **resubmitted** to the next interval — the §5.4 conflict
 //! policy.
+//!
+//! On top of the two schedulers sits the recovery pipeline (§2.3, §7.3):
+//! [`MedeaScheduler::node_lost`] releases every allocation on a crashed
+//! node, repairs task-queue accounting, and re-enqueues the lost LRA
+//! containers as recovery requests that carry a soft anti-affinity to the
+//! failing fault domain. Recovery retries use exponential backoff with a
+//! bounded attempt budget, and a [`CircuitBreaker`] degrades ILP
+//! scheduling to the node-candidates heuristic after repeated solver
+//! deadline/stall outcomes.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
-use medea_cluster::{ApplicationId, ClusterState, ContainerId, ExecutionKind, NodeId};
-use medea_constraints::{ConstraintError, ConstraintManager};
+use medea_cluster::{ApplicationId, ClusterState, ContainerId, ExecutionKind, NodeGroupId, NodeId};
+use medea_constraints::{ConstraintError, ConstraintManager, PlacementConstraint, TagExpr};
 use medea_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
+use crate::ilp::IlpSolveStatus;
 use crate::lra::{LraAlgorithm, LraScheduler};
+use crate::recovery::{fault_domain_tag, CircuitBreaker, NodeLossReport, RecoveryConfig};
+use crate::recovery::{BreakerState, RecoveryReport, FAULT_DOMAIN_TAG};
 use crate::request::{LraRequest, PlacementOutcome, TaskJobRequest};
 use crate::task_scheduler::{TaskAllocation, TaskScheduler, TaskSchedulerError};
 
@@ -32,6 +44,14 @@ struct CoreMetrics {
     lras_unplaced: Arc<Counter>,
     commit_conflicts: Arc<Counter>,
     lras_dropped: Arc<Counter>,
+    recovery_lost: Arc<Counter>,
+    recovery_replaced: Arc<Counter>,
+    recovery_exhausted: Arc<Counter>,
+    recovery_latency_ticks: Arc<Histogram>,
+    breaker_opened: Arc<Counter>,
+    breaker_closed: Arc<Counter>,
+    breaker_state: Arc<Gauge>,
+    solver_stalls: Arc<Counter>,
 }
 
 impl CoreMetrics {
@@ -45,6 +65,14 @@ impl CoreMetrics {
             lras_unplaced: registry.counter("core.lras_unplaced_total"),
             commit_conflicts: registry.counter("core.commit_conflicts_total"),
             lras_dropped: registry.counter("core.lras_dropped_total"),
+            recovery_lost: registry.counter("core.recovery_containers_lost_total"),
+            recovery_replaced: registry.counter("core.recovery_replaced_total"),
+            recovery_exhausted: registry.counter("core.recovery_retry_exhausted_total"),
+            recovery_latency_ticks: registry.histogram("core.recovery_latency_ticks"),
+            breaker_opened: registry.counter("core.breaker_opened_total"),
+            breaker_closed: registry.counter("core.breaker_closed_total"),
+            breaker_state: registry.gauge("core.breaker_state"),
+            solver_stalls: registry.counter("core.solver_stalls_total"),
         }
     }
 }
@@ -55,6 +83,10 @@ struct PendingLra {
     request: LraRequest,
     submitted_at: u64,
     attempts: u32,
+    /// Earliest tick this entry may be scheduled (recovery backoff).
+    not_before: u64,
+    /// Whether this request re-places containers lost to a node crash.
+    is_recovery: bool,
 }
 
 /// Result of one committed LRA placement.
@@ -71,6 +103,8 @@ pub struct LraDeployment {
     /// Wall-clock time the placement algorithm spent on the batch that
     /// contained this LRA.
     pub algorithm_time: std::time::Duration,
+    /// Whether these containers re-place ones lost to a node crash.
+    pub recovered: bool,
 }
 
 /// Counters exposed for the evaluation harness.
@@ -116,6 +150,18 @@ pub struct MedeaScheduler {
     next_run: u64,
     /// Maximum resubmission attempts before an LRA is dropped.
     pub max_attempts: u32,
+    /// Recovery retry/backoff policy and breaker thresholds.
+    pub recovery: RecoveryConfig,
+    breaker: CircuitBreaker,
+    /// Scheduling cycles the ILP is forced to degrade (injected stall).
+    stall_cycles_remaining: u32,
+    /// Crashed node → fault-domain members marked with the
+    /// [`FAULT_DOMAIN_TAG`] on its behalf (unmarked on recovery).
+    fault_marks: HashMap<NodeId, Vec<NodeId>>,
+    recovery_lost: usize,
+    recovery_replaced: usize,
+    recovery_unplaceable: usize,
+    unplaceable_by_app: HashMap<ApplicationId, usize>,
     stats: MedeaStats,
     metrics: Option<CoreMetrics>,
 }
@@ -123,6 +169,7 @@ pub struct MedeaScheduler {
 impl MedeaScheduler {
     /// Creates a scheduler over the given cluster with a single task queue.
     pub fn new(state: ClusterState, algorithm: LraAlgorithm, interval: u64) -> Self {
+        let recovery = RecoveryConfig::default();
         MedeaScheduler {
             state,
             constraint_manager: ConstraintManager::new(),
@@ -132,6 +179,17 @@ impl MedeaScheduler {
             interval,
             next_run: 0,
             max_attempts: 5,
+            recovery,
+            breaker: CircuitBreaker::new(
+                recovery.breaker_failure_threshold,
+                recovery.breaker_open_cycles,
+            ),
+            stall_cycles_remaining: 0,
+            fault_marks: HashMap::new(),
+            recovery_lost: 0,
+            recovery_replaced: 0,
+            recovery_unplaceable: 0,
+            unplaceable_by_app: HashMap::new(),
             stats: MedeaStats::default(),
             metrics: None,
         }
@@ -140,6 +198,15 @@ impl MedeaScheduler {
     /// Replaces the task scheduler (custom queues).
     pub fn with_task_scheduler(mut self, ts: TaskScheduler) -> Self {
         self.task_scheduler = ts;
+        self
+    }
+
+    /// Replaces the recovery policy (and resets the circuit breaker to
+    /// the new thresholds).
+    pub fn with_recovery(mut self, config: RecoveryConfig) -> Self {
+        self.recovery = config;
+        self.breaker =
+            CircuitBreaker::new(config.breaker_failure_threshold, config.breaker_open_cycles);
         self
     }
 
@@ -202,6 +269,8 @@ impl MedeaScheduler {
             request,
             submitted_at: now,
             attempts: 0,
+            not_before: now,
+            is_recovery: false,
         });
         Ok(())
     }
@@ -235,6 +304,156 @@ impl MedeaScheduler {
         self.constraint_manager.remove_app(app);
     }
 
+    /// Current circuit-breaker state (ILP degradation protection).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Cumulative recovery accounting: every container killed by
+    /// [`MedeaScheduler::node_lost`] is replaced, explicitly unplaceable,
+    /// or still pending — never silently lost.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        let pending: usize = self
+            .pending
+            .iter()
+            .filter(|p| p.is_recovery)
+            .map(|p| p.request.num_containers())
+            .sum();
+        let mut by_app: Vec<(ApplicationId, usize)> = self
+            .unplaceable_by_app
+            .iter()
+            .map(|(&a, &n)| (a, n))
+            .collect();
+        by_app.sort_by_key(|&(a, _)| a);
+        RecoveryReport {
+            containers_lost: self.recovery_lost,
+            containers_replaced: self.recovery_replaced,
+            containers_unplaceable: self.recovery_unplaceable,
+            containers_pending: pending,
+            unplaceable_by_app: by_app,
+        }
+    }
+
+    /// Handles the loss of a node (crash semantics): marks it
+    /// unavailable, releases every allocation it hosted, repairs task
+    /// queue accounting, and re-enqueues the lost LRA containers as
+    /// recovery requests carrying a soft anti-affinity to the failing
+    /// fault domain (service unit, falling back to rack, then the node
+    /// itself). Idempotent: reporting an already-lost node is a no-op.
+    pub fn node_lost(&mut self, node: NodeId, now: u64) -> NodeLossReport {
+        if !self.state.is_available(node) {
+            return NodeLossReport::default();
+        }
+        let _ = self.state.set_available(node, false);
+        let released = self.state.release_node(node).unwrap_or_default();
+
+        let mut report = NodeLossReport::default();
+        // Group lost LRA containers per app, preserving each container's
+        // own resources and tags (minus the auto-added appid tag, which
+        // re-allocation re-adds).
+        let mut lost_by_app: HashMap<ApplicationId, Vec<medea_cluster::ContainerRequest>> =
+            HashMap::new();
+        for alloc in &released {
+            match alloc.kind {
+                ExecutionKind::Task => {
+                    report.task_containers_lost += 1;
+                    self.task_scheduler.on_container_lost(alloc);
+                }
+                ExecutionKind::LongRunning => {
+                    report.lra_containers_lost += 1;
+                    lost_by_app.entry(alloc.app).or_default().push(
+                        medea_cluster::ContainerRequest::new(
+                            alloc.resources,
+                            alloc.tags.iter().filter(|t| !t.is_app_id()).cloned(),
+                        ),
+                    );
+                }
+            }
+        }
+
+        self.mark_fault_domain(node);
+
+        let mut apps: Vec<ApplicationId> = lost_by_app.keys().copied().collect();
+        apps.sort();
+        for app in apps {
+            let containers = lost_by_app.remove(&app).unwrap_or_default();
+            report.apps_affected.push((app, containers.len()));
+            // The app's own constraints still apply to the replacements;
+            // they are attached to the request because the batch filter
+            // in tick() excludes in-batch apps from the deployed set.
+            let mut constraints = self.constraint_manager.app_constraints(app);
+            constraints.push(
+                PlacementConstraint::anti_affinity(
+                    TagExpr::and([medea_cluster::Tag::app_id(app)]),
+                    FAULT_DOMAIN_TAG,
+                    NodeGroupId::node(),
+                )
+                .with_weight(2.0),
+            );
+            self.pending.push_back(PendingLra {
+                request: LraRequest::new(app, containers, constraints),
+                submitted_at: now,
+                attempts: 0,
+                not_before: now,
+                is_recovery: true,
+            });
+        }
+
+        self.recovery_lost += report.lra_containers_lost;
+        if let Some(m) = &self.metrics {
+            m.recovery_lost.add(report.lra_containers_lost as u64);
+            m.queue_depth.set(self.pending.len() as i64);
+        }
+        report
+    }
+
+    /// Handles the recovery of a previously lost node: marks it available
+    /// again and clears the fault-domain marks placed on its behalf.
+    pub fn node_recovered(&mut self, node: NodeId) {
+        let _ = self.state.set_available(node, true);
+        if let Some(members) = self.fault_marks.remove(&node) {
+            let tag = fault_domain_tag();
+            for member in members {
+                let _ = self.state.remove_node_tag(member, &tag);
+            }
+        }
+    }
+
+    /// Injects a solver stall: for the next `cycles` scheduling cycles
+    /// the ILP path is treated as degraded (counts against the circuit
+    /// breaker, placements fall back to the heuristic).
+    pub fn inject_solver_stall(&mut self, cycles: u32) {
+        self.stall_cycles_remaining = self.stall_cycles_remaining.saturating_add(cycles);
+        if let Some(m) = &self.metrics {
+            m.solver_stalls.inc();
+        }
+    }
+
+    /// Marks the crashed node's fault domain — its service unit if one is
+    /// registered, else its rack, else the node alone — with the
+    /// [`FAULT_DOMAIN_TAG`] so recovery anti-affinity can see it.
+    fn mark_fault_domain(&mut self, node: NodeId) {
+        let members = {
+            let groups = self.state.groups();
+            [NodeGroupId::service_unit(), NodeGroupId::rack()]
+                .iter()
+                .find_map(|g| {
+                    let sets = groups.sets_containing(g, node).ok()?;
+                    let set = sets.first()?;
+                    groups.set_members(g, *set).ok()
+                })
+                .unwrap_or_else(|| vec![node])
+        };
+        let tag = fault_domain_tag();
+        let mut marked = Vec::with_capacity(members.len());
+        for member in members {
+            if self.state.add_node_tag(member, tag.clone()).is_ok() {
+                marked.push(member);
+            }
+        }
+        self.fault_marks.insert(node, marked);
+    }
+
     /// Advances time: when the scheduling interval is reached, runs the
     /// LRA scheduler on the pending batch and commits the placements.
     ///
@@ -243,15 +462,24 @@ impl MedeaScheduler {
         if now < self.next_run || self.pending.is_empty() {
             return Vec::new();
         }
+        // Recovery retries back off between attempts: only entries whose
+        // backoff has elapsed join this batch; the rest stay queued. If
+        // nothing is eligible the cycle is skipped entirely (next_run is
+        // not advanced, so the next tick re-checks).
+        let (batch, deferred): (Vec<PendingLra>, Vec<PendingLra>) =
+            self.pending.drain(..).partition(|p| p.not_before <= now);
+        self.pending = deferred.into();
+        if batch.is_empty() {
+            return Vec::new();
+        }
         self.next_run = now + self.interval;
         self.stats.cycles += 1;
         let cycle_start = Instant::now();
         if let Some(m) = &self.metrics {
             m.cycles.inc();
-            m.queue_depth.set(self.pending.len() as i64);
+            m.queue_depth.set((self.pending.len() + batch.len()) as i64);
         }
 
-        let batch: Vec<PendingLra> = self.pending.drain(..).collect();
         let requests: Vec<LraRequest> = batch.iter().map(|p| p.request.clone()).collect();
 
         // Constraints of deployed LRAs + operator, minus the new batch's
@@ -270,7 +498,7 @@ impl MedeaScheduler {
         };
 
         let t0 = Instant::now();
-        let outcomes = self.lra_scheduler.place(&self.state, &requests, &deployed);
+        let outcomes = self.place_batch(&requests, &deployed);
         let algorithm_time = t0.elapsed();
         if let Some(m) = &self.metrics {
             m.place_us.record_duration(algorithm_time);
@@ -283,8 +511,16 @@ impl MedeaScheduler {
                     match self.commit(&pending.request, &placement.nodes) {
                         Ok(containers) => {
                             self.stats.lras_deployed += 1;
+                            if pending.is_recovery {
+                                self.recovery_replaced += containers.len();
+                            }
                             if let Some(m) = &self.metrics {
                                 m.lras_deployed.inc();
+                                if pending.is_recovery {
+                                    m.recovery_replaced.add(containers.len() as u64);
+                                    m.recovery_latency_ticks
+                                        .record(now.saturating_sub(pending.submitted_at));
+                                }
                             }
                             deployed_out.push(LraDeployment {
                                 app: pending.request.app,
@@ -292,6 +528,7 @@ impl MedeaScheduler {
                                 containers,
                                 latency_ticks: now.saturating_sub(pending.submitted_at),
                                 algorithm_time,
+                                recovered: pending.is_recovery,
                             });
                         }
                         Err(()) => {
@@ -299,7 +536,7 @@ impl MedeaScheduler {
                             if let Some(m) = &self.metrics {
                                 m.commit_conflicts.inc();
                             }
-                            self.resubmit(pending);
+                            self.resubmit(pending, now);
                         }
                     }
                 }
@@ -308,7 +545,7 @@ impl MedeaScheduler {
                     if let Some(m) = &self.metrics {
                         m.lras_unplaced.inc();
                     }
-                    self.resubmit(pending);
+                    self.resubmit(pending, now);
                 }
             }
         }
@@ -317,6 +554,49 @@ impl MedeaScheduler {
             m.queue_depth.set(self.pending.len() as i64);
         }
         deployed_out
+    }
+
+    /// Runs the placement algorithm for one batch, routing the ILP
+    /// through the circuit breaker: injected stalls and solver
+    /// degradations count as failures; while the breaker is open every
+    /// batch is served by the node-candidates heuristic until the
+    /// cool-down elapses and a probe succeeds.
+    fn place_batch(
+        &mut self,
+        requests: &[LraRequest],
+        deployed: &[PlacementConstraint],
+    ) -> Vec<PlacementOutcome> {
+        if self.lra_scheduler.algorithm != LraAlgorithm::Ilp {
+            return self.lra_scheduler.place(&self.state, requests, deployed);
+        }
+        let opened_before = self.breaker.opened_total();
+        let closed_before = self.breaker.closed_total();
+        let outcomes = if self.stall_cycles_remaining > 0 {
+            self.stall_cycles_remaining -= 1;
+            self.breaker.on_failure();
+            self.lra_scheduler
+                .place_degraded(&self.state, requests, deployed)
+        } else if self.breaker.allow() {
+            let (outcomes, status) =
+                self.lra_scheduler
+                    .place_with_status(&self.state, requests, deployed);
+            match status {
+                IlpSolveStatus::Solved => self.breaker.on_success(),
+                IlpSolveStatus::Degraded => self.breaker.on_failure(),
+            }
+            outcomes
+        } else {
+            self.lra_scheduler
+                .place_degraded(&self.state, requests, deployed)
+        };
+        if let Some(m) = &self.metrics {
+            m.breaker_opened
+                .add(self.breaker.opened_total() - opened_before);
+            m.breaker_closed
+                .add(self.breaker.closed_total() - closed_before);
+            m.breaker_state.set(self.breaker.state_code());
+        }
+        outcomes
     }
 
     /// Commits a placement against the live state; on any failure all of
@@ -341,9 +621,29 @@ impl MedeaScheduler {
     }
 
     /// Requeues an LRA after a conflict or failed placement, dropping it
-    /// once the attempt budget is exhausted.
-    fn resubmit(&mut self, mut pending: PendingLra) {
+    /// once the attempt budget is exhausted. Recovery requests back off
+    /// exponentially between attempts and, when exhausted, are recorded
+    /// as explicitly unplaceable (their app keeps its constraints — it is
+    /// still partially deployed) rather than silently dropped.
+    fn resubmit(&mut self, mut pending: PendingLra, now: u64) {
         pending.attempts += 1;
+        if pending.is_recovery {
+            if pending.attempts >= self.recovery.max_attempts {
+                let n = pending.request.num_containers();
+                self.recovery_unplaceable += n;
+                *self
+                    .unplaceable_by_app
+                    .entry(pending.request.app)
+                    .or_insert(0) += n;
+                if let Some(m) = &self.metrics {
+                    m.recovery_exhausted.add(n as u64);
+                }
+            } else {
+                pending.not_before = now + self.recovery.backoff(pending.attempts);
+                self.pending.push_back(pending);
+            }
+            return;
+        }
         if pending.attempts >= self.max_attempts {
             self.stats.lras_dropped += 1;
             if let Some(m) = &self.metrics {
@@ -487,6 +787,131 @@ mod tests {
         assert_eq!(deployed.len(), 1);
         assert_eq!(deployed[0].latency_ticks, 10);
         assert_eq!(m.stats().lras_deployed, 1);
+    }
+
+    #[test]
+    fn node_loss_replaces_lra_containers_elsewhere() {
+        let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::NodeCandidates, 10);
+        // Spread 2 containers across nodes; racks are {0,1} and {2,3}.
+        m.submit_lra(lra(1, 2, 1024, "svc"), 0).unwrap();
+        let deployed = m.tick(0);
+        assert_eq!(deployed.len(), 1);
+        let victim = deployed[0].nodes[0];
+        let survivors: Vec<NodeId> = deployed[0]
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| n != victim)
+            .collect();
+
+        let report = m.node_lost(victim, 5);
+        let lost_here = deployed[0].nodes.iter().filter(|&&n| n == victim).count();
+        assert_eq!(report.lra_containers_lost, lost_here);
+        assert_eq!(report.apps_affected, vec![(ApplicationId(1), lost_here)]);
+        // Idempotent: a second report of the same node is a no-op.
+        assert_eq!(m.node_lost(victim, 6).lra_containers_lost, 0);
+
+        let redeployed = m.tick(10);
+        assert_eq!(redeployed.len(), 1);
+        assert!(redeployed[0].recovered);
+        assert!(
+            redeployed[0].nodes.iter().all(|&n| n != victim),
+            "recovered containers must avoid the crashed node"
+        );
+        let r = m.recovery_report();
+        assert_eq!(r.containers_lost, lost_here);
+        assert_eq!(r.containers_replaced, lost_here);
+        assert!(r.accounted());
+        assert_eq!(r.replacement_ratio(), 1.0);
+        // Containers on surviving nodes were untouched.
+        for s in survivors {
+            assert!(!m.state().containers_on(s).unwrap().is_empty());
+        }
+        // Fault marks disappear when the node comes back.
+        m.node_recovered(victim);
+        let fd = crate::recovery::fault_domain_tag();
+        for n in m.state().node_ids().collect::<Vec<_>>() {
+            assert_eq!(m.state().gamma(n, &fd), 0, "mark left on {n:?}");
+        }
+    }
+
+    #[test]
+    fn recovery_retries_back_off_then_report_unplaceable() {
+        // A full cluster: recovery placements cannot succeed.
+        let mut m = MedeaScheduler::new(
+            ClusterState::homogeneous(2, Resources::new(4096, 4), 1),
+            LraAlgorithm::Serial,
+            1,
+        )
+        .with_recovery(crate::RecoveryConfig {
+            max_attempts: 2,
+            base_backoff: 10,
+            max_backoff: 100,
+            ..Default::default()
+        });
+        m.submit_lra(lra(1, 2, 4096, "fat"), 0).unwrap();
+        assert_eq!(m.tick(0).len(), 1);
+        let report = m.node_lost(NodeId(0), 1);
+        assert_eq!(report.lra_containers_lost, 1);
+        // Attempt 1 fails (node 1 is full with the app's other container).
+        assert!(m.tick(1).is_empty());
+        assert_eq!(m.recovery_report().containers_pending, 1);
+        // Backoff: ticks before `not_before` skip the entry entirely.
+        assert!(m.tick(2).is_empty());
+        assert_eq!(m.stats().cycles, 2, "backed-off entry must not run");
+        // After the backoff the final attempt runs and exhausts.
+        assert!(m.tick(11).is_empty());
+        let r = m.recovery_report();
+        assert_eq!(r.containers_unplaceable, 1);
+        assert_eq!(r.unplaceable_by_app, vec![(ApplicationId(1), 1)]);
+        assert!(r.accounted());
+        // The app keeps its constraints: it is still partially deployed.
+        assert_eq!(m.constraint_manager().num_apps(), 1);
+    }
+
+    #[test]
+    fn solver_stalls_open_breaker_which_recovers() {
+        let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Ilp, 1).with_recovery(
+            crate::RecoveryConfig {
+                breaker_failure_threshold: 2,
+                breaker_open_cycles: 2,
+                ..Default::default()
+            },
+        );
+        m.inject_solver_stall(2);
+        // Stalled cycles still place (degraded heuristic) but count as
+        // breaker failures.
+        m.submit_lra(lra(1, 1, 1024, "a"), 0).unwrap();
+        assert_eq!(m.tick(0).len(), 1);
+        assert_eq!(m.breaker_state(), crate::BreakerState::Closed);
+        m.submit_lra(lra(2, 1, 1024, "b"), 1).unwrap();
+        assert_eq!(m.tick(1).len(), 1);
+        assert_eq!(m.breaker_state(), crate::BreakerState::Open);
+        // Open cycles are served by the heuristic...
+        m.submit_lra(lra(3, 1, 1024, "c"), 2).unwrap();
+        assert_eq!(m.tick(2).len(), 1);
+        m.submit_lra(lra(4, 1, 1024, "d"), 3).unwrap();
+        assert_eq!(m.tick(3).len(), 1);
+        assert_eq!(m.breaker_state(), crate::BreakerState::Open);
+        // ...then a probe runs the (now healthy) ILP and closes.
+        m.submit_lra(lra(5, 1, 1024, "e"), 4).unwrap();
+        assert_eq!(m.tick(4).len(), 1);
+        assert_eq!(m.breaker_state(), crate::BreakerState::Closed);
+    }
+
+    #[test]
+    fn node_loss_repairs_task_queue_accounting() {
+        let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+        m.submit_tasks(
+            TaskJobRequest::new(ApplicationId(7), Resources::new(1024, 1), 3),
+            0,
+        )
+        .unwrap();
+        assert_eq!(m.heartbeat(NodeId(2), 0).len(), 3);
+        let report = m.node_lost(NodeId(2), 1);
+        assert_eq!(report.task_containers_lost, 3);
+        assert_eq!(report.lra_containers_lost, 0);
+        assert_eq!(m.state().num_containers(), 0);
     }
 
     #[test]

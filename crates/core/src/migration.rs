@@ -122,10 +122,15 @@ impl MigrationController {
             if extent <= 1e-9 {
                 continue; // Not violating: leave it alone.
             }
+            // A container stranded on an unavailable node cannot be
+            // restored after probing; leave it to the recovery pipeline.
+            if !state.is_available(from) {
+                continue;
+            }
             // Try relocations: remove, score alternatives, restore.
             let removed = state.release(cid).ok()?;
             for &n in &nodes {
-                if n == from {
+                if n == from || !state.is_available(n) {
                     continue;
                 }
                 let delta = {
@@ -143,15 +148,32 @@ impl MigrationController {
                     best = Some((cid, n, improvement));
                 }
             }
-            // Restore the container where it was.
-            let restored = state
-                .allocate(app, from, &request, ExecutionKind::LongRunning)
-                .expect("restoring a just-released container");
-            // Track identity: if this container is the current best
-            // candidate, update its id to the restored one.
-            if let Some((bid, bn, bi)) = best {
-                if bid == cid {
-                    best = Some((restored, bn, bi));
+            // Restore the container where it was. Restoration can only
+            // fail if the node changed underneath us (e.g. crashed
+            // mid-probe); park the container on any available node that
+            // fits rather than panic, dropping it as a move candidate.
+            match state.allocate(app, from, &request, ExecutionKind::LongRunning) {
+                Ok(restored) => {
+                    // Track identity: if this container is the current
+                    // best candidate, update its id to the restored one.
+                    if let Some((bid, bn, bi)) = best {
+                        if bid == cid {
+                            best = Some((restored, bn, bi));
+                        }
+                    }
+                }
+                Err(_) => {
+                    if let Some((bid, _, _)) = best {
+                        if bid == cid {
+                            best = None;
+                        }
+                    }
+                    let _ = nodes.iter().any(|&n| {
+                        state.is_available(n)
+                            && state
+                                .allocate(app, n, &request, ExecutionKind::LongRunning)
+                                .is_ok()
+                    });
                 }
             }
             let _ = removed;
@@ -163,9 +185,15 @@ impl MigrationController {
             alloc.resources,
             alloc.tags.iter().filter(|t| !t.is_app_id()).cloned(),
         );
-        let new_id = state
-            .allocate(alloc.app, to, &request, ExecutionKind::LongRunning)
-            .ok()?;
+        let new_id = match state.allocate(alloc.app, to, &request, ExecutionKind::LongRunning) {
+            Ok(id) => id,
+            Err(_) => {
+                // Target changed underneath us: put the container back
+                // rather than lose it, and report no move.
+                let _ = state.allocate(alloc.app, alloc.node, &request, ExecutionKind::LongRunning);
+                return None;
+            }
+        };
         Some(Migration {
             container: new_id,
             from: alloc.node,

@@ -13,8 +13,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use medea_cluster::{
-    ApplicationId, ClusterState, ContainerId, ContainerRequest, ExecutionKind, NodeGroupId, NodeId,
-    Resources,
+    Allocation, ApplicationId, ClusterState, ContainerId, ContainerRequest, ExecutionKind,
+    NodeGroupId, NodeId, Resources,
 };
 use medea_obs::{Counter, Histogram, MetricsRegistry};
 
@@ -162,6 +162,10 @@ pub struct TaskScheduler {
     pub rack_locality_delay: u32,
     /// Maximum containers allocated per heartbeat (off-switch limit).
     pub max_per_heartbeat: usize,
+    /// Queue index of every live task container, so accounting can be
+    /// repaired when a container is lost to a node crash rather than
+    /// completed through [`TaskScheduler::complete`].
+    container_queues: HashMap<ContainerId, usize>,
     metrics: Option<TaskMetrics>,
 }
 
@@ -188,6 +192,7 @@ impl TaskScheduler {
             node_locality_delay: 3,
             rack_locality_delay: 6,
             max_per_heartbeat: 32,
+            container_queues: HashMap::new(),
             metrics: None,
         }
     }
@@ -363,13 +368,17 @@ impl TaskScheduler {
                 self.queues[qi].pending[idx].missed_opportunities += 1;
                 continue;
             }
-            let task = self.queues[qi].pending.remove(idx).expect("index valid");
+            let Some(task) = self.queues[qi].pending.remove(idx) else {
+                // Index raced out of range; bail out of this heartbeat.
+                return None;
+            };
             let req = ContainerRequest::new(task.resources, task.tags.clone());
             let Ok(container) = state.allocate(task.app, node, &req, ExecutionKind::Task) else {
                 // Should not happen (fit checked); requeue defensively.
                 self.queues[qi].pending.push_front(task);
                 return None;
             };
+            self.container_queues.insert(container, qi);
             self.queues[qi].used += task.resources;
             *self.queues[qi].app_used.entry(task.app).or_insert(0) += task.resources.memory_mb;
             let latency = now.saturating_sub(task.submitted_at);
@@ -400,12 +409,28 @@ impl TaskScheduler {
             .get(queue)
             .ok_or_else(|| TaskSchedulerError::UnknownQueue(queue.to_string()))?;
         if let Ok(alloc) = state.release(container) {
+            self.container_queues.remove(&container);
             self.queues[qi].used = self.queues[qi].used.saturating_sub(&alloc.resources);
             if let Some(u) = self.queues[qi].app_used.get_mut(&alloc.app) {
                 *u = u.saturating_sub(alloc.resources.memory_mb);
             }
         }
         Ok(())
+    }
+
+    /// Repairs queue accounting for a task container whose node crashed:
+    /// the cluster already released the allocation, so only the queue's
+    /// usage bookkeeping is rolled back here. Task containers are not
+    /// re-placed — their short-lived jobs resubmit through the normal
+    /// path — but their capacity must be returned to the queue.
+    pub fn on_container_lost(&mut self, alloc: &Allocation) {
+        let Some(qi) = self.container_queues.remove(&alloc.id) else {
+            return;
+        };
+        self.queues[qi].used = self.queues[qi].used.saturating_sub(&alloc.resources);
+        if let Some(u) = self.queues[qi].app_used.get_mut(&alloc.app) {
+            *u = u.saturating_sub(alloc.resources.memory_mb);
+        }
     }
 }
 
@@ -717,6 +742,27 @@ mod tests {
         let allocs = ts.on_heartbeat(&mut state, NodeId(1), 2);
         let apps: std::collections::HashSet<_> = allocs.iter().take(2).map(|a| a.app).collect();
         assert_eq!(apps.len(), 2, "both apps served in the first two slots");
+    }
+
+    #[test]
+    fn lost_container_returns_queue_capacity() {
+        let mut state = cluster();
+        let mut ts = TaskScheduler::single_queue();
+        ts.submit(
+            TaskJobRequest::new(ApplicationId(1), Resources::new(1024, 1), 2),
+            0,
+        )
+        .unwrap();
+        let allocs = ts.on_heartbeat(&mut state, NodeId(0), 0);
+        assert_eq!(allocs.len(), 2);
+        // A node crash releases the allocations behind the scheduler's
+        // back; on_container_lost repairs the queue accounting.
+        let lost = state.release(allocs[0].container).unwrap();
+        ts.on_container_lost(&lost);
+        assert_eq!(ts.queue_used("default").unwrap().memory_mb, 1024);
+        // Repeated loss reports for the same container are idempotent.
+        ts.on_container_lost(&lost);
+        assert_eq!(ts.queue_used("default").unwrap().memory_mb, 1024);
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Deterministic, seeded fault injection (§2.3, §7.3).
+//!
+//! Turns an [`UnavailabilityTrace`] — hourly per-service-unit
+//! unavailability fractions — into a concrete, reproducible schedule of
+//! [`SimEvent`]s: correlated node crashes when an SU spikes, recoveries
+//! when the spike subsides, an independent baseline crash rate, optional
+//! flapping nodes, and injected solver stalls. The same seed always
+//! yields the same event sequence, so chaos runs are regression-testable.
+
+use medea_cluster::NodeId;
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
+
+use crate::driver::SimEvent;
+use crate::failures::UnavailabilityTrace;
+
+/// Configuration of the chaos engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// RNG seed; the schedule is a pure function of (trace, SUs, config).
+    pub seed: u64,
+    /// Simulation ticks per trace hour.
+    pub ticks_per_hour: u64,
+    /// SU unavailability fraction at or above which the hour counts as a
+    /// correlated outage: that fraction of the SU's nodes is crashed.
+    pub spike_threshold: f64,
+    /// Scale on the crashed fraction during spikes (1.0 = crash exactly
+    /// the trace's fraction of the SU).
+    pub crash_fraction_scale: f64,
+    /// Per-node, per-hour probability of an independent baseline crash.
+    pub baseline_crash_probability: f64,
+    /// Downtime of a baseline crash, in ticks.
+    pub baseline_downtime: u64,
+    /// Number of flapping nodes (repeated crash/recover cycles).
+    pub flapping_nodes: usize,
+    /// Ticks between a flapping node's crashes.
+    pub flap_period: u64,
+    /// Crash/recover cycles each flapping node goes through.
+    pub flap_cycles: u32,
+    /// Per-hour probability of an injected solver stall.
+    pub solver_stall_probability: f64,
+    /// Scheduling cycles each injected stall lasts.
+    pub stall_cycles: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 42,
+            ticks_per_hour: 3_600,
+            spike_threshold: 0.2,
+            crash_fraction_scale: 1.0,
+            baseline_crash_probability: 0.002,
+            baseline_downtime: 1_800,
+            flapping_nodes: 0,
+            flap_period: 600,
+            flap_cycles: 4,
+            solver_stall_probability: 0.0,
+            stall_cycles: 3,
+        }
+    }
+}
+
+/// A fully materialized, time-sorted fault-injection schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosSchedule {
+    /// `(tick, event)` pairs in non-decreasing tick order.
+    pub events: Vec<(u64, SimEvent)>,
+}
+
+impl ChaosSchedule {
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of node-crash events in the schedule.
+    pub fn crashes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, SimEvent::NodeCrash(_)))
+            .count()
+    }
+
+    /// Number of injected solver stalls in the schedule.
+    pub fn stalls(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, SimEvent::SolverStall { .. }))
+            .count()
+    }
+
+    /// Derives a chaos schedule from an unavailability trace.
+    ///
+    /// `su_nodes[su]` lists the node ids of service unit `su` (see
+    /// [`su_partition`] for the homogeneous case). Each trace hour:
+    ///
+    /// - an SU whose unavailability is at or above the spike threshold
+    ///   crashes (fraction × scale) of its nodes, keeping them down while
+    ///   the spike lasts and recovering them when it subsides — the
+    ///   paper's *correlated* unavailability;
+    /// - every up node independently crashes with the baseline
+    ///   probability, recovering after the configured downtime;
+    /// - a solver stall is injected with the configured probability.
+    ///
+    /// Flapping nodes (the first `flapping_nodes` nodes of the first SU)
+    /// additionally cycle crash → recover with the configured period. At
+    /// the end of the trace every node still down is recovered, so a
+    /// sufficiently long run always converges to a fully available
+    /// cluster.
+    pub fn from_trace(
+        trace: &UnavailabilityTrace,
+        su_nodes: &[Vec<NodeId>],
+        cfg: &ChaosConfig,
+    ) -> ChaosSchedule {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut events: Vec<(u64, SimEvent)> = Vec::new();
+        let sus = su_nodes.len().min(trace.service_units());
+        // Per SU: nodes currently down due to the ongoing spike.
+        let mut spike_down: Vec<Vec<NodeId>> = vec![Vec::new(); sus];
+        // Nodes down for any reason, with the tick they come back (so
+        // baseline crashes never target an already-down node).
+        let mut down_until: std::collections::HashMap<NodeId, u64> =
+            std::collections::HashMap::new();
+
+        for hour in 0..trace.hours() {
+            let start = hour as u64 * cfg.ticks_per_hour;
+            // Baseline-crashed nodes whose downtime elapsed are up again.
+            down_until.retain(|_, back| *back > start);
+            for su in 0..sus {
+                let f = trace.fractions[hour][su];
+                let su_size = su_nodes[su].len();
+                let target = if f >= cfg.spike_threshold {
+                    (((f * cfg.crash_fraction_scale) * su_size as f64).round() as usize)
+                        .min(su_size)
+                } else {
+                    0
+                };
+                // Grow the outage: crash additional up nodes of the SU.
+                while spike_down[su].len() < target {
+                    let candidates: Vec<NodeId> = su_nodes[su]
+                        .iter()
+                        .copied()
+                        .filter(|n| !down_until.contains_key(n))
+                        .collect();
+                    if candidates.is_empty() {
+                        break;
+                    }
+                    let pick = candidates[rng.random_range(0..candidates.len())];
+                    let t = start + rng.random_range(0..cfg.ticks_per_hour);
+                    events.push((t, SimEvent::NodeCrash(pick)));
+                    spike_down[su].push(pick);
+                    down_until.insert(pick, u64::MAX); // until spike ends
+                }
+                // Shrink the outage: recover nodes beyond the target.
+                while spike_down[su].len() > target {
+                    let idx = rng.random_range(0..spike_down[su].len());
+                    let node = spike_down[su].remove(idx);
+                    let t = start + rng.random_range(0..cfg.ticks_per_hour);
+                    events.push((t, SimEvent::NodeRecover(node)));
+                    down_until.remove(&node);
+                }
+                // Independent baseline crashes among the SU's up nodes.
+                if cfg.baseline_crash_probability > 0.0 {
+                    for &node in &su_nodes[su] {
+                        if down_until.get(&node).copied().unwrap_or(0) > start {
+                            continue;
+                        }
+                        if rng.random_range(0.0..1.0) < cfg.baseline_crash_probability {
+                            let t = start + rng.random_range(0..cfg.ticks_per_hour);
+                            let back = t + cfg.baseline_downtime.max(1);
+                            events.push((t, SimEvent::NodeCrash(node)));
+                            events.push((back, SimEvent::NodeRecover(node)));
+                            down_until.insert(node, back);
+                        }
+                    }
+                }
+            }
+            if cfg.solver_stall_probability > 0.0
+                && rng.random_range(0.0..1.0) < cfg.solver_stall_probability
+            {
+                let t = start + rng.random_range(0..cfg.ticks_per_hour);
+                events.push((
+                    t,
+                    SimEvent::SolverStall {
+                        cycles: cfg.stall_cycles,
+                    },
+                ));
+            }
+        }
+
+        // Flapping nodes: repeated short crash/recover cycles, phased
+        // randomly within the first hour.
+        let flappers: Vec<NodeId> = su_nodes
+            .iter()
+            .flatten()
+            .copied()
+            .take(cfg.flapping_nodes)
+            .collect();
+        for node in flappers {
+            let phase = rng.random_range(0..cfg.ticks_per_hour.max(1));
+            for cycle in 0..cfg.flap_cycles as u64 {
+                let t = phase + cycle * cfg.flap_period.max(2);
+                events.push((t, SimEvent::NodeCrash(node)));
+                events.push((t + cfg.flap_period.max(2) / 2, SimEvent::NodeRecover(node)));
+            }
+        }
+
+        // End of trace: bring every still-down node back, so chaos runs
+        // converge to a fully available cluster.
+        let end = trace.hours() as u64 * cfg.ticks_per_hour;
+        let mut still_down: Vec<NodeId> = down_until.keys().copied().collect();
+        still_down.sort();
+        for node in still_down {
+            if down_until[&node] >= end {
+                events.push((end, SimEvent::NodeRecover(node)));
+            }
+        }
+
+        events.sort_by_key(|&(t, _)| t);
+        ChaosSchedule { events }
+    }
+}
+
+/// Splits `num_nodes` nodes into `service_units` contiguous service
+/// units, remainder distributed to the first SUs (the homogeneous
+/// cluster layout used by the figure binaries).
+pub fn su_partition(num_nodes: usize, service_units: usize) -> Vec<Vec<NodeId>> {
+    let sus = service_units.max(1);
+    let base = num_nodes / sus;
+    let extra = num_nodes % sus;
+    let mut out = Vec::with_capacity(sus);
+    let mut next = 0u32;
+    for su in 0..sus {
+        let size = base + usize::from(su < extra);
+        out.push(
+            (0..size)
+                .map(|_| {
+                    let n = NodeId(next);
+                    next += 1;
+                    n
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failures::FailureParams;
+
+    fn trace() -> UnavailabilityTrace {
+        UnavailabilityTrace::generate(
+            &FailureParams {
+                service_units: 4,
+                hours: 48,
+                spike_probability: 0.02,
+                ..FailureParams::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn su_partition_covers_all_nodes() {
+        let p = su_partition(10, 3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.iter().map(Vec::len).sum::<usize>(), 10);
+        assert_eq!(p[0].len(), 4); // remainder goes first
+        let all: Vec<u32> = p.iter().flatten().map(|n| n.0).collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let t = trace();
+        let sus = su_partition(40, 4);
+        let cfg = ChaosConfig {
+            flapping_nodes: 2,
+            solver_stall_probability: 0.3,
+            ..ChaosConfig::default()
+        };
+        let a = ChaosSchedule::from_trace(&t, &sus, &cfg);
+        let b = ChaosSchedule::from_trace(&t, &sus, &cfg);
+        assert!(!a.is_empty(), "chaos schedule must produce events");
+        assert_eq!(format!("{:?}", a.events), format!("{:?}", b.events));
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let t = trace();
+        let sus = su_partition(40, 4);
+        let a = ChaosSchedule::from_trace(&t, &sus, &ChaosConfig::default());
+        let b = ChaosSchedule::from_trace(
+            &t,
+            &sus,
+            &ChaosConfig {
+                seed: 1337,
+                ..ChaosConfig::default()
+            },
+        );
+        assert_ne!(format!("{:?}", a.events), format!("{:?}", b.events));
+    }
+
+    #[test]
+    fn schedule_is_time_sorted_and_crashes_precede_matching_recoveries() {
+        let t = trace();
+        let sus = su_partition(40, 4);
+        let s = ChaosSchedule::from_trace(&t, &sus, &ChaosConfig::default());
+        assert!(s.events.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Every node that crashes eventually recovers (end-of-trace
+        // convergence guarantee).
+        let mut balance: std::collections::HashMap<NodeId, i64> = std::collections::HashMap::new();
+        for (_, e) in &s.events {
+            match e {
+                SimEvent::NodeCrash(n) => *balance.entry(*n).or_insert(0) += 1,
+                SimEvent::NodeRecover(n) => *balance.entry(*n).or_insert(0) -= 1,
+                _ => {}
+            }
+        }
+        assert!(
+            balance.values().all(|&v| v <= 0),
+            "every crash needs a recovery: {balance:?}"
+        );
+    }
+
+    #[test]
+    fn flapping_nodes_flap() {
+        let t = trace();
+        let sus = su_partition(8, 2);
+        let cfg = ChaosConfig {
+            flapping_nodes: 1,
+            flap_cycles: 3,
+            baseline_crash_probability: 0.0,
+            ..ChaosConfig::default()
+        };
+        let s = ChaosSchedule::from_trace(&t, &sus, &cfg);
+        let flapper_crashes = s
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, SimEvent::NodeCrash(n) if *n == NodeId(0)))
+            .count();
+        assert!(flapper_crashes >= 3, "flapper must crash repeatedly");
+    }
+
+    #[test]
+    fn stall_probability_one_stalls_every_hour() {
+        let t = trace();
+        let sus = su_partition(8, 2);
+        let cfg = ChaosConfig {
+            solver_stall_probability: 1.0,
+            baseline_crash_probability: 0.0,
+            ..ChaosConfig::default()
+        };
+        let s = ChaosSchedule::from_trace(&t, &sus, &cfg);
+        assert_eq!(s.stalls(), t.hours());
+    }
+}

@@ -43,6 +43,17 @@ pub enum SimEvent {
     NodeFail(NodeId),
     /// A failed node comes back.
     NodeRecover(NodeId),
+    /// A node crashes: every container it hosted is released and the
+    /// recovery pipeline re-enqueues the lost LRA containers
+    /// ([`MedeaScheduler::node_lost`]). The stronger sibling of
+    /// [`SimEvent::NodeFail`], which only flips availability.
+    NodeCrash(NodeId),
+    /// The ILP solver stalls for the next `cycles` scheduling cycles
+    /// (injected fault; counts against the scheduler's circuit breaker).
+    SolverStall {
+        /// Number of scheduling cycles the stall lasts.
+        cycles: u32,
+    },
     /// The LRA scheduling interval fires.
     SchedulerTick,
 }
@@ -97,6 +108,10 @@ struct SimObs {
     lra_completions: Arc<Counter>,
     node_failures: Arc<Counter>,
     scheduler_ticks: Arc<Counter>,
+    chaos_node_crashes: Arc<Counter>,
+    chaos_node_recoveries: Arc<Counter>,
+    chaos_solver_stalls: Arc<Counter>,
+    chaos_containers_killed: Arc<Counter>,
     clock: Arc<Gauge>,
 }
 
@@ -111,6 +126,10 @@ impl SimObs {
             lra_completions: registry.counter("sim.lra_completions_total"),
             node_failures: registry.counter("sim.node_failures_total"),
             scheduler_ticks: registry.counter("sim.scheduler_ticks_total"),
+            chaos_node_crashes: registry.counter("sim.chaos_node_crashes_total"),
+            chaos_node_recoveries: registry.counter("sim.chaos_node_recoveries_total"),
+            chaos_solver_stalls: registry.counter("sim.chaos_solver_stalls_total"),
+            chaos_containers_killed: registry.counter("sim.chaos_containers_killed_total"),
             clock: registry.gauge("sim.clock_ticks"),
         }
     }
@@ -233,13 +252,24 @@ impl SimDriver {
         }
     }
 
+    /// Schedules every event of a chaos schedule (see
+    /// [`crate::ChaosSchedule`]).
+    pub fn inject_chaos(&mut self, schedule: &crate::ChaosSchedule) {
+        for (t, e) in &schedule.events {
+            self.schedule(*t, e.clone());
+        }
+    }
+
     /// Runs all events up to and including `end`, advancing time.
     pub fn run_until(&mut self, end: u64) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.time > end {
-                break;
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(head)) if head.time <= end => {}
+                _ => break,
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
             self.now = ev.time;
             self.handle(ev.event);
         }
@@ -263,7 +293,9 @@ impl SimDriver {
                 SimEvent::TaskComplete { .. } => obs.task_completions.inc(),
                 SimEvent::LraComplete(_) => obs.lra_completions.inc(),
                 SimEvent::NodeFail(_) => obs.node_failures.inc(),
-                SimEvent::NodeRecover(_) => {}
+                SimEvent::NodeRecover(_) => obs.chaos_node_recoveries.inc(),
+                SimEvent::NodeCrash(_) => obs.chaos_node_crashes.inc(),
+                SimEvent::SolverStall { .. } => obs.chaos_solver_stalls.inc(),
                 SimEvent::SchedulerTick => obs.scheduler_ticks.inc(),
             }
         }
@@ -312,7 +344,18 @@ impl SimDriver {
                 let _ = self.medea.state_mut().set_available(node, false);
             }
             SimEvent::NodeRecover(node) => {
-                let _ = self.medea.state_mut().set_available(node, true);
+                // Also clears fault-domain marks if the node crashed.
+                self.medea.node_recovered(node);
+            }
+            SimEvent::NodeCrash(node) => {
+                let report = self.medea.node_lost(node, self.now);
+                let killed = report.lra_containers_lost + report.task_containers_lost;
+                if let Some(obs) = &self.obs {
+                    obs.chaos_containers_killed.add(killed as u64);
+                }
+            }
+            SimEvent::SolverStall { cycles } => {
+                self.medea.inject_solver_stall(cycles);
             }
             SimEvent::SchedulerTick => {
                 let deployed = self.medea.tick(self.now);
@@ -423,6 +466,67 @@ mod tests {
         s.schedule(3_000, SimEvent::NodeRecover(medea_cluster::NodeId(0)));
         s.run_until(6_000);
         assert_eq!(s.metrics().task_latencies.len(), 1);
+    }
+
+    #[test]
+    fn node_crash_releases_and_recovery_pipeline_replaces() {
+        let mut s = sim();
+        s.schedule(
+            0,
+            SimEvent::SubmitLra(LraRequest::uniform(
+                ApplicationId(1),
+                3,
+                Resources::new(1024, 1),
+                vec![Tag::new("svc")],
+                vec![],
+            )),
+        );
+        s.run_until(2_000);
+        assert_eq!(s.metrics().deployments.len(), 1);
+        let victim = s.metrics().deployments[0].nodes[0];
+        let on_victim = s.metrics().deployments[0]
+            .nodes
+            .iter()
+            .filter(|&&n| n == victim)
+            .count();
+        s.schedule(2_500, SimEvent::NodeCrash(victim));
+        s.run_until(20_000);
+        let r = s.medea().recovery_report();
+        assert_eq!(r.containers_lost, on_victim);
+        assert_eq!(r.containers_replaced, on_victim);
+        assert!(r.accounted());
+        // The replacement deployment is flagged as recovered.
+        assert!(s.metrics().deployments.iter().any(|d| d.recovered));
+        // The crashed node hosts nothing until it recovers.
+        assert!(s.medea().state().containers_on(victim).unwrap().is_empty());
+        s.schedule(20_500, SimEvent::NodeRecover(victim));
+        s.run_until(21_000);
+        assert!(s.medea().state().is_available(victim));
+    }
+
+    #[test]
+    fn solver_stall_event_reaches_breaker() {
+        let cluster = ClusterState::homogeneous(4, Resources::new(8192, 8), 2);
+        let mut s = SimDriver::new(cluster, LraAlgorithm::Ilp, 1_000);
+        s.schedule(0, SimEvent::SolverStall { cycles: 10 });
+        for i in 0..4u64 {
+            s.schedule(
+                i * 1_000,
+                SimEvent::SubmitLra(LraRequest::uniform(
+                    ApplicationId(i + 1),
+                    1,
+                    Resources::new(512, 1),
+                    vec![Tag::new("x")],
+                    vec![],
+                )),
+            );
+        }
+        s.run_until(5_000);
+        // Default threshold is 3 consecutive failures: the breaker is
+        // open (or probing) by now, yet every LRA still deployed via the
+        // degraded heuristic — no placement was lost to the stall.
+        assert_ne!(s.medea().breaker_state(), medea_core::BreakerState::Closed);
+        assert_eq!(s.metrics().deployments.len(), 4);
     }
 
     #[test]

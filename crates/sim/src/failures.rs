@@ -96,8 +96,13 @@ impl UnavailabilityTrace {
 
     /// Cluster-total unavailability at an hour (SUs weighted equally,
     /// as the paper's SUs hold a couple of thousand machines each).
+    ///
+    /// Hours beyond the end of the trace report full availability (0.0),
+    /// so callers may probe past the horizon without panicking.
     pub fn total_at(&self, hour: usize) -> f64 {
-        let f = &self.fractions[hour];
+        let Some(f) = self.fractions.get(hour) else {
+            return 0.0;
+        };
         if f.is_empty() {
             return 0.0;
         }
@@ -106,12 +111,16 @@ impl UnavailabilityTrace {
 
     /// Expected fraction of unavailable containers for an application
     /// whose containers are distributed as `containers_per_su`.
+    ///
+    /// Hours beyond the end of the trace report full availability (0.0).
     pub fn app_unavailability(&self, hour: usize, containers_per_su: &[u32]) -> f64 {
         let total: u32 = containers_per_su.iter().sum();
         if total == 0 {
             return 0.0;
         }
-        let f = &self.fractions[hour];
+        let Some(f) = self.fractions.get(hour) else {
+            return 0.0;
+        };
         let down: f64 = containers_per_su
             .iter()
             .enumerate()
@@ -206,5 +215,18 @@ mod tests {
         let t = trace();
         assert_eq!(t.app_unavailability(0, &[]), 0.0);
         assert_eq!(t.app_unavailability(0, &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_hour_is_fully_available() {
+        // Regression: probing past the trace horizon used to index-panic.
+        let t = trace();
+        assert_eq!(t.total_at(t.hours()), 0.0);
+        assert_eq!(t.total_at(t.hours() + 1_000_000), 0.0);
+        assert_eq!(t.app_unavailability(t.hours(), &[5, 5]), 0.0);
+        assert_eq!(t.app_unavailability(usize::MAX, &[5, 5]), 0.0);
+        let empty = UnavailabilityTrace { fractions: vec![] };
+        assert_eq!(empty.total_at(0), 0.0);
+        assert_eq!(empty.app_unavailability(0, &[1]), 0.0);
     }
 }

@@ -8,6 +8,7 @@
 
 pub mod apps;
 mod census;
+mod chaos;
 mod driver;
 mod failures;
 mod metrics;
@@ -15,6 +16,7 @@ mod perfmodel;
 mod workload;
 
 pub use census::{generate_census, ClusterCensus};
+pub use chaos::{su_partition, ChaosConfig, ChaosSchedule};
 pub use driver::{SimDriver, SimEvent, SimMetrics};
 pub use failures::{FailureParams, UnavailabilityTrace};
 pub use metrics::{box_stats, coefficient_of_variation, percentile, BoxStats, Cdf};

@@ -1,0 +1,223 @@
+//! Chaos regression tests: seeded fault injection must be fully
+//! deterministic, and the recovery pipeline must account for every
+//! killed container — re-placed or explicitly unplaceable, never
+//! silently lost.
+
+use medea_cluster::{ApplicationId, ClusterState, NodeGroupId, Resources, Tag};
+use medea_core::LraAlgorithm;
+use medea_obs::MetricsRegistry;
+use medea_sim::{
+    su_partition, ChaosConfig, ChaosSchedule, FailureParams, SimDriver, SimEvent,
+    UnavailabilityTrace,
+};
+use std::sync::Arc;
+
+const TICKS_PER_HOUR: u64 = 3_600;
+const HOURS: usize = 24;
+
+/// Builds a small cluster (4 SUs × 8 nodes, SUs registered as a node
+/// group) with a chaos schedule derived from a seeded trace, runs the
+/// whole horizon, and returns the driver.
+fn run_chaos(seed: u64, algorithm: LraAlgorithm) -> SimDriver {
+    let sus = 4usize;
+    let nodes_per_su = 8usize;
+    let mut cluster =
+        ClusterState::homogeneous(sus * nodes_per_su, Resources::new(16 * 1024, 16), sus);
+    let su_sets = su_partition(sus * nodes_per_su, sus);
+    cluster.register_group(
+        NodeGroupId::service_unit(),
+        su_sets.iter().map(|s| s.to_vec()).collect(),
+    );
+
+    let mut sim = SimDriver::new(cluster, algorithm, 30);
+    // 6 LRAs × 8 containers with node anti-affinity (spread).
+    for app in 1..=6u64 {
+        let tag = format!("svc{app}");
+        sim.schedule(
+            app * 5,
+            SimEvent::SubmitLra(medea_core::LraRequest::uniform(
+                ApplicationId(app),
+                8,
+                Resources::new(2048, 2),
+                vec![Tag::new(tag.clone())],
+                vec![medea_constraints::PlacementConstraint::anti_affinity(
+                    tag.as_str(),
+                    tag.as_str(),
+                    NodeGroupId::node(),
+                )],
+            )),
+        );
+    }
+
+    let trace = UnavailabilityTrace::generate(
+        &FailureParams {
+            service_units: sus,
+            hours: HOURS,
+            spike_probability: 0.03,
+            ..FailureParams::default()
+        },
+        seed,
+    );
+    let chaos = ChaosSchedule::from_trace(
+        &trace,
+        &su_sets,
+        &ChaosConfig {
+            seed,
+            ticks_per_hour: TICKS_PER_HOUR,
+            flapping_nodes: 1,
+            solver_stall_probability: 0.25,
+            ..ChaosConfig::default()
+        },
+    );
+    assert!(chaos.crashes() > 0, "chaos run needs crashes to be a test");
+    sim.inject_chaos(&chaos);
+
+    // Run past the trace end so end-of-trace recoveries and backed-off
+    // retries drain.
+    sim.run_until(HOURS as u64 * TICKS_PER_HOUR + 50_000);
+    sim
+}
+
+/// Deterministic digest of the post-run cluster state.
+fn state_digest(sim: &SimDriver) -> String {
+    let state = sim.medea().state();
+    let mut per_node: Vec<String> = Vec::new();
+    for node in state.node_ids() {
+        let mut apps: Vec<(u64, usize)> = {
+            let mut m = std::collections::BTreeMap::new();
+            for c in state.containers_on(node).unwrap() {
+                let a = state.allocation(*c).unwrap().app.0;
+                *m.entry(a).or_insert(0usize) += 1;
+            }
+            m.into_iter().collect()
+        };
+        apps.sort();
+        per_node.push(format!(
+            "{}:{}:{:?}",
+            node.0,
+            state.is_available(node),
+            apps
+        ));
+    }
+    format!(
+        "{per_node:?}|deployed={} lost={} replaced={} unplaceable={}",
+        sim.metrics().deployments.len(),
+        sim.medea().recovery_report().containers_lost,
+        sim.medea().recovery_report().containers_replaced,
+        sim.medea().recovery_report().containers_unplaceable,
+    )
+}
+
+#[test]
+fn same_seed_identical_events_and_post_recovery_state() {
+    let a = run_chaos(11, LraAlgorithm::NodeCandidates);
+    let b = run_chaos(11, LraAlgorithm::NodeCandidates);
+    assert_eq!(state_digest(&a), state_digest(&b));
+
+    // The event schedules themselves are identical too.
+    let trace = UnavailabilityTrace::generate(
+        &FailureParams {
+            service_units: 4,
+            hours: HOURS,
+            spike_probability: 0.03,
+            ..FailureParams::default()
+        },
+        11,
+    );
+    let sus = su_partition(32, 4);
+    let cfg = ChaosConfig {
+        seed: 11,
+        ticks_per_hour: TICKS_PER_HOUR,
+        flapping_nodes: 1,
+        solver_stall_probability: 0.25,
+        ..ChaosConfig::default()
+    };
+    let s1 = ChaosSchedule::from_trace(&trace, &sus, &cfg);
+    let s2 = ChaosSchedule::from_trace(&trace, &sus, &cfg);
+    assert_eq!(format!("{:?}", s1.events), format!("{:?}", s2.events));
+}
+
+#[test]
+fn every_killed_lra_container_is_accounted_for() {
+    for seed in [3u64, 17, 99] {
+        let sim = run_chaos(seed, LraAlgorithm::NodeCandidates);
+        let r = sim.medea().recovery_report();
+        assert!(
+            r.accounted(),
+            "seed {seed}: lost {} != replaced {} + unplaceable {} + pending {}",
+            r.containers_lost,
+            r.containers_replaced,
+            r.containers_unplaceable,
+            r.containers_pending
+        );
+        assert!(r.containers_lost > 0, "seed {seed}: chaos killed nothing");
+        assert!(
+            r.replacement_ratio() >= 0.95,
+            "seed {seed}: replacement ratio {} below 95%",
+            r.replacement_ratio()
+        );
+    }
+}
+
+#[test]
+fn chaos_run_with_ilp_emits_recovery_metrics() {
+    let registry = MetricsRegistry::new();
+    let sus = su_partition(16, 2);
+    let mut cluster = ClusterState::homogeneous(16, Resources::new(16 * 1024, 16), 2);
+    cluster.register_group(
+        NodeGroupId::service_unit(),
+        sus.iter().map(|s| s.to_vec()).collect(),
+    );
+    let mut sim =
+        SimDriver::new(cluster, LraAlgorithm::Ilp, 30).with_metrics(Arc::clone(&registry));
+    for app in 1..=3u64 {
+        sim.schedule(
+            app,
+            SimEvent::SubmitLra(medea_core::LraRequest::uniform(
+                ApplicationId(app),
+                6,
+                Resources::new(2048, 2),
+                vec![Tag::new(format!("s{app}"))],
+                vec![],
+            )),
+        );
+    }
+    let trace = UnavailabilityTrace::generate(
+        &FailureParams {
+            service_units: 2,
+            hours: 6,
+            spike_probability: 0.1,
+            ..FailureParams::default()
+        },
+        5,
+    );
+    let chaos = ChaosSchedule::from_trace(
+        &trace,
+        &sus,
+        &ChaosConfig {
+            seed: 5,
+            ticks_per_hour: TICKS_PER_HOUR,
+            baseline_crash_probability: 0.05,
+            solver_stall_probability: 1.0,
+            ..ChaosConfig::default()
+        },
+    );
+    assert!(chaos.crashes() > 0 && chaos.stalls() > 0);
+    sim.inject_chaos(&chaos);
+    sim.run_until(6 * TICKS_PER_HOUR + 50_000);
+
+    let snap = registry.snapshot();
+    let lost = snap.counter("core.recovery_containers_lost_total").unwrap();
+    let replaced = snap.counter("core.recovery_replaced_total").unwrap();
+    assert!(lost > 0, "chaos must kill LRA containers");
+    assert!(replaced > 0, "recovery must re-place containers");
+    assert!(snap.counter("sim.chaos_node_crashes_total").unwrap() > 0);
+    assert!(snap.counter("sim.chaos_solver_stalls_total").unwrap() > 0);
+    assert!(snap.counter("core.solver_stalls_total").unwrap() > 0);
+    // The latency histogram recorded every successful recovery.
+    let json = registry.snapshot_json();
+    assert!(json.contains("core.recovery_latency_ticks"));
+    assert!(json.contains("core.breaker_state"));
+    // No silent loss even under ILP + stalls.
+    assert!(sim.medea().recovery_report().accounted());
+}

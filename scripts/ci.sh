@@ -20,4 +20,7 @@ cargo test --offline --workspace -q
 echo "==> cargo test (release)"
 cargo test --release --offline --workspace -q
 
+echo "==> chaos smoke (fixed-seed fault injection + recovery)"
+cargo run --release --offline -p medea-bench --bin fig8_resilience -- --smoke
+
 echo "CI gate passed."
