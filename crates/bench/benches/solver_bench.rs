@@ -8,47 +8,9 @@
 //! instead of criterion. Run with
 //! `cargo bench -p medea-bench --bench solver_bench`.
 
-use medea_bench::bench;
+use medea_bench::{bench, placement_model};
 use medea_obs::MetricsRegistry;
-use medea_solver::{Cmp, Milp, Problem, Simplex};
-
-/// Builds an assignment-like placement model: `containers` binaries per
-/// `nodes` candidates with capacity rows and an anti-affinity-style cap.
-fn placement_model(containers: usize, nodes: usize) -> Problem {
-    let mut p = Problem::maximize();
-    let x: Vec<Vec<_>> = (0..containers)
-        .map(|i| {
-            (0..nodes)
-                .map(|n| p.add_binary(0.0, format!("x{i}_{n}")))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    let s = p.add_binary(1.0, "s");
-    // Each container at most once; all-or-nothing.
-    let mut all = Vec::new();
-    for row in &x {
-        p.add_constraint(row.iter().map(|&v| (v, 1.0)), Cmp::Le, 1.0);
-        all.extend(row.iter().map(|&v| (v, 1.0)));
-    }
-    all.push((s, -(containers as f64)));
-    p.add_constraint(all, Cmp::Eq, 0.0);
-    // Capacity: at most 2 containers per node (`n` walks the transposed
-    // node dimension of `x`, hence the index loop).
-    #[allow(clippy::needless_range_loop)]
-    for n in 0..nodes {
-        p.add_constraint(x.iter().map(|row| (row[n], 1.0)), Cmp::Le, 2.0);
-    }
-    // Symmetry breaking like the scheduler's.
-    for w in x.windows(2) {
-        let mut terms = Vec::new();
-        for (n, (&va, &vb)) in w[0].iter().zip(w[1].iter()).enumerate() {
-            terms.push((va, (n + 1) as f64));
-            terms.push((vb, -((n + 1) as f64)));
-        }
-        p.add_constraint(terms, Cmp::Le, 0.0);
-    }
-    p
-}
+use medea_solver::{Milp, Simplex};
 
 fn main() {
     let registry = MetricsRegistry::new();

@@ -53,36 +53,37 @@ fn main() {
         "ILP ablations: wall time, LRAs placed, end-state violations",
         &["variant", "seconds", "placed", "violations_pct"],
     );
-    let base = IlpConfig::default();
-
+    // Each variant gets a freshly defaulted config: cloning one base
+    // would share its Arc'd warm-start cache, letting earlier variants'
+    // bases speed up later ones and bias the comparison.
     let variants: Vec<(&str, IlpConfig)> = vec![
-        ("baseline", base.clone()),
+        ("baseline", IlpConfig::default()),
         (
             "no-mip-start",
             IlpConfig {
                 mip_start: false,
-                ..base.clone()
+                ..IlpConfig::default()
             },
         ),
         (
             "no-symmetry",
             IlpConfig {
                 symmetry_breaking: false,
-                ..base.clone()
+                ..IlpConfig::default()
             },
         ),
         (
             "candidates=16",
             IlpConfig {
                 max_candidates: 16,
-                ..base.clone()
+                ..IlpConfig::default()
             },
         ),
         (
             "candidates=64",
             IlpConfig {
                 max_candidates: 64,
-                ..base.clone()
+                ..IlpConfig::default()
             },
         ),
     ];

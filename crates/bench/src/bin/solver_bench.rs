@@ -1,0 +1,267 @@
+//! `solver_bench`: the MILP core's benchmark trajectory, emitted as
+//! machine-readable JSON (`BENCH_solver.json`) so successive PRs can
+//! compare solve-time medians on identical instances.
+//!
+//! Three instance families:
+//!
+//! 1. **`lp_relaxation/*`** — cold simplex solves of the assignment-shaped
+//!    placement models the LRA scheduler emits (Fig. 6-scale batches).
+//! 2. **`milp_exact/*`** — full branch-and-bound solves of the same
+//!    shapes (the Fig. 9-shaped ILP instances the acceptance criteria
+//!    track); identical to the `benches/solver_bench.rs` instances so the
+//!    numbers line up with `cargo bench`.
+//! 3. **`ilp_round/*`** — end-to-end scheduler rounds placing HBase-like
+//!    batches (the Fig. 9a workload), once with the cross-round basis
+//!    cache disabled (`cold`) and once with it shared across rounds
+//!    (`warm`). Round time is dominated by model building, so the two
+//!    typically sit within noise; the cache's per-solve effect shows in
+//!    the `milp_exact` warm-start counts and the
+//!    `core.ilp_warm_start_hits_total` metric.
+//!
+//! Reference medians of the pre-eta-file dense solver (recorded on this
+//! machine immediately before the sparse rewrite landed) are embedded in
+//! the JSON under `"dense_baseline_us"` for the `milp_exact` instances.
+//!
+//! Usage: `cargo run --release -p medea-bench --bin solver_bench`
+//! (`--smoke` runs a fast, low-iteration variant for CI; the JSON is
+//! still written with `"mode": "smoke"` so trajectories never mix modes).
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use medea_bench::placement_model;
+use medea_cluster::{ApplicationId, ClusterState, Resources};
+use medea_core::{place_with_ilp, IlpConfig};
+use medea_solver::{Milp, Simplex, SolveEvent, SolveInstrumentation};
+
+/// Accumulates solver events across repeated solves of one instance.
+#[derive(Default)]
+struct Tally {
+    pivots: Cell<u64>,
+    refactorizations: Cell<u64>,
+    warm_starts: Cell<u64>,
+}
+
+impl SolveInstrumentation for Tally {
+    fn record(&self, event: SolveEvent) {
+        match event {
+            SolveEvent::SimplexPivots(n) => self.pivots.set(self.pivots.get() + n),
+            SolveEvent::Refactorizations(n) => {
+                self.refactorizations.set(self.refactorizations.get() + n)
+            }
+            SolveEvent::WarmStartUsed => self.warm_starts.set(self.warm_starts.get() + 1),
+            _ => {}
+        }
+    }
+}
+
+/// One benchmarked instance's summary statistics.
+struct InstanceResult {
+    name: String,
+    iters: usize,
+    median_us: u64,
+    p99_us: u64,
+    mean_us: u64,
+    pivots_per_solve: u64,
+    refactorizations_per_solve: u64,
+    warm_starts_per_solve: f64,
+    /// Median of the pre-PR dense solver on this instance, when recorded.
+    dense_baseline_us: Option<u64>,
+}
+
+fn summarize(
+    name: &str,
+    mut samples: Vec<u64>,
+    tally: &Tally,
+    dense_baseline_us: Option<u64>,
+) -> InstanceResult {
+    samples.sort_unstable();
+    let iters = samples.len();
+    let median_us = samples[iters / 2];
+    let p99_idx = ((iters as f64 * 0.99).ceil() as usize).clamp(1, iters) - 1;
+    let p99_us = samples[p99_idx];
+    let mean_us = samples.iter().sum::<u64>() / iters as u64;
+    InstanceResult {
+        name: name.to_string(),
+        iters,
+        median_us,
+        p99_us,
+        mean_us,
+        pivots_per_solve: tally.pivots.get() / iters as u64,
+        refactorizations_per_solve: tally.refactorizations.get() / iters as u64,
+        warm_starts_per_solve: tally.warm_starts.get() as f64 / iters as f64,
+        dense_baseline_us,
+    }
+}
+
+/// Times `f` for `iters` iterations after `warmup` untimed runs.
+fn time_solves<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> Vec<u64> {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_micros() as u64);
+    }
+    samples
+}
+
+/// Dense-solver medians recorded immediately before the sparse eta-file
+/// rewrite, on the instances that still exist verbatim (see DESIGN.md).
+fn dense_baseline(name: &str) -> Option<u64> {
+    match name {
+        "lp_relaxation/10x16" => Some(136),
+        "lp_relaxation/20x32" => Some(1_599),
+        "lp_relaxation/26x48" => Some(5_671),
+        "milp_exact/8x12" => Some(17_783),
+        "milp_exact/12x16" => Some(319_870),
+        _ => None,
+    }
+}
+
+/// A Fig. 9a-shaped scheduling round: a batch of HBase-like instances
+/// (8 workers, 6-per-node cardinality cap) against a fixed cluster.
+fn ilp_round(state: &ClusterState, cfg: &IlpConfig, first_app: u64) {
+    let reqs: Vec<_> = (0..2)
+        .map(|i| medea_sim::apps::hbase_like(ApplicationId(first_app + i), 8, 6))
+        .collect();
+    let out = place_with_ilp(state, &reqs, &[], cfg);
+    assert!(
+        out.iter().all(|o| o.placement().is_some()),
+        "bench round must place its batch"
+    );
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(s.chars().all(|c| c != '"' && c != '\\' && c >= ' '));
+    s
+}
+
+fn write_json(mode: &str, results: &[InstanceResult]) -> std::io::Result<()> {
+    let mut body = String::new();
+    body.push_str("{\n");
+    let _ = writeln!(body, "  \"bench\": \"solver_bench\",");
+    let _ = writeln!(body, "  \"mode\": \"{mode}\",");
+    body.push_str("  \"instances\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str("    {");
+        let _ = write!(
+            body,
+            "\"name\": \"{}\", \"iters\": {}, \"median_us\": {}, \"p99_us\": {}, \
+             \"mean_us\": {}, \"pivots_per_solve\": {}, \"refactorizations_per_solve\": {}, \
+             \"warm_starts_per_solve\": {:.2}",
+            json_escape_free(&r.name),
+            r.iters,
+            r.median_us,
+            r.p99_us,
+            r.mean_us,
+            r.pivots_per_solve,
+            r.refactorizations_per_solve,
+            r.warm_starts_per_solve,
+        );
+        if let Some(b) = r.dense_baseline_us {
+            let speedup = b as f64 / r.median_us.max(1) as f64;
+            let _ = write!(
+                body,
+                ", \"dense_baseline_us\": {b}, \"speedup_vs_dense\": {speedup:.2}"
+            );
+        }
+        body.push('}');
+        if i + 1 < results.len() {
+            body.push(',');
+        }
+        body.push('\n');
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write("BENCH_solver.json", body)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (lp_iters, milp_iters, rounds) = if smoke { (5, 3, 4) } else { (30, 10, 12) };
+    let mode = if smoke { "smoke" } else { "full" };
+    let mut results: Vec<InstanceResult> = Vec::new();
+
+    // Family 1: LP relaxations (cold simplex).
+    for &(containers, nodes) in &[(10usize, 16usize), (20, 32), (26, 48)] {
+        let name = format!("lp_relaxation/{containers}x{nodes}");
+        let p = placement_model(containers, nodes);
+        let tally = Tally::default();
+        let samples = time_solves(2, lp_iters, || {
+            let sol = Simplex::new(&p).solve();
+            tally.record(SolveEvent::SimplexPivots(sol.iterations as u64));
+            tally.record(SolveEvent::Refactorizations(sol.refactorizations as u64));
+        });
+        results.push(summarize(&name, samples, &tally, dense_baseline(&name)));
+    }
+
+    // Family 2: exact MILP solves (the acceptance-tracked instances).
+    for &(containers, nodes) in &[(8usize, 12usize), (12, 16)] {
+        let name = format!("milp_exact/{containers}x{nodes}");
+        let p = placement_model(containers, nodes);
+        let tally = Tally::default();
+        let samples = time_solves(1, milp_iters, || {
+            Milp::new(&p)
+                .with_instrumentation(&tally)
+                .solve()
+                .expect("bench model must validate");
+        });
+        results.push(summarize(&name, samples, &tally, dense_baseline(&name)));
+    }
+
+    // Family 3: scheduler rounds, cold vs cross-round warm cache. The
+    // state is held fixed so every round solves the same skeleton — the
+    // steady state the cache targets.
+    let state = ClusterState::homogeneous(30, Resources::new(16 * 1024, 16), 3);
+    for warm in [false, true] {
+        let name = format!("ilp_round/fig9_{}", if warm { "warm" } else { "cold" });
+        let cfg = IlpConfig {
+            warm_cache: if warm {
+                IlpConfig::default().warm_cache
+            } else {
+                None
+            },
+            ..IlpConfig::default()
+        };
+        let mut app = 1u64;
+        let samples = time_solves(1, rounds, || {
+            ilp_round(&state, &cfg, app);
+            app += 100;
+        });
+        results.push(summarize(&name, samples, &Tally::default(), None));
+    }
+
+    println!(
+        "{:<24} {:>6} {:>10} {:>10} {:>10} {:>8} {:>6} {:>6}",
+        "instance", "iters", "median_us", "p99_us", "mean_us", "pivots", "refac", "warm"
+    );
+    for r in &results {
+        println!(
+            "{:<24} {:>6} {:>10} {:>10} {:>10} {:>8} {:>6} {:>6.2}",
+            r.name,
+            r.iters,
+            r.median_us,
+            r.p99_us,
+            r.mean_us,
+            r.pivots_per_solve,
+            r.refactorizations_per_solve,
+            r.warm_starts_per_solve,
+        );
+        if let Some(b) = r.dense_baseline_us {
+            println!(
+                "{:<24} {:>6} {:>10} (dense baseline; {:.2}x)",
+                "",
+                "",
+                b,
+                b as f64 / r.median_us.max(1) as f64
+            );
+        }
+    }
+    match write_json(mode, &results) {
+        Ok(()) => println!("(json: BENCH_solver.json)"),
+        Err(e) => eprintln!("warning: cannot write BENCH_solver.json: {e}"),
+    }
+}

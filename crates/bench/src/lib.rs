@@ -9,10 +9,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod models;
 mod output;
 mod scenarios;
 mod timing;
 
+pub use models::placement_model;
 pub use output::{f2, f3, pct, Report};
 pub use scenarios::{
     deploy_lras, deploy_lras_with_metrics, hbase_count_for_utilization, lra_mix, DeployResult,

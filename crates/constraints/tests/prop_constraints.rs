@@ -70,6 +70,61 @@ fn display_parse_roundtrip() {
     }
 }
 
+/// The weight suffix survives a round trip: `Display` prints the bare
+/// paper syntax, and appending `weight=<w>` (or `weight=hard`) yields a
+/// reparse identical to the constraint with that weight set.
+#[test]
+fn weighted_roundtrip() {
+    use medea_constraints::HARD_WEIGHT;
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x3E16 ^ case);
+        let mut c = random_constraint(&mut rng);
+        let printed = if rng.random_bool(0.25) {
+            c.weight = HARD_WEIGHT;
+            format!("{c} weight=hard")
+        } else {
+            // Quarter-step weights print exactly (e.g. `2.75`), so the
+            // reparse is bit-identical, not merely approximately equal.
+            c.weight = rng.random_range(1..40usize) as f64 / 4.0;
+            format!("{} weight={}", c, c.weight)
+        };
+        let reparsed = parse_constraint(&printed)
+            .unwrap_or_else(|e| panic!("case {case}: cannot reparse '{printed}': {e}"));
+        assert_eq!(c, reparsed, "case {case}: '{printed}'");
+    }
+}
+
+/// Rewriting the printed form with the documented ASCII aliases
+/// (`&`, `|`, `inf`) parses back to the identical constraint.
+#[test]
+fn ascii_form_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0xA5C11 ^ case);
+        let c = random_constraint(&mut rng);
+        let ascii = c
+            .to_string()
+            .replace('∧', "&")
+            .replace('∨', "|")
+            .replace('∞', "inf");
+        let reparsed = parse_constraint(&ascii)
+            .unwrap_or_else(|e| panic!("case {case}: cannot reparse '{ascii}': {e}"));
+        assert_eq!(c, reparsed, "case {case}: '{ascii}'");
+    }
+}
+
+/// Printing is a fixpoint of parse∘format: formatting the reparsed
+/// constraint reproduces the first printed form byte for byte.
+#[test]
+fn parse_format_idempotent() {
+    for case in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(0x1DE ^ case);
+        let c = random_constraint(&mut rng);
+        let printed = c.to_string();
+        let reparsed = parse_constraint(&printed).unwrap();
+        assert_eq!(reparsed.to_string(), printed, "case {case}");
+    }
+}
+
 /// A count satisfies the interval iff its violation extent is zero,
 /// and the extent grows monotonically with the distance outside.
 #[test]

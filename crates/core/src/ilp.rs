@@ -17,13 +17,14 @@
 //!    their violation status is a constant the placement cannot change.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use medea_cluster::{ClusterState, NodeId};
 use medea_constraints::{PlacementConstraint, TagConstraint};
 use medea_obs::MetricsRegistry;
-use medea_solver::{Cmp, Milp, Problem, VarId, VarKind};
+use medea_solver::{Basis, Cmp, Milp, Problem, VarId, VarKind};
 
 use crate::obs_bridge::SolverMetricsBridge;
 
@@ -54,6 +55,62 @@ pub struct IlpConfig {
     /// wall-clock time (`core.ilp_solve_us`), and heuristic fallbacks
     /// (`core.heuristic_fallback_total`).
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Cross-round warm-start cache: the optimal root basis of each solve
+    /// is remembered keyed by the problem's constraint skeleton, and the
+    /// next solve with the same skeleton starts the root LP from it
+    /// instead of a cold two-phase start. A scheduler that places
+    /// similarly shaped batches round after round (the common steady
+    /// state) pays the full simplex cost only on the first round. Set to
+    /// `None` to disable. Cloning the config shares the cache.
+    pub warm_cache: Option<Arc<IlpBasisCache>>,
+}
+
+/// Single-slot cache mapping a constraint-skeleton hash to the basis that
+/// solved it last (see [`IlpConfig::warm_cache`]).
+///
+/// A basis snapshot is purely structural (which columns are basic, where
+/// the nonbasics rest), so replaying it against a problem with the same
+/// skeleton but different coefficients is safe: the solver refactorizes
+/// from the new numbers and dual-simplex-repairs any resulting
+/// infeasibility, falling back to a cold start if the snapshot turns out
+/// useless.
+#[derive(Default)]
+pub struct IlpBasisCache {
+    slot: Mutex<Option<(u64, Basis)>>,
+}
+
+impl IlpBasisCache {
+    /// Takes the stored basis if it was produced under skeleton `key`.
+    /// A mismatched entry is left in place (an alternating pair of
+    /// schedulers sharing one cache should not evict each other).
+    fn take_if(&self, key: u64) -> Option<Basis> {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        match slot.take() {
+            Some((k, basis)) if k == key => Some(basis),
+            other => {
+                *slot = other;
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: u64, basis: Basis) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = Some((key, basis));
+    }
+}
+
+impl fmt::Debug for IlpBasisCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let occupied = self
+            .slot
+            .lock()
+            .map(|s| s.is_some())
+            .unwrap_or_else(|e| e.into_inner().is_some());
+        f.debug_struct("IlpBasisCache")
+            .field("occupied", &occupied)
+            .finish()
+    }
 }
 
 impl Default for IlpConfig {
@@ -67,6 +124,7 @@ impl Default for IlpConfig {
             symmetry_breaking: true,
             mip_start: true,
             metrics: None,
+            warm_cache: Some(Arc::new(IlpBasisCache::default())),
         }
     }
 }
@@ -240,6 +298,20 @@ pub fn place_with_ilp_status(
     if let Some(bridge) = &bridge {
         milp = milp.with_instrumentation(bridge);
     }
+    // Cross-round warm start: reuse the previous round's optimal basis
+    // when the constraint skeleton is unchanged (same rows over the same
+    // variables — only capacities/demands/weights moved).
+    let skeleton = model.problem.skeleton_hash();
+    if let Some(basis) = cfg
+        .warm_cache
+        .as_deref()
+        .and_then(|cache| cache.take_if(skeleton))
+    {
+        if let Some(m) = cfg.metrics.as_deref() {
+            m.counter("core.ilp_warm_start_hits_total").inc();
+        }
+        milp = milp.with_warm_basis(basis);
+    }
     let t_solve = Instant::now();
     let solution = milp.solve();
     if let Some(m) = cfg.metrics.as_deref() {
@@ -266,6 +338,9 @@ pub fn place_with_ilp_status(
         Ok(sol) if !sol.has_solution() => return fallback("no incumbent within limits"),
         Ok(sol) => sol,
     };
+    if let (Some(cache), Some(basis)) = (cfg.warm_cache.as_deref(), &sol.root_basis) {
+        cache.store(skeleton, basis.clone());
+    }
 
     // Extract placements.
     let mut outcomes = Vec::with_capacity(requests.len());
@@ -1379,5 +1454,76 @@ mod tests {
         let out = place_with_ilp(&state, &[req], &[], &IlpConfig::default());
         let pl = out[0].placement().expect("placeable");
         assert_eq!(pl.nodes[0], NodeId(1), "hard anti-affinity must dominate");
+    }
+
+    #[test]
+    fn cross_round_cache_warm_starts_matching_skeletons() {
+        let registry = medea_obs::MetricsRegistry::new();
+        let cfg = IlpConfig {
+            metrics: Some(registry.clone()),
+            ..IlpConfig::default()
+        };
+        let state = cluster(6, 2);
+        let request = |app: u64| {
+            LraRequest::uniform(
+                ApplicationId(app),
+                3,
+                Resources::new(1024, 1),
+                vec![Tag::new("svc")],
+                vec![PlacementConstraint::anti_affinity(
+                    "svc",
+                    "svc",
+                    NodeGroupId::node(),
+                )],
+            )
+        };
+
+        // Round 1: cold — the cache is empty.
+        let r1 = request(1);
+        let out = place_with_ilp(&state, std::slice::from_ref(&r1), &[], &cfg);
+        assert!(out[0].placement().is_some());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.ilp_warm_start_hits_total"), None);
+
+        // Round 2: an identical batch shape (same constraint skeleton, the
+        // cluster untouched) must hit the cache and produce the same
+        // quality of placement.
+        let r2 = request(2);
+        let out = place_with_ilp(&state, std::slice::from_ref(&r2), &[], &cfg);
+        let pl = out[0].placement().expect("warm round must still place");
+        let mut nodes = pl.nodes.clone();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3, "anti-affinity still honored when warm");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.ilp_warm_start_hits_total"), Some(1));
+        assert!(
+            snap.counter("solver.warm_starts_total").unwrap_or(0) >= 1,
+            "root LP should report a warm start"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_never_warm_starts() {
+        let registry = medea_obs::MetricsRegistry::new();
+        let cfg = IlpConfig {
+            metrics: Some(registry.clone()),
+            warm_cache: None,
+            ..IlpConfig::default()
+        };
+        let state = cluster(4, 2);
+        for app in 1u64..=2 {
+            let req = LraRequest::uniform(
+                ApplicationId(app),
+                2,
+                Resources::new(1024, 1),
+                vec![Tag::new("x")],
+                vec![],
+            );
+            let out = place_with_ilp(&state, &[req], &[], &cfg);
+            assert!(out[0].placement().is_some());
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("core.ilp_warm_start_hits_total"), None);
     }
 }

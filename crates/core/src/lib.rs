@@ -44,7 +44,7 @@ pub use capabilities::{
     implemented_capabilities, paper_table1, render_table, CapabilityRow, Support,
 };
 pub use heuristics::{HeuristicScheduler, Ordering};
-pub use ilp::{place_with_ilp, place_with_ilp_status, IlpConfig, IlpSolveStatus};
+pub use ilp::{place_with_ilp, place_with_ilp_status, IlpBasisCache, IlpConfig, IlpSolveStatus};
 pub use jkube::JKubeScheduler;
 pub use lra::{LraAlgorithm, LraScheduler};
 pub use medea::{LraDeployment, MedeaScheduler, MedeaStats};

@@ -21,6 +21,8 @@ pub struct SolverMetricsBridge {
     incumbent_improvements: Arc<Counter>,
     deadline_hits: Arc<Counter>,
     node_limit_hits: Arc<Counter>,
+    refactorizations: Arc<Counter>,
+    warm_starts: Arc<Counter>,
 }
 
 impl SolverMetricsBridge {
@@ -33,6 +35,8 @@ impl SolverMetricsBridge {
             incumbent_improvements: registry.counter("solver.incumbent_improvements_total"),
             deadline_hits: registry.counter("solver.deadline_hits_total"),
             node_limit_hits: registry.counter("solver.node_limit_hits_total"),
+            refactorizations: registry.counter("solver.refactorizations_total"),
+            warm_starts: registry.counter("solver.warm_starts_total"),
         }
     }
 }
@@ -46,6 +50,8 @@ impl SolveInstrumentation for SolverMetricsBridge {
             SolveEvent::IncumbentImproved => self.incumbent_improvements.inc(),
             SolveEvent::DeadlineHit => self.deadline_hits.inc(),
             SolveEvent::NodeLimitHit => self.node_limit_hits.inc(),
+            SolveEvent::Refactorizations(n) => self.refactorizations.add(n),
+            SolveEvent::WarmStartUsed => self.warm_starts.inc(),
         }
     }
 }
@@ -65,6 +71,8 @@ mod tests {
         bridge.record(SolveEvent::IncumbentImproved);
         bridge.record(SolveEvent::DeadlineHit);
         bridge.record(SolveEvent::NodeLimitHit);
+        bridge.record(SolveEvent::Refactorizations(3));
+        bridge.record(SolveEvent::WarmStartUsed);
         let snap = registry.snapshot();
         assert_eq!(snap.counter("solver.simplex_pivots_total"), Some(17));
         assert_eq!(snap.counter("solver.bnb_nodes_explored_total"), Some(2));
@@ -72,5 +80,7 @@ mod tests {
         assert_eq!(snap.counter("solver.incumbent_improvements_total"), Some(1));
         assert_eq!(snap.counter("solver.deadline_hits_total"), Some(1));
         assert_eq!(snap.counter("solver.node_limit_hits_total"), Some(1));
+        assert_eq!(snap.counter("solver.refactorizations_total"), Some(3));
+        assert_eq!(snap.counter("solver.warm_starts_total"), Some(1));
     }
 }

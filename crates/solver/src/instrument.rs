@@ -24,6 +24,12 @@ pub enum SolveEvent {
     DeadlineHit,
     /// The node limit stopped the search.
     NodeLimitHit,
+    /// A simplex run finished, having (re)factorized the basis this many
+    /// times (the eta file was rebuilt from scratch).
+    Refactorizations(u64),
+    /// A node LP was solved starting from an inherited basis snapshot
+    /// instead of a cold two-phase start.
+    WarmStartUsed,
 }
 
 /// Receiver for [`SolveEvent`]s; implementations must be cheap — the

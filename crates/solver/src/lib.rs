@@ -48,4 +48,4 @@ pub use presolve::{presolve, PresolveStats};
 pub use problem::{
     Cmp, Constraint, ConstraintId, Problem, ProblemError, Sense, VarId, VarKind, Variable,
 };
-pub use simplex::{LpSolution, LpStatus, Simplex, COST_TOL, FEAS_TOL};
+pub use simplex::{Basis, LpSolution, LpStatus, Simplex, COST_TOL, FEAS_TOL};

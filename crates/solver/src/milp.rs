@@ -10,11 +10,12 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::instrument::{SolveEvent, SolveInstrumentation};
 use crate::problem::{Problem, Sense, VarId};
-use crate::simplex::{LpStatus, Simplex};
+use crate::simplex::{Basis, LpSolution, LpStatus, Simplex};
 
 /// Integrality tolerance: a value within this distance of an integer is
 /// considered integral.
@@ -51,6 +52,10 @@ pub struct MilpSolution {
     pub best_bound: f64,
     /// Total wall-clock time of the solve.
     pub elapsed: Duration,
+    /// Basis snapshot of the root relaxation, if it solved to optimality.
+    /// Feed it to [`Milp::with_warm_basis`] on a structurally identical
+    /// problem (e.g. the next scheduling round) to skip the cold start.
+    pub root_basis: Option<Basis>,
 }
 
 impl MilpSolution {
@@ -77,6 +82,10 @@ struct Node {
     /// LP bound of the parent (minimization form); used for ordering.
     bound: f64,
     depth: usize,
+    /// Optimal basis of the parent's LP relaxation; the child LP
+    /// warm-starts from it and dual-simplex-repairs the one changed bound
+    /// instead of re-solving from scratch.
+    basis: Option<Arc<Basis>>,
 }
 
 /// Heap ordering: smaller minimization bound is better; deeper first on tie
@@ -135,6 +144,9 @@ pub struct Milp<'a> {
     incumbent_point: Option<Vec<f64>>,
     /// Root bound overrides applied to the entire search.
     root_bounds: Vec<(usize, f64, f64)>,
+    /// Optional basis snapshot seeding the root relaxation (see
+    /// [`Milp::with_warm_basis`]).
+    warm_basis: Option<Basis>,
     /// Optional event sink (see [`SolveInstrumentation`]); `None` costs
     /// nothing on the hot path.
     instrumentation: Option<&'a dyn SolveInstrumentation>,
@@ -151,8 +163,18 @@ impl<'a> Milp<'a> {
             start: None,
             incumbent_point: None,
             root_bounds: Vec::new(),
+            warm_basis: None,
             instrumentation: None,
         }
+    }
+
+    /// Seeds the root relaxation with a basis snapshot from a previous
+    /// solve of a structurally identical problem (same variables, same
+    /// rows). An incompatible snapshot is silently ignored, so this is
+    /// always safe to pass.
+    pub fn with_warm_basis(mut self, basis: Basis) -> Self {
+        self.warm_basis = Some(basis);
+        self
     }
 
     /// Attaches an instrumentation sink receiving [`SolveEvent`]s
@@ -167,6 +189,21 @@ impl<'a> Milp<'a> {
     fn emit(&self, event: SolveEvent) {
         if let Some(sink) = self.instrumentation {
             sink.record(event);
+        }
+    }
+
+    /// Emits the per-LP-solve event group (pivots, refactorizations, and
+    /// whether a warm basis seeded the solve).
+    fn emit_lp(&self, lp: &LpSolution, warm: bool) {
+        if self.instrumentation.is_none() {
+            return;
+        }
+        self.emit(SolveEvent::SimplexPivots(lp.iterations as u64));
+        if lp.refactorizations > 0 {
+            self.emit(SolveEvent::Refactorizations(lp.refactorizations as u64));
+        }
+        if warm {
+            self.emit(SolveEvent::WarmStartUsed);
         }
     }
 
@@ -241,13 +278,17 @@ impl<'a> Milp<'a> {
 
         let simplex = Simplex::new(p);
 
-        // Root relaxation.
-        let root = simplex.solve_with_bounds(if self.root_bounds.is_empty() {
-            None
-        } else {
-            Some(&self.root_bounds)
-        });
-        self.emit(SolveEvent::SimplexPivots(root.iterations as u64));
+        // Root relaxation, warm-started from the caller's snapshot when
+        // one is available (the cross-round cache in the scheduler).
+        let (root, root_basis) = simplex.solve_warm(
+            if self.root_bounds.is_empty() {
+                None
+            } else {
+                Some(&self.root_bounds)
+            },
+            self.warm_basis.as_ref(),
+        );
+        self.emit_lp(&root, self.warm_basis.is_some());
         match root.status {
             LpStatus::Infeasible => {
                 return Ok(self.finish(MilpStatus::Infeasible, None, f64::NAN, 0, start))
@@ -300,6 +341,9 @@ impl<'a> Milp<'a> {
                 start: None,
                 incumbent_point: None,
                 root_bounds: bounds,
+                // The fixings only tighten bounds, so the root basis is
+                // dual feasible for the sub-solve too.
+                warm_basis: root_basis.clone(),
                 instrumentation: self.instrumentation,
             };
             if let Ok(sol) = warm.solve() {
@@ -317,11 +361,13 @@ impl<'a> Milp<'a> {
         // until an integral leaf (or dead end), pushing siblings onto the
         // heap. This produces an early incumbent so that best-first
         // pruning is effective from the start.
+        let shared_root_basis = root_basis.clone().map(Arc::new);
         {
             let mut cur = Node {
                 bounds: self.root_bounds.clone(),
                 bound: sign * root.objective,
                 depth: 0,
+                basis: shared_root_basis.clone(),
             };
             let max_dive = 4 * int_vars.len() + 8;
             let mut steps = 0;
@@ -340,12 +386,13 @@ impl<'a> Milp<'a> {
                         break;
                     }
                 }
-                let lp = simplex.solve_with_bounds(Some(&cur.bounds));
-                self.emit(SolveEvent::SimplexPivots(lp.iterations as u64));
+                let (lp, lp_basis) = simplex.solve_warm(Some(&cur.bounds), cur.basis.as_deref());
+                self.emit_lp(&lp, cur.basis.is_some());
                 if lp.status != LpStatus::Optimal {
                     self.emit(SolveEvent::NodePruned);
                     break;
                 }
+                let lp_basis = lp_basis.map(Arc::new);
                 nodes += 1;
                 self.emit(SolveEvent::NodeExplored);
                 let node_obj = sign * lp.objective;
@@ -393,11 +440,13 @@ impl<'a> Milp<'a> {
                     bounds: sib,
                     bound: node_obj,
                     depth: cur.depth + 1,
+                    basis: lp_basis.clone(),
                 }));
                 cur = Node {
                     bounds: div,
                     bound: node_obj,
                     depth: cur.depth + 1,
+                    basis: lp_basis,
                 };
             }
         }
@@ -426,8 +475,8 @@ impl<'a> Milp<'a> {
             nodes += 1;
             self.emit(SolveEvent::NodeExplored);
 
-            let lp = simplex.solve_with_bounds(Some(&node.bounds));
-            self.emit(SolveEvent::SimplexPivots(lp.iterations as u64));
+            let (lp, lp_basis) = simplex.solve_warm(Some(&node.bounds), node.basis.as_deref());
+            self.emit_lp(&lp, node.basis.is_some());
             match lp.status {
                 LpStatus::Infeasible => {
                     self.emit(SolveEvent::NodePruned);
@@ -495,6 +544,10 @@ impl<'a> Milp<'a> {
                 Some((j, v, _)) => {
                     let floor = v.floor();
                     let (base_lo, base_up) = self.effective_bounds(&node.bounds, j);
+                    // Both children inherit this node's optimal basis: the
+                    // bound change keeps it dual feasible, so each child LP
+                    // is a short dual-simplex repair.
+                    let child_basis = lp_basis.map(Arc::new);
                     // Down child: x_j <= floor(v).
                     if floor >= base_lo - INT_TOL {
                         let mut b = node.bounds.clone();
@@ -503,6 +556,7 @@ impl<'a> Milp<'a> {
                             bounds: b,
                             bound: node_obj,
                             depth: node.depth + 1,
+                            basis: child_basis.clone(),
                         }));
                     }
                     // Up child: x_j >= ceil(v).
@@ -514,6 +568,7 @@ impl<'a> Milp<'a> {
                             bounds: b,
                             bound: node_obj,
                             depth: node.depth + 1,
+                            basis: child_basis,
                         }));
                     }
                 }
@@ -539,6 +594,7 @@ impl<'a> Milp<'a> {
                     nodes: elapsed_nodes,
                     best_bound: sign * bb,
                     elapsed: start.elapsed(),
+                    root_basis,
                 })
             }
             None => {
@@ -624,6 +680,7 @@ impl<'a> Milp<'a> {
             nodes,
             best_bound: bound,
             elapsed: start.elapsed(),
+            root_basis: None,
         }
     }
 }

@@ -14,6 +14,8 @@ use crate::problem::{Cmp, Problem, VarKind};
 pub struct PresolveStats {
     /// Rows removed because their activity bounds already imply them.
     pub redundant_rows: usize,
+    /// Rows with no terms, discharged by comparing `0` against the rhs.
+    pub empty_rows: usize,
     /// Singleton rows converted into variable-bound tightenings.
     pub singleton_rows: usize,
     /// Variables fixed by bound tightening (lower == upper afterwards).
@@ -65,9 +67,27 @@ pub fn presolve(problem: &mut Problem) -> PresolveStats {
         changed = false;
         rounds += 1;
 
-        // Pass 1: singleton rows -> bound tightenings.
+        // Pass 1: singleton rows -> bound tightenings. Empty rows (all
+        // terms cancelled or eliminated upstream) are discharged here by
+        // comparing their fixed activity `0` against the rhs: the
+        // activity-bound pass below would keep an empty `== 0` row alive
+        // forever, and every empty row that reaches the simplex costs a
+        // basis slot (and an artificial column when its slack can't
+        // satisfy it at zero).
         let mut keep = Vec::with_capacity(problem.constraints.len());
         for c in std::mem::take(&mut problem.constraints) {
+            if c.terms.is_empty() {
+                let satisfied = match c.cmp {
+                    Cmp::Le => 0.0 <= c.rhs + 1e-9,
+                    Cmp::Ge => 0.0 >= c.rhs - 1e-9,
+                    Cmp::Eq => c.rhs.abs() <= 1e-9,
+                };
+                stats.empty_rows += 1;
+                if !satisfied {
+                    stats.proven_infeasible = true;
+                }
+                continue;
+            }
             if c.terms.len() == 1 {
                 let (var, coeff) = c.terms[0];
                 let v = &mut problem.vars[var.0];
@@ -247,6 +267,28 @@ mod tests {
         assert_eq!(plain.status, MilpStatus::Optimal);
         assert_eq!(solved.status, MilpStatus::Optimal);
         assert!((plain.objective - solved.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_rows_discharged_by_rhs_sign() {
+        let mut p = Problem::minimize();
+        let _x = p.add_nonneg(1.0, "x");
+        p.add_constraint(Vec::new(), Cmp::Le, 0.5); // 0 <= 0.5: vacuous
+        p.add_constraint(Vec::new(), Cmp::Eq, 0.0); // 0 == 0: vacuous
+        p.add_constraint(Vec::new(), Cmp::Ge, -1.0); // 0 >= -1: vacuous
+        let stats = presolve(&mut p);
+        assert_eq!(stats.empty_rows, 3);
+        assert!(!stats.proven_infeasible);
+        assert_eq!(p.num_constraints(), 0);
+    }
+
+    #[test]
+    fn infeasible_empty_row_detected() {
+        let mut p = Problem::minimize();
+        let _x = p.add_nonneg(1.0, "x");
+        p.add_constraint(Vec::new(), Cmp::Ge, 2.0); // 0 >= 2: impossible
+        let stats = presolve(&mut p);
+        assert!(stats.proven_infeasible);
     }
 
     #[test]

@@ -333,6 +333,36 @@ impl Problem {
         Ok(())
     }
 
+    /// Hashes the structural skeleton of the problem: sense, variable
+    /// count, and per-row comparison operator and sparsity pattern —
+    /// everything a [`crate::Basis`] snapshot depends on, and nothing it
+    /// does not (coefficients, bounds, and right-hand sides may drift
+    /// between scheduling rounds without invalidating a warm start).
+    ///
+    /// Two problems with equal skeleton hashes accept each other's basis
+    /// snapshots; a stale snapshot that slips through a hash collision is
+    /// still handled safely by the solver's cold-start fallback.
+    pub fn skeleton_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        matches!(self.sense, Sense::Minimize).hash(&mut h);
+        self.vars.len().hash(&mut h);
+        self.constraints.len().hash(&mut h);
+        for c in &self.constraints {
+            let cmp: u8 = match c.cmp {
+                Cmp::Le => 0,
+                Cmp::Eq => 1,
+                Cmp::Ge => 2,
+            };
+            cmp.hash(&mut h);
+            c.terms.len().hash(&mut h);
+            for &(v, _) in &c.terms {
+                v.0.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Evaluates the objective at a point given as a dense vector.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
         self.vars.iter().zip(x).map(|(v, &xi)| v.cost * xi).sum()
@@ -429,6 +459,33 @@ mod tests {
         p.add_var(VarKind::Integer, 0.0, 5.0, 1.0, "x");
         assert!(p.is_feasible(&[2.0], 1e-9));
         assert!(!p.is_feasible(&[2.5], 1e-9));
+    }
+
+    #[test]
+    fn skeleton_hash_ignores_numerics_but_not_structure() {
+        let build = |rhs: f64, coeff: f64| {
+            let mut p = Problem::maximize();
+            let x = p.add_binary(1.0, "x");
+            let y = p.add_binary(2.0, "y");
+            p.add_constraint(vec![(x, coeff), (y, 1.0)], Cmp::Le, rhs);
+            p
+        };
+        // Same skeleton: only rhs/coefficients differ.
+        assert_eq!(
+            build(4.0, 1.0).skeleton_hash(),
+            build(9.0, 3.0).skeleton_hash()
+        );
+        // Different row operator or sparsity pattern changes the hash.
+        let mut q = Problem::maximize();
+        let x = q.add_binary(1.0, "x");
+        let y = q.add_binary(2.0, "y");
+        q.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        assert_ne!(build(4.0, 1.0).skeleton_hash(), q.skeleton_hash());
+        let mut r = Problem::maximize();
+        let x = r.add_binary(1.0, "x");
+        r.add_binary(2.0, "y");
+        r.add_constraint(vec![(x, 1.0)], Cmp::Le, 4.0);
+        assert_ne!(build(4.0, 1.0).skeleton_hash(), r.skeleton_hash());
     }
 
     #[test]

@@ -1,11 +1,26 @@
-//! Two-phase primal simplex for linear programs with bounded variables.
+//! Two-phase primal simplex for linear programs with bounded variables,
+//! built on a sparse product-form (eta-file) representation of the basis
+//! inverse.
 //!
-//! The implementation is a *revised* simplex that maintains a dense explicit
-//! basis inverse, supports variables that are nonbasic at either their lower
-//! or upper bound (so branch-and-bound bound fixing and binary variables do
-//! not require extra rows), performs bound flips, falls back to Bland's rule
-//! under degeneracy to guarantee termination, and periodically refactorizes
-//! the basis inverse for numerical stability.
+//! The implementation is a *revised* simplex: the basis inverse is never
+//! formed explicitly. Instead the solver factorizes the basis once into a
+//! sequence of sparse eta matrices (one per pivot column) and represents
+//! every later pivot as one additional eta factor. FTRAN (`B^-1 a`) applies
+//! the eta file forward; BTRAN (`y' B^-1`) applies the transposed factors in
+//! reverse. The file is rebuilt from scratch ("refactorized") only when an
+//! update-count, fill, or stability trigger fires — not on every solve.
+//!
+//! Variables may be nonbasic at either their lower or upper bound (so
+//! branch-and-bound bound fixing and binary variables do not require extra
+//! rows), bound flips are supported, and Bland's rule guards against
+//! cycling under degeneracy.
+//!
+//! Warm starts: an optimal solve returns an opaque [`Basis`] snapshot.
+//! Passing it back via [`Simplex::solve_warm`] — typically after a bound
+//! change, as branch and bound does — reinstalls the basis, refactorizes,
+//! and repairs primal feasibility with a bounded-variable *dual* simplex
+//! instead of running two cold phases. Any numerical trouble on the warm
+//! path falls back to the cold start, so correctness never depends on it.
 //!
 //! Internally the problem is brought to the computational standard form
 //! `min c'x  s.t.  Ax = b, l <= x <= u` by adding one slack (or surplus)
@@ -20,10 +35,16 @@ pub const FEAS_TOL: f64 = 1e-7;
 pub const COST_TOL: f64 = 1e-9;
 /// Pivot element magnitude below which a pivot is rejected.
 const PIVOT_TOL: f64 = 1e-9;
+/// Pivot magnitude below which the eta update is considered unstable and
+/// the basis is refactorized right after the pivot is applied.
+const STABLE_PIVOT_TOL: f64 = 1e-6;
 /// Number of consecutive degenerate pivots before switching to Bland's rule.
 const DEGENERACY_THRESHOLD: usize = 40;
-/// Basis-inverse refactorization period, in pivots.
-const REFACTOR_PERIOD: usize = 150;
+/// Eta updates since the last factorization that force a refactorization.
+const REFACTOR_ETA_LIMIT: usize = 100;
+/// Extra eta-file fill per row (beyond the fresh factorization) that forces
+/// a refactorization.
+const REFACTOR_FILL_FACTOR: usize = 16;
 
 /// Outcome status of a linear-programming solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,8 +69,17 @@ pub struct LpSolution {
     pub values: Vec<f64>,
     /// Objective value in the problem's original sense.
     pub objective: f64,
-    /// Number of simplex pivots performed (both phases).
+    /// Number of simplex pivots performed (all phases, primal and dual).
     pub iterations: usize,
+    /// Row duals `y` of the optimal basis, in *minimization form*: for a
+    /// maximization problem these price `min (-c)'x`. Empty unless the
+    /// status is [`LpStatus::Optimal`]. Together with the reduced costs
+    /// `d_j = c_j - y'A_j` they certify optimality (see
+    /// `crates/solver/tests/certificates.rs`).
+    pub duals: Vec<f64>,
+    /// Number of basis (re)factorizations performed, including the initial
+    /// one.
+    pub refactorizations: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,17 +88,52 @@ enum NonbasicAt {
     Upper,
 }
 
+/// An opaque snapshot of an optimal simplex basis, reusable to warm-start
+/// a later solve of the *same* problem skeleton (same variables, same
+/// rows) under different bounds — the branch-and-bound child-node case —
+/// or a structurally identical problem from a previous scheduling round.
+///
+/// Obtained from [`Simplex::solve_warm`]; contains no numeric factor data
+/// (the eta file is rebuilt on installation), so it is cheap to clone and
+/// share across search-tree nodes.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// Basic column per row over the structural+slack universe;
+    /// `usize::MAX` marks a row whose basic variable was an artificial
+    /// pinned at zero (a redundant row).
+    basic: Vec<usize>,
+    /// Resting bound of every structural+slack column (meaningful for the
+    /// nonbasic ones).
+    at: Vec<NonbasicAt>,
+    /// Row count of the snapshotted problem.
+    m: usize,
+    /// Structural + slack column count of the snapshotted problem.
+    n_cols: usize,
+}
+
+/// One factor of the product-form inverse: an identity matrix whose
+/// `row`-th column is replaced by the eta vector derived from the pivot
+/// column `w` (`1/w_row` on the diagonal, `-w_i/w_row` elsewhere).
+#[derive(Debug, Clone)]
+struct Eta {
+    row: usize,
+    pivot_recip: f64,
+    /// Off-pivot multipliers `(i, -w_i / w_row)`.
+    others: Vec<(usize, f64)>,
+}
+
 /// Bounded-variable two-phase primal simplex solver.
 ///
 /// The solver borrows the [`Problem`] and never mutates it; branching
-/// algorithms override bounds through [`Simplex::solve_with_bounds`].
+/// algorithms override bounds through [`Simplex::solve_with_bounds`] or
+/// [`Simplex::solve_warm`].
 pub struct Simplex<'a> {
     problem: &'a Problem,
-    /// Maximum number of pivots across both phases.
+    /// Maximum number of pivots across all phases.
     pub max_iterations: usize,
 }
 
-/// Internal mutable tableau state.
+/// Internal mutable solver state.
 struct State {
     /// Total columns: structural + slack + artificial.
     n_total: usize,
@@ -86,8 +151,14 @@ struct State {
     cost: Vec<f64>,
     /// Basic variable per row.
     basis: Vec<usize>,
-    /// Dense basis inverse, row-major `m x m`.
-    binv: Vec<f64>,
+    /// Eta file: `B^-1 = E_k ... E_1` with `etas[0] = E_1`.
+    etas: Vec<Eta>,
+    /// Total nonzeros stored across the eta file.
+    eta_nnz: usize,
+    /// Eta-file fill right after the last fresh factorization.
+    base_fill: usize,
+    /// Set when an eta with a dangerously small pivot was appended.
+    unstable: bool,
     /// Basic variable values per row.
     xb: Vec<f64>,
     /// Nonbasic resting bound per column (ignored for basic columns).
@@ -97,6 +168,7 @@ struct State {
     iterations: usize,
     pivots_since_refactor: usize,
     degenerate_streak: usize,
+    refactorizations: usize,
 }
 
 impl State {
@@ -107,32 +179,46 @@ impl State {
         }
     }
 
-    /// Computes `w = B^{-1} A_j` for a column `j`.
-    fn ftran(&self, j: usize, w: &mut [f64]) {
-        w.iter_mut().for_each(|x| *x = 0.0);
-        for &(row, coeff) in &self.cols[j] {
-            if coeff == 0.0 {
+    /// Applies the eta file forward: `v <- B^-1 v`.
+    fn apply_etas(&self, v: &mut [f64]) {
+        for eta in &self.etas {
+            let t = v[eta.row];
+            if t == 0.0 {
                 continue;
             }
-            for (i, wi) in w.iter_mut().enumerate().take(self.m) {
-                *wi += self.binv[i * self.m + row] * coeff;
+            v[eta.row] = eta.pivot_recip * t;
+            for &(i, c) in &eta.others {
+                v[i] += c * t;
             }
         }
     }
 
+    /// Applies the transposed eta file in reverse: `u <- (u' B^-1)'`.
+    fn btran(&self, u: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut acc = eta.pivot_recip * u[eta.row];
+            for &(i, c) in &eta.others {
+                acc += c * u[i];
+            }
+            u[eta.row] = acc;
+        }
+    }
+
+    /// Computes `w = B^{-1} A_j` for a column `j`.
+    fn ftran(&self, j: usize, w: &mut [f64]) {
+        w.iter_mut().for_each(|x| *x = 0.0);
+        for &(row, coeff) in &self.cols[j] {
+            w[row] += coeff;
+        }
+        self.apply_etas(w);
+    }
+
     /// Computes duals `y = c_B' B^{-1}` with the given cost vector.
     fn duals(&self, cost: &[f64], y: &mut [f64]) {
-        y.iter_mut().for_each(|x| *x = 0.0);
         for (k, &bk) in self.basis.iter().enumerate() {
-            let cb = cost[bk];
-            if cb == 0.0 {
-                continue;
-            }
-            let row = &self.binv[k * self.m..(k + 1) * self.m];
-            for i in 0..self.m {
-                y[i] += cb * row[i];
-            }
+            y[k] = cost[bk];
         }
+        self.btran(y);
     }
 
     fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
@@ -143,73 +229,92 @@ impl State {
         d
     }
 
-    /// Recomputes `binv` and `xb` from scratch (Gauss-Jordan on `B`).
+    /// Appends the eta factor for a pivot on `row` with pivot column `w`
+    /// (which must satisfy `|w[row]| >= PIVOT_TOL`).
+    fn push_eta(&mut self, row: usize, w: &[f64]) {
+        let piv = w[row];
+        if piv.abs() < STABLE_PIVOT_TOL {
+            self.unstable = true;
+        }
+        let pivot_recip = 1.0 / piv;
+        let mut others = Vec::new();
+        for (i, &wi) in w.iter().enumerate() {
+            if i == row || wi.abs() <= 1e-14 {
+                continue;
+            }
+            others.push((i, -wi * pivot_recip));
+        }
+        self.eta_nnz += others.len() + 1;
+        self.etas.push(Eta {
+            row,
+            pivot_recip,
+            others,
+        });
+    }
+
+    /// Whether the eta file should be rebuilt before the next pivot.
+    fn needs_refactor(&self) -> bool {
+        self.pivots_since_refactor > 0
+            && (self.unstable
+                || self.pivots_since_refactor >= REFACTOR_ETA_LIMIT
+                || self.eta_nnz > self.base_fill + REFACTOR_FILL_FACTOR * self.m + 64)
+    }
+
+    /// Rebuilds the eta file from scratch by factorizing the current basis
+    /// columns (sparsest first, partial pivoting by magnitude).
     ///
     /// Returns `false` if the basis matrix is numerically singular.
     fn refactorize(&mut self) -> bool {
         let m = self.m;
+        self.etas.clear();
+        self.eta_nnz = 0;
+        self.unstable = false;
+        self.pivots_since_refactor = 0;
+        self.refactorizations += 1;
         if m == 0 {
+            self.base_fill = 0;
             return true;
         }
-        // Build dense B column by column, augmented with the identity.
-        let mut mat = vec![0.0; m * 2 * m];
-        for (k, &j) in self.basis.iter().enumerate() {
-            for &(row, coeff) in &self.cols[j] {
-                mat[row * 2 * m + k] = coeff;
-            }
-        }
-        for i in 0..m {
-            mat[i * 2 * m + m + i] = 1.0;
-        }
-        // Gauss-Jordan with partial pivoting.
-        for col in 0..m {
-            let mut piv = col;
-            let mut best = mat[col * 2 * m + col].abs();
-            for r in col + 1..m {
-                let v = mat[r * 2 * m + col].abs();
-                if v > best {
-                    best = v;
-                    piv = r;
+        // Factor sparser columns first: their etas stay short and the
+        // denser columns absorb the fill.
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&k| self.cols[self.basis[k]].len());
+        let mut assigned = vec![false; m];
+        let mut row_of = vec![usize::MAX; m];
+        let mut w = vec![0.0; m];
+        for &k in &order {
+            let j = self.basis[k];
+            self.ftran(j, &mut w);
+            let mut best_r = usize::MAX;
+            let mut best = PIVOT_TOL;
+            for (r, done) in assigned.iter().enumerate() {
+                if !done && w[r].abs() > best {
+                    best = w[r].abs();
+                    best_r = r;
                 }
             }
-            if best < PIVOT_TOL {
+            if best_r == usize::MAX {
                 return false;
             }
-            if piv != col {
-                for c in 0..2 * m {
-                    mat.swap(col * 2 * m + c, piv * 2 * m + c);
-                }
-            }
-            let pval = mat[col * 2 * m + col];
-            for c in 0..2 * m {
-                mat[col * 2 * m + c] /= pval;
-            }
-            for r in 0..m {
-                if r == col {
-                    continue;
-                }
-                let f = mat[r * 2 * m + col];
-                if f == 0.0 {
-                    continue;
-                }
-                for c in 0..2 * m {
-                    mat[r * 2 * m + c] -= f * mat[col * 2 * m + c];
-                }
-            }
+            self.push_eta(best_r, &w);
+            assigned[best_r] = true;
+            row_of[k] = best_r;
         }
-        for r in 0..m {
-            for c in 0..m {
-                self.binv[r * m + c] = mat[r * 2 * m + m + c];
-            }
+        // Partial pivoting may factor a basis column onto a different row;
+        // realign `basis` so the column factored onto row r is recorded as
+        // basic for row r (the basis *set* is unchanged).
+        let old = self.basis.clone();
+        for (k, &r) in row_of.iter().enumerate() {
+            self.basis[r] = old[k];
         }
+        self.unstable = false;
+        self.base_fill = self.eta_nnz;
         self.recompute_xb();
-        self.pivots_since_refactor = 0;
         true
     }
 
     /// Recomputes basic values `xb = B^{-1} (b - N x_N)`.
     fn recompute_xb(&mut self) {
-        let m = self.m;
         let mut rhs = self.b.clone();
         for j in 0..self.n_total {
             if self.is_basic[j] {
@@ -223,22 +328,179 @@ impl State {
                 rhs[row] -= coeff * v;
             }
         }
-        for i in 0..m {
-            let mut acc = 0.0;
-            let row = &self.binv[i * m..(i + 1) * m];
-            for k in 0..m {
-                acc += row[k] * rhs[k];
+        self.apply_etas(&mut rhs);
+        self.xb.copy_from_slice(&rhs);
+    }
+
+    /// Largest bound violation among the basic variables.
+    fn max_primal_infeasibility(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for (i, &bi) in self.basis.iter().enumerate() {
+            worst = worst
+                .max(self.lower[bi] - self.xb[i])
+                .max(self.xb[i] - self.upper[bi]);
+        }
+        worst
+    }
+
+    /// Installs a warm-start basis: statuses, basic set, and a fresh
+    /// factorization. Returns `false` (leaving cleanup to
+    /// [`State::cold_start`]) if the snapshot does not fit this problem or
+    /// the reinstalled basis is singular.
+    fn install_warm(&mut self, wb: &Basis) -> bool {
+        if wb.m != self.m
+            || wb.n_cols != self.art_start
+            || wb.at.len() != self.art_start
+            || wb.basic.len() != self.m
+        {
+            return false;
+        }
+        let mut seen = vec![false; self.art_start];
+        for &j in &wb.basic {
+            if j == usize::MAX {
+                continue;
             }
-            self.xb[i] = acc;
+            if j >= self.art_start || seen[j] {
+                return false;
+            }
+            seen[j] = true;
+        }
+        for j in 0..self.art_start {
+            let mut a = wb.at[j];
+            // A column cannot rest at an infinite bound; repair rather
+            // than reject (bounds may have changed since the snapshot).
+            if a == NonbasicAt::Upper && !self.upper[j].is_finite() {
+                a = NonbasicAt::Lower;
+            }
+            self.at[j] = a;
+            self.is_basic[j] = false;
+        }
+        self.basis.clear();
+        self.xb.clear();
+        self.xb.resize(self.m, 0.0);
+        for (row, &j) in wb.basic.iter().enumerate() {
+            let jj = if j == usize::MAX {
+                // Recreate the pinned artificial for this redundant row.
+                let k = self.cols.len();
+                self.cols.push(vec![(row, 1.0)]);
+                self.lower.push(0.0);
+                self.upper.push(0.0);
+                self.cost.push(0.0);
+                self.at.push(NonbasicAt::Lower);
+                self.is_basic.push(true);
+                k
+            } else {
+                j
+            };
+            self.is_basic[jj] = true;
+            self.basis.push(jj);
+        }
+        self.n_total = self.cols.len();
+        self.refactorize()
+    }
+
+    /// Resets to the cold initial basis (slack where feasible, artificial
+    /// otherwise), discarding any leftovers from a failed warm install.
+    /// Returns whether phase 1 is needed.
+    fn cold_start(&mut self, cmps: &[Cmp], slack_of_row: &[usize]) -> bool {
+        let m = self.m;
+        self.cols.truncate(self.art_start);
+        self.lower.truncate(self.art_start);
+        self.upper.truncate(self.art_start);
+        self.cost.truncate(self.art_start);
+        self.at.truncate(self.art_start);
+        self.is_basic.clear();
+        self.is_basic.resize(self.art_start, false);
+        self.basis.clear();
+        self.xb.clear();
+        self.etas.clear();
+        self.eta_nnz = 0;
+        self.base_fill = 0;
+        self.unstable = false;
+        // Default resting assignment: lower bound, unless the finite upper
+        // bound has smaller magnitude (keeps initial residuals small).
+        for j in 0..self.art_start {
+            self.at[j] = if self.upper[j].is_finite() && self.upper[j].abs() < self.lower[j].abs() {
+                NonbasicAt::Upper
+            } else {
+                NonbasicAt::Lower
+            };
+        }
+        // Residual r = b - A x_N with everything nonbasic.
+        let mut resid = self.b.clone();
+        for j in 0..self.art_start {
+            let v = self.bound_value(j);
+            if v == 0.0 {
+                continue;
+            }
+            for &(row, coeff) in &self.cols[j] {
+                resid[row] -= coeff * v;
+            }
+        }
+        let mut needs_phase1 = false;
+        for i in 0..m {
+            let s = slack_of_row[i];
+            let usable = s != usize::MAX
+                && ((cmps[i] == Cmp::Le && resid[i] >= 0.0)
+                    || (cmps[i] == Cmp::Ge && resid[i] <= 0.0));
+            if usable {
+                // Slack coefficient is +1 for Le (value = resid) and -1 for
+                // Ge (value = -resid); both are >= 0 here.
+                let val = match cmps[i] {
+                    Cmp::Le => resid[i],
+                    _ => -resid[i],
+                };
+                self.basis.push(s);
+                self.xb.push(val);
+                self.is_basic[s] = true;
+            } else {
+                let coeff = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
+                let j = self.cols.len();
+                self.cols.push(vec![(i, coeff)]);
+                self.lower.push(0.0);
+                self.upper.push(f64::INFINITY);
+                self.cost.push(0.0);
+                self.at.push(NonbasicAt::Lower);
+                self.is_basic.push(true);
+                self.basis.push(j);
+                self.xb.push(resid[i].abs());
+                needs_phase1 = true;
+            }
+        }
+        self.n_total = self.cols.len();
+        needs_phase1
+    }
+
+    /// Snapshots the current basis for later warm starts.
+    fn snapshot(&self) -> Basis {
+        Basis {
+            basic: self
+                .basis
+                .iter()
+                .map(|&j| if j < self.art_start { j } else { usize::MAX })
+                .collect(),
+            at: self.at[..self.art_start].to_vec(),
+            m: self.m,
+            n_cols: self.art_start,
         }
     }
 }
 
-/// Internal outcome of one simplex phase.
+/// Internal outcome of one primal simplex phase.
 enum PhaseOutcome {
     Optimal,
     Unbounded,
     IterationLimit,
+}
+
+/// Internal outcome of the dual-simplex repair pass.
+enum DualOutcome {
+    /// Primal feasibility restored (dual feasibility preserved).
+    Feasible,
+    /// A row proved the bounds system infeasible.
+    Infeasible,
+    /// Numerical trouble or iteration budget: fall back to a cold solve.
+    GiveUp,
 }
 
 impl<'a> Simplex<'a> {
@@ -262,6 +524,22 @@ impl<'a> Simplex<'a> {
     /// is the entry point used by branch and bound so the base problem can
     /// be shared immutably across the search tree.
     pub fn solve_with_bounds(&self, overrides: Option<&[(usize, f64, f64)]>) -> LpSolution {
+        self.solve_warm(overrides, None).0
+    }
+
+    /// Solves the LP relaxation, optionally warm-starting from a [`Basis`]
+    /// snapshot of a previous solve of the same problem skeleton.
+    ///
+    /// On [`LpStatus::Optimal`] the returned snapshot can seed the next
+    /// solve; on any other status it is `None`. A snapshot that does not
+    /// fit the problem, or whose basis turns out singular or beyond repair
+    /// under the new bounds, is silently discarded in favour of the cold
+    /// two-phase start — the warm path is a pure accelerator.
+    pub fn solve_warm(
+        &self,
+        overrides: Option<&[(usize, f64, f64)]>,
+        warm: Option<&Basis>,
+    ) -> (LpSolution, Option<Basis>) {
         let p = self.problem;
         let n_struct = p.num_vars();
         let m = p.num_constraints();
@@ -277,12 +555,17 @@ impl<'a> Simplex<'a> {
         }
         for j in 0..n_struct {
             if lower[j] > upper[j] + FEAS_TOL {
-                return LpSolution {
-                    status: LpStatus::Infeasible,
-                    values: Vec::new(),
-                    objective: 0.0,
-                    iterations: 0,
-                };
+                return (
+                    LpSolution {
+                        status: LpStatus::Infeasible,
+                        values: Vec::new(),
+                        objective: 0.0,
+                        iterations: 0,
+                        duals: Vec::new(),
+                        refactorizations: 0,
+                    },
+                    None,
+                );
             }
         }
 
@@ -305,8 +588,9 @@ impl<'a> Simplex<'a> {
 
         // Slack / surplus columns.
         let mut slack_of_row = vec![usize::MAX; m];
-        for (i, c) in p.constraints().iter().enumerate() {
-            let coeff = match c.cmp {
+        let cmps: Vec<Cmp> = p.constraints().iter().map(|c| c.cmp).collect();
+        for (i, &cmp) in cmps.iter().enumerate() {
+            let coeff = match cmp {
                 Cmp::Le => 1.0,
                 Cmp::Ge => -1.0,
                 Cmp::Eq => continue,
@@ -320,154 +604,79 @@ impl<'a> Simplex<'a> {
         }
         let art_start = cols.len();
 
-        // Initial nonbasic assignment: every column rests at its lower
-        // bound, except fixed-from-above overrides where upper < lower of
-        // the original (already caught), and columns whose lower is -inf
-        // cannot occur (validated by Problem).
-        let mut at = vec![NonbasicAt::Lower; cols.len()];
-        // Columns with an infinite *upper* can only rest at lower; columns
-        // with finite bounds rest at the bound of smaller magnitude to keep
-        // initial residuals small.
-        for (j, a) in at.iter_mut().enumerate() {
-            if upper[j].is_finite() && upper[j].abs() < lower[j].abs() {
-                *a = NonbasicAt::Upper;
-            }
-        }
-
-        // Residual r = b - A x_N with everything nonbasic.
-        let mut resid = b.clone();
-        for (j, col) in cols.iter().enumerate() {
-            let v = match at[j] {
-                NonbasicAt::Lower => lower[j],
-                NonbasicAt::Upper => upper[j],
-            };
-            if v == 0.0 {
-                continue;
-            }
-            for &(row, coeff) in col {
-                resid[row] -= coeff * v;
-            }
-        }
-
-        // Choose initial basis: slack where its sign allows feasibility,
-        // artificial otherwise.
-        let mut basis = Vec::with_capacity(m);
-        let mut xb = Vec::with_capacity(m);
-        let mut is_basic = vec![false; cols.len()];
-        let mut needs_phase1 = false;
-        for i in 0..m {
-            let s = slack_of_row[i];
-            let usable = s != usize::MAX
-                && ((p.constraints()[i].cmp == Cmp::Le && resid[i] >= 0.0)
-                    || (p.constraints()[i].cmp == Cmp::Ge && resid[i] <= 0.0));
-            if usable {
-                // Slack coefficient is +1 for Le (value = resid) and -1 for
-                // Ge (value = -resid); both are >= 0 here.
-                let val = match p.constraints()[i].cmp {
-                    Cmp::Le => resid[i],
-                    _ => -resid[i],
-                };
-                basis.push(s);
-                xb.push(val);
-                is_basic[s] = true;
-            } else {
-                let coeff = if resid[i] >= 0.0 { 1.0 } else { -1.0 };
-                let j = cols.len();
-                cols.push(vec![(i, coeff)]);
-                lower.push(0.0);
-                upper.push(f64::INFINITY);
-                cost.push(0.0);
-                at.push(NonbasicAt::Lower);
-                is_basic.push(true);
-                basis.push(j);
-                xb.push(resid[i].abs());
-                needs_phase1 = true;
-            }
-        }
-        let n_total = cols.len();
-
         let mut st = State {
-            n_total,
+            n_total: art_start,
             art_start,
             m,
+            at: vec![NonbasicAt::Lower; art_start],
+            is_basic: vec![false; art_start],
             cols,
             b,
             lower,
             upper,
             cost,
-            basis,
-            binv: {
-                let mut id = vec![0.0; m * m];
-                for i in 0..m {
-                    id[i * m + i] = 1.0;
-                }
-                id
-            },
-            xb,
-            at,
-            is_basic,
+            basis: Vec::new(),
+            etas: Vec::new(),
+            eta_nnz: 0,
+            base_fill: 0,
+            unstable: false,
+            xb: vec![0.0; m],
             iterations: 0,
             pivots_since_refactor: 0,
             degenerate_streak: 0,
+            refactorizations: 0,
         };
-        // The identity binv is only valid if the initial basis matrix is a
-        // signed identity; artificial columns with coefficient -1 and Ge
-        // slacks invert rows. Refactorize to be exact.
-        if !st.refactorize() {
-            // An initial slack/artificial basis is never singular; treat
-            // defensively as iteration-limit failure.
-            return LpSolution {
-                status: LpStatus::IterationLimit,
-                values: Vec::new(),
-                objective: 0.0,
-                iterations: 0,
-            };
+
+        // Warm path: reinstall the snapshot and repair primal feasibility
+        // with the dual simplex (bound changes leave the basis dual
+        // feasible, so this is usually a handful of pivots).
+        let mut warm_ok = match warm {
+            Some(wb) => st.install_warm(wb),
+            None => false,
+        };
+        if warm_ok && st.max_primal_infeasibility() > FEAS_TOL {
+            let c2 = st.cost.clone();
+            match self.dual_simplex(&mut st, &c2) {
+                DualOutcome::Feasible => {}
+                DualOutcome::Infeasible => return (self.failed(LpStatus::Infeasible, &st), None),
+                DualOutcome::GiveUp => warm_ok = false,
+            }
         }
 
-        // Phase 1 if any artificial exists with nonzero value.
-        if needs_phase1 && st.n_total > st.art_start {
-            let mut c1 = vec![0.0; st.n_total];
-            for (idx, cv) in c1.iter_mut().enumerate().skip(st.art_start) {
-                let _ = idx;
-                *cv = 1.0;
+        if !warm_ok {
+            let needs_phase1 = st.cold_start(&cmps, &slack_of_row);
+            if !st.refactorize() {
+                // An initial slack/artificial basis is never singular;
+                // treat defensively as iteration-limit failure.
+                return (self.failed(LpStatus::IterationLimit, &st), None);
             }
-            match self.run_phase(&mut st, &c1) {
-                PhaseOutcome::IterationLimit => {
-                    return LpSolution {
-                        status: LpStatus::IterationLimit,
-                        values: Vec::new(),
-                        objective: 0.0,
-                        iterations: st.iterations,
+            if needs_phase1 {
+                let c1: Vec<f64> = (0..st.n_total)
+                    .map(|j| if j >= st.art_start { 1.0 } else { 0.0 })
+                    .collect();
+                match self.run_phase(&mut st, &c1) {
+                    PhaseOutcome::IterationLimit => {
+                        return (self.failed(LpStatus::IterationLimit, &st), None)
                     }
+                    PhaseOutcome::Unbounded => {
+                        // Phase-1 objective is bounded below by zero;
+                        // reaching here indicates numerical trouble.
+                        return (self.failed(LpStatus::Infeasible, &st), None);
+                    }
+                    PhaseOutcome::Optimal => {}
                 }
-                PhaseOutcome::Unbounded => {
-                    // Phase-1 objective is bounded below by zero; reaching
-                    // here indicates numerical trouble. Report infeasible.
-                    return LpSolution {
-                        status: LpStatus::Infeasible,
-                        values: Vec::new(),
-                        objective: 0.0,
-                        iterations: st.iterations,
-                    };
+                let infeas: f64 = st
+                    .basis
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &j)| j >= st.art_start)
+                    .map(|(i, _)| st.xb[i].abs())
+                    .sum();
+                if infeas > 1e-6 {
+                    return (self.failed(LpStatus::Infeasible, &st), None);
                 }
-                PhaseOutcome::Optimal => {}
+                self.expel_artificials(&mut st);
             }
-            let infeas: f64 = st
-                .basis
-                .iter()
-                .enumerate()
-                .filter(|&(_, &j)| j >= st.art_start)
-                .map(|(i, _)| st.xb[i].abs())
-                .sum();
-            if infeas > 1e-6 {
-                return LpSolution {
-                    status: LpStatus::Infeasible,
-                    values: Vec::new(),
-                    objective: 0.0,
-                    iterations: st.iterations,
-                };
-            }
-            self.expel_artificials(&mut st);
         }
 
         // Pin all artificial columns to zero so they can never re-enter.
@@ -488,12 +697,7 @@ impl<'a> Simplex<'a> {
             PhaseOutcome::IterationLimit => LpStatus::IterationLimit,
         };
         if status != LpStatus::Optimal {
-            return LpSolution {
-                status,
-                values: Vec::new(),
-                objective: 0.0,
-                iterations: st.iterations,
-            };
+            return (self.failed(status, &st), None);
         }
 
         // Extract structural values.
@@ -508,7 +712,7 @@ impl<'a> Simplex<'a> {
         }
         // Clamp tiny numerical drift into bounds.
         for (j, xj) in x.iter_mut().enumerate() {
-            let lo = if j < n_struct { st.lower[j] } else { 0.0 };
+            let lo = st.lower[j];
             let hi = st.upper[j];
             if *xj < lo {
                 *xj = lo;
@@ -518,42 +722,181 @@ impl<'a> Simplex<'a> {
             }
         }
         let objective = p.objective_value(&x);
+        let mut y = vec![0.0; m];
+        st.duals(&c2, &mut y);
+        let snapshot = st.snapshot();
+        (
+            LpSolution {
+                status: LpStatus::Optimal,
+                values: x,
+                objective,
+                iterations: st.iterations,
+                duals: y,
+                refactorizations: st.refactorizations,
+            },
+            Some(snapshot),
+        )
+    }
+
+    fn failed(&self, status: LpStatus, st: &State) -> LpSolution {
         LpSolution {
-            status: LpStatus::Optimal,
-            values: x,
-            objective,
+            status,
+            values: Vec::new(),
+            objective: 0.0,
             iterations: st.iterations,
+            duals: Vec::new(),
+            refactorizations: st.refactorizations,
+        }
+    }
+
+    /// Bounded-variable dual simplex: restores primal feasibility while
+    /// preserving (approximate) dual feasibility of the installed basis.
+    ///
+    /// Used only on the warm path after bound changes. A row whose
+    /// violation cannot be reduced by any admissible nonbasic column is a
+    /// Farkas certificate: the bounds system is infeasible.
+    fn dual_simplex(&self, st: &mut State, cost: &[f64]) -> DualOutcome {
+        let m = st.m;
+        if m == 0 {
+            return DualOutcome::Feasible;
+        }
+        let mut y = vec![0.0; m];
+        let mut rho = vec![0.0; m];
+        let mut w = vec![0.0; m];
+        let mut stalls = 0usize;
+        loop {
+            if st.iterations >= self.max_iterations {
+                return DualOutcome::GiveUp;
+            }
+            // Leaving variable: the most violated basic variable.
+            let mut row = usize::MAX;
+            let mut worst = FEAS_TOL;
+            let mut leave_at_upper = false;
+            for (i, &bi) in st.basis.iter().enumerate() {
+                let below = st.lower[bi] - st.xb[i];
+                let above = st.xb[i] - st.upper[bi];
+                if below > worst {
+                    worst = below;
+                    row = i;
+                    leave_at_upper = false;
+                }
+                if above > worst {
+                    worst = above;
+                    row = i;
+                    leave_at_upper = true;
+                }
+            }
+            if row == usize::MAX {
+                return DualOutcome::Feasible;
+            }
+            // rho = e_row' B^-1, the tableau row of the leaving variable.
+            rho.iter_mut().for_each(|x| *x = 0.0);
+            rho[row] = 1.0;
+            st.btran(&mut rho);
+            st.duals(cost, &mut y);
+            // Entering variable: dual ratio test over admissible columns
+            // (those whose movement off their bound reduces the violation);
+            // the smallest |d/alpha| keeps the reduced costs sign-feasible.
+            let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+            for j in 0..st.n_total {
+                if st.is_basic[j] || st.lower[j] == st.upper[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(r, c) in &st.cols[j] {
+                    alpha += rho[r] * c;
+                }
+                let admissible = match (leave_at_upper, st.at[j]) {
+                    (true, NonbasicAt::Lower) | (false, NonbasicAt::Upper) => alpha > PIVOT_TOL,
+                    (true, NonbasicAt::Upper) | (false, NonbasicAt::Lower) => alpha < -PIVOT_TOL,
+                };
+                if !admissible {
+                    continue;
+                }
+                let d = st.reduced_cost(cost, &y, j);
+                let ratio = (d / alpha).abs();
+                let better = match best {
+                    None => true,
+                    Some((_, r0, a0)) => {
+                        ratio < r0 - 1e-12 || ((ratio - r0).abs() <= 1e-12 && alpha.abs() > a0)
+                    }
+                };
+                if better {
+                    best = Some((j, ratio, alpha.abs()));
+                }
+            }
+            let Some((j_in, _, _)) = best else {
+                return DualOutcome::Infeasible;
+            };
+            st.ftran(j_in, &mut w);
+            let piv = w[row];
+            if piv.abs() <= PIVOT_TOL {
+                // The row view (alpha) and column view (w) disagree:
+                // the factorization has drifted. Rebuild and retry.
+                stalls += 1;
+                if stalls > 2 || !st.refactorize() {
+                    return DualOutcome::GiveUp;
+                }
+                continue;
+            }
+            stalls = 0;
+            let bi = st.basis[row];
+            let target = if leave_at_upper {
+                st.upper[bi]
+            } else {
+                st.lower[bi]
+            };
+            let t = (st.xb[row] - target) / piv;
+            for (i, (xb, &wi)) in st.xb.iter_mut().zip(w.iter()).enumerate() {
+                if i != row {
+                    *xb -= t * wi;
+                }
+            }
+            st.xb[row] = st.bound_value(j_in) + t;
+            st.push_eta(row, &w);
+            st.basis[row] = j_in;
+            st.is_basic[j_in] = true;
+            st.is_basic[bi] = false;
+            st.at[bi] = if leave_at_upper {
+                NonbasicAt::Upper
+            } else {
+                NonbasicAt::Lower
+            };
+            st.iterations += 1;
+            st.pivots_since_refactor += 1;
+            if st.needs_refactor() && !st.refactorize() {
+                return DualOutcome::GiveUp;
+            }
         }
     }
 
     /// Pivots remaining basic artificials out of the basis where possible.
     fn expel_artificials(&self, st: &mut State) {
+        let mut w = vec![0.0; st.m];
         for row in 0..st.m {
             if st.basis[row] < st.art_start {
                 continue;
             }
             // Find any non-artificial nonbasic column with a usable pivot
-            // element in this row.
-            let mut w = vec![0.0; st.m];
-            let mut replaced = false;
+            // element in this row; a degenerate swap at value zero.
             for j in 0..st.art_start {
                 if st.is_basic[j] || (st.lower[j] == st.upper[j]) {
                     continue;
                 }
                 st.ftran(j, &mut w);
                 if w[row].abs() > 1e-6 {
-                    self.pivot(st, j, row, st.bound_value(j), 0.0);
-                    replaced = true;
+                    let old_val = st.xb[row];
+                    self.pivot_update(st, j, row, NonbasicAt::Lower, old_val, 0.0, 0.0, &w);
+                    st.recompute_xb();
                     break;
                 }
             }
-            if !replaced {
-                // Redundant row: the artificial stays basic pinned at zero.
-            }
+            // If no column qualifies the row is redundant and the
+            // artificial stays basic, pinned at zero.
         }
     }
 
-    /// Runs the simplex loop with the given cost vector.
+    /// Runs the primal simplex loop with the given cost vector.
     fn run_phase(&self, st: &mut State, cost: &[f64]) -> PhaseOutcome {
         let m = st.m;
         let mut y = vec![0.0; m];
@@ -662,14 +1005,15 @@ impl<'a> Simplex<'a> {
                 }
             }
 
-            if st.pivots_since_refactor >= REFACTOR_PERIOD && !st.refactorize() {
+            if st.needs_refactor() && !st.refactorize() {
                 return PhaseOutcome::IterationLimit;
             }
         }
     }
 
     /// Performs a full basis change where column `j_in` replaces the basic
-    /// variable of `row`, which leaves at bound `hit`.
+    /// variable of `row`, which leaves at bound `hit`. The update appends
+    /// one eta factor instead of eliminating a dense inverse.
     #[allow(clippy::too_many_arguments)]
     fn pivot_update(
         &self,
@@ -691,37 +1035,13 @@ impl<'a> Simplex<'a> {
             }
         }
         st.xb[row] = new_val;
-        // Update binv: divide pivot row, eliminate elsewhere.
-        let piv = w[row];
-        for c in 0..m {
-            st.binv[row * m + c] /= piv;
-        }
-        for (i, &f) in w.iter().enumerate().take(m) {
-            if i == row || f == 0.0 {
-                continue;
-            }
-            for c in 0..m {
-                st.binv[i * m + c] -= f * st.binv[row * m + c];
-            }
-        }
+        st.push_eta(row, w);
         st.basis[row] = j_in;
         st.is_basic[j_in] = true;
         st.is_basic[j_out] = false;
         st.at[j_out] = hit;
         st.iterations += 1;
         st.pivots_since_refactor += 1;
-    }
-
-    /// Forces column `j_in` into the basis at `value`, replacing `row`'s
-    /// current basic variable, which becomes nonbasic at the bound nearest
-    /// its final value (used when expelling artificials at zero).
-    fn pivot(&self, st: &mut State, j_in: usize, row: usize, _value: f64, _t: f64) {
-        let mut w = vec![0.0; st.m];
-        st.ftran(j_in, &mut w);
-        let old_val = st.xb[row];
-        self.pivot_update(st, j_in, row, NonbasicAt::Lower, old_val, 0.0, 0.0, &w);
-        // A degenerate swap keeps all xb values; recompute for safety.
-        st.recompute_xb();
     }
 }
 
@@ -939,5 +1259,106 @@ mod tests {
         // s1->d1:25@1).
         assert!(p.is_feasible(&s.values, 1e-6));
         assert_close(s.objective, 90.0);
+        assert!(s.refactorizations >= 1);
+        assert_eq!(s.duals.len(), p.num_constraints());
+    }
+
+    #[test]
+    fn warm_restart_matches_cold_after_bound_change() {
+        // Branch-and-bound's exact usage: solve, tighten one variable's
+        // bounds, re-solve warm; the warm answer must equal the cold one.
+        let mut p = Problem::maximize();
+        let x = p.add_var(VarKind::Continuous, 0.0, 10.0, 3.0, "x");
+        let y = p.add_var(VarKind::Continuous, 0.0, 10.0, 5.0, "y");
+        let z = p.add_var(VarKind::Continuous, 0.0, 10.0, 4.0, "z");
+        p.add_constraint(vec![(x, 1.0), (y, 2.0), (z, 1.0)], Cmp::Le, 14.0);
+        p.add_constraint(vec![(x, 3.0), (y, 1.0), (z, 2.0)], Cmp::Le, 18.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0), (z, 3.0)], Cmp::Le, 16.0);
+        let sx = Simplex::new(&p);
+        let (root, basis) = sx.solve_warm(None, None);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = basis.expect("optimal solve returns a basis");
+        for overrides in [
+            vec![(x.index(), 0.0, 2.0)],
+            vec![(y.index(), 3.0, 10.0)],
+            vec![(x.index(), 1.0, 1.0), (z.index(), 0.0, 4.0)],
+        ] {
+            let cold = sx.solve_with_bounds(Some(&overrides));
+            let (warm, warm_basis) = sx.solve_warm(Some(&overrides), Some(&basis));
+            assert_eq!(warm.status, cold.status);
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert!(warm_basis.is_some());
+        }
+    }
+
+    #[test]
+    fn warm_restart_detects_infeasible_bounds() {
+        // max x + y, x + y <= 4; forcing both >= 3 is infeasible.
+        let mut p = Problem::maximize();
+        let x = p.add_var(VarKind::Continuous, 0.0, 5.0, 1.0, "x");
+        let y = p.add_var(VarKind::Continuous, 0.0, 5.0, 1.0, "y");
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        let sx = Simplex::new(&p);
+        let (root, basis) = sx.solve_warm(None, None);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let overrides = [(x.index(), 3.0, 5.0), (y.index(), 3.0, 5.0)];
+        let (warm, warm_basis) = sx.solve_warm(Some(&overrides), basis.as_ref());
+        assert_eq!(warm.status, LpStatus::Infeasible);
+        assert!(warm_basis.is_none());
+    }
+
+    #[test]
+    fn warm_restart_with_equality_rows() {
+        let mut p = Problem::minimize();
+        let x = p.add_var(VarKind::Continuous, 0.0, 6.0, 2.0, "x");
+        let y = p.add_var(VarKind::Continuous, 0.0, 6.0, 3.0, "y");
+        let z = p.add_var(VarKind::Continuous, 0.0, 6.0, 1.0, "z");
+        p.add_constraint(vec![(x, 1.0), (y, 1.0), (z, 1.0)], Cmp::Eq, 8.0);
+        p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 1.0);
+        let sx = Simplex::new(&p);
+        let (root, basis) = sx.solve_warm(None, None);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let overrides = [(z.index(), 0.0, 2.0)];
+        let cold = sx.solve_with_bounds(Some(&overrides));
+        let (warm, _) = sx.solve_warm(Some(&overrides), basis.as_ref());
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert_close(warm.objective, cold.objective);
+    }
+
+    #[test]
+    fn mismatched_basis_snapshot_is_ignored() {
+        let mut p1 = Problem::maximize();
+        let a = p1.add_nonneg(1.0, "a");
+        p1.add_constraint(vec![(a, 1.0)], Cmp::Le, 3.0);
+        let (_, basis) = Simplex::new(&p1).solve_warm(None, None);
+
+        let mut p2 = Problem::maximize();
+        let x = p2.add_nonneg(1.0, "x");
+        let y = p2.add_nonneg(2.0, "y");
+        p2.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 5.0);
+        p2.add_constraint(vec![(y, 1.0)], Cmp::Le, 2.0);
+        let (sol, _) = Simplex::new(&p2).solve_warm(None, basis.as_ref());
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 7.0);
+    }
+
+    #[test]
+    fn duals_certify_small_lp() {
+        // min 2x + 3y s.t. x + y >= 4, x,y >= 0 -> optimum 8 at (4, 0);
+        // the dual price of the covering row is 2.
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg(2.0, "x");
+        let y = p.add_nonneg(3.0, "y");
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let s = Simplex::new(&p).solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 8.0);
+        assert_eq!(s.duals.len(), 1);
+        assert_close(s.duals[0], 2.0);
     }
 }

@@ -1,0 +1,308 @@
+//! Certificate tests: every answer the solver returns is re-verified
+//! against an independently checkable optimality certificate.
+//!
+//! For LPs, the certificate is the dual vector reported in
+//! [`LpSolution::duals`] (minimization form): primal feasibility, dual
+//! sign conditions per row, and a zero duality gap between the primal
+//! objective and the bounded-variable dual objective
+//! `y·b + Σ_{d_j>0} d_j·l_j + Σ_{d_j<0} d_j·u_j` with reduced costs
+//! `d_j = c_j − y·A_j`.
+//!
+//! For MILPs, the certificate is the incumbent itself (integral and
+//! primal-feasible) plus the reported best bound bracketing it.
+
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
+use medea_solver::{
+    Cmp, LpSolution, LpStatus, Milp, MilpStatus, Problem, Sense, Simplex, FEAS_TOL, INT_TOL,
+};
+
+const TOL: f64 = 1e-6;
+
+/// Verifies the full LP optimality certificate of `sol` against `p`.
+fn assert_lp_certificate(p: &Problem, sol: &LpSolution, label: &str) {
+    assert_eq!(sol.status, LpStatus::Optimal, "{label}: not optimal");
+    assert_eq!(sol.duals.len(), p.num_constraints(), "{label}: dual size");
+
+    // 1. Primal feasibility of the *relaxation*: rows and variable bounds
+    //    only. `Problem::is_feasible` also enforces integrality, which an
+    //    LP relaxation of a MILP legitimately violates.
+    for (j, v) in p.vars().iter().enumerate() {
+        let x = sol.values[j];
+        assert!(
+            x >= v.lower - TOL && x <= v.upper + TOL,
+            "{label}: var {j} = {x} out of [{}, {}]",
+            v.lower,
+            v.upper
+        );
+    }
+    for (i, c) in p.constraints().iter().enumerate() {
+        let lhs: f64 = c
+            .terms
+            .iter()
+            .map(|&(v, a)| a * sol.values[v.index()])
+            .sum();
+        let ok = match c.cmp {
+            Cmp::Le => lhs <= c.rhs + TOL,
+            Cmp::Ge => lhs >= c.rhs - TOL,
+            Cmp::Eq => (lhs - c.rhs).abs() <= TOL,
+        };
+        assert!(ok, "{label}: row {i} violated (lhs {lhs}, rhs {})", c.rhs);
+    }
+
+    // 2. Dual sign conditions (min form): `Le` rows price <= 0, `Ge`
+    //    rows >= 0, `Eq` rows are free.
+    for (i, c) in p.constraints().iter().enumerate() {
+        let y = sol.duals[i];
+        match c.cmp {
+            Cmp::Le => assert!(y <= TOL, "{label}: row {i} (<=) has dual {y} > 0"),
+            Cmp::Ge => assert!(y >= -TOL, "{label}: row {i} (>=) has dual {y} < 0"),
+            Cmp::Eq => {}
+        }
+    }
+
+    // 3. Zero duality gap. Reduced costs use min-form structural costs.
+    let min_obj = match p.sense() {
+        Sense::Minimize => sol.objective,
+        Sense::Maximize => -sol.objective,
+    };
+    let mut dual_obj: f64 = p
+        .constraints()
+        .iter()
+        .zip(&sol.duals)
+        .map(|(c, y)| y * c.rhs)
+        .sum();
+    for (j, v) in p.vars().iter().enumerate() {
+        let c_min = match p.sense() {
+            Sense::Minimize => v.cost,
+            Sense::Maximize => -v.cost,
+        };
+        let mut d = c_min;
+        for (i, c) in p.constraints().iter().enumerate() {
+            for &(var, a) in &c.terms {
+                if var.index() == j {
+                    d -= sol.duals[i] * a;
+                }
+            }
+        }
+        if d > TOL {
+            dual_obj += d * v.lower;
+        } else if d < -TOL {
+            assert!(
+                v.upper.is_finite(),
+                "{label}: negative reduced cost {d} on var {j} with infinite upper bound"
+            );
+            dual_obj += d * v.upper;
+        }
+    }
+    let scale = 1.0 + min_obj.abs();
+    assert!(
+        (dual_obj - min_obj).abs() <= 1e-5 * scale,
+        "{label}: duality gap {dual_obj} vs {min_obj}"
+    );
+}
+
+/// A small bounded-feasible random LP: continuous variables in `[0, u]`,
+/// mixed `<=` / `>=` / `==` rows built around a known interior point so
+/// the instance is always feasible.
+fn random_lp(seed: u64) -> Problem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(2..7usize);
+    let m = rng.random_range(1..6usize);
+    let maximize = rng.random_bool(0.5);
+    let mut p = if maximize {
+        Problem::maximize()
+    } else {
+        Problem::minimize()
+    };
+    let vars: Vec<_> = (0..n)
+        .map(|j| {
+            let u = rng.random_range(1..6usize) as f64;
+            let c = rng.random_range(-4i64..5) as f64;
+            p.add_var(
+                medea_solver::VarKind::Continuous,
+                0.0,
+                u,
+                c,
+                format!("x{j}"),
+            )
+        })
+        .collect();
+    // Interior anchor: x_j = u_j / 2.
+    let anchor: Vec<f64> = vars.iter().map(|&v| p.var(v).upper / 2.0).collect();
+    for _ in 0..m {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &v)| {
+                let a = rng.random_range(-3i64..4) as f64;
+                (a != 0.0).then_some((v, a, j))
+            })
+            .collect();
+        if terms.is_empty() {
+            continue;
+        }
+        let activity: f64 = terms.iter().map(|&(_, a, j)| a * anchor[j]).sum();
+        let row: Vec<_> = terms.iter().map(|&(v, a, _)| (v, a)).collect();
+        match rng.random_range(0..3usize) {
+            0 => p.add_constraint(row, Cmp::Le, activity + rng.random_range(0..3usize) as f64),
+            1 => p.add_constraint(row, Cmp::Ge, activity - rng.random_range(0..3usize) as f64),
+            _ => p.add_constraint(row, Cmp::Eq, activity),
+        };
+    }
+    p
+}
+
+#[test]
+fn lp_duals_certify_fixed_instances() {
+    // min x s.t. x >= 2, x in [0, 10]: y = 1, dual objective 2.
+    let mut p = Problem::minimize();
+    let x = p.add_var(medea_solver::VarKind::Continuous, 0.0, 10.0, 1.0, "x");
+    p.add_constraint(vec![(x, 1.0)], Cmp::Ge, 2.0);
+    assert_lp_certificate(&p, &Simplex::new(&p).solve(), "ge-floor");
+
+    // max 3a + 2b s.t. a + b <= 4, a <= 3, b <= 3.
+    let mut p = Problem::maximize();
+    let a = p.add_var(medea_solver::VarKind::Continuous, 0.0, 3.0, 3.0, "a");
+    let b = p.add_var(medea_solver::VarKind::Continuous, 0.0, 3.0, 2.0, "b");
+    p.add_constraint(vec![(a, 1.0), (b, 1.0)], Cmp::Le, 4.0);
+    let sol = Simplex::new(&p).solve();
+    assert!((sol.objective - 11.0).abs() < 1e-9);
+    assert_lp_certificate(&p, &sol, "knapsack-lp");
+
+    // Degenerate equality system.
+    let mut p = Problem::minimize();
+    let a = p.add_nonneg(1.0, "a");
+    let b = p.add_nonneg(2.0, "b");
+    p.add_constraint(vec![(a, 1.0), (b, 1.0)], Cmp::Eq, 3.0);
+    p.add_constraint(vec![(a, 2.0), (b, 2.0)], Cmp::Le, 6.0);
+    assert_lp_certificate(&p, &Simplex::new(&p).solve(), "degenerate-eq");
+}
+
+#[test]
+fn lp_duals_certify_random_instances() {
+    let mut optimal = 0;
+    for seed in 0..60u64 {
+        let p = random_lp(seed);
+        let sol = Simplex::new(&p).solve();
+        // Construction guarantees feasibility; boundedness comes from the
+        // finite variable boxes. Every solve must therefore be optimal.
+        assert_eq!(
+            sol.status,
+            LpStatus::Optimal,
+            "seed {seed}: bounded-feasible LP must solve"
+        );
+        assert_lp_certificate(&p, &sol, &format!("random-lp-{seed}"));
+        optimal += 1;
+    }
+    assert_eq!(optimal, 60);
+}
+
+/// A small random MILP with binaries and bounded integers, feasible at 0.
+fn random_milp(seed: u64) -> Problem {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+    let n = rng.random_range(2..6usize);
+    let maximize = rng.random_bool(0.5);
+    let mut p = if maximize {
+        Problem::maximize()
+    } else {
+        Problem::minimize()
+    };
+    let vars: Vec<_> = (0..n)
+        .map(|j| {
+            let c = rng.random_range(-4i64..5) as f64;
+            if rng.random_bool(0.5) {
+                p.add_binary(c, format!("x{j}"))
+            } else {
+                p.add_var(
+                    medea_solver::VarKind::Integer,
+                    0.0,
+                    rng.random_range(1..4usize) as f64,
+                    c,
+                    format!("x{j}"),
+                )
+            }
+        })
+        .collect();
+    for _ in 0..rng.random_range(1..5usize) {
+        // Nonnegative coefficients with a nonnegative rhs: x = 0 stays
+        // feasible, so every instance has an incumbent.
+        let row: Vec<_> = vars
+            .iter()
+            .filter_map(|&v| {
+                let a = rng.random_range(0..3usize) as f64;
+                (a != 0.0).then_some((v, a))
+            })
+            .collect();
+        if row.is_empty() {
+            continue;
+        }
+        let rhs = rng.random_range(1..6usize) as f64;
+        p.add_constraint(row, Cmp::Le, rhs);
+    }
+    p
+}
+
+#[test]
+fn milp_incumbent_is_integral_feasible_and_bracketed() {
+    for seed in 0..40u64 {
+        let p = random_milp(seed);
+        let sol = Milp::new(&p).solve().expect("valid model");
+        assert_eq!(
+            sol.status,
+            MilpStatus::Optimal,
+            "seed {seed}: tiny MILP must prove optimality"
+        );
+        // Integrality of every integral variable.
+        for (j, v) in p.vars().iter().enumerate() {
+            if v.is_integral() {
+                let x = sol.values[j];
+                assert!(
+                    (x - x.round()).abs() <= INT_TOL,
+                    "seed {seed}: var {j} = {x} not integral"
+                );
+            }
+        }
+        // Primal feasibility of the incumbent.
+        assert!(
+            p.is_feasible(&sol.values, FEAS_TOL * 10.0),
+            "seed {seed}: incumbent infeasible"
+        );
+        assert!(
+            (p.objective_value(&sol.values) - sol.objective).abs() <= 1e-6,
+            "seed {seed}: reported objective mismatch"
+        );
+        // The bound must bracket the incumbent from the optimization side.
+        match p.sense() {
+            Sense::Maximize => assert!(
+                sol.best_bound >= sol.objective - 1e-6,
+                "seed {seed}: bound {} below incumbent {}",
+                sol.best_bound,
+                sol.objective
+            ),
+            Sense::Minimize => assert!(
+                sol.best_bound <= sol.objective + 1e-6,
+                "seed {seed}: bound {} above incumbent {}",
+                sol.best_bound,
+                sol.objective
+            ),
+        }
+    }
+}
+
+#[test]
+fn milp_root_lp_bound_dominates_integer_optimum() {
+    // The LP relaxation's certified optimum must weakly dominate the MILP
+    // optimum (relaxation bound), tying the two certificates together.
+    for seed in 0..20u64 {
+        let p = random_milp(seed);
+        let lp = Simplex::new(&p).solve();
+        assert_lp_certificate(&p, &lp, &format!("milp-root-{seed}"));
+        let milp = Milp::new(&p).solve().expect("valid model");
+        assert_eq!(milp.status, MilpStatus::Optimal);
+        match p.sense() {
+            Sense::Maximize => assert!(lp.objective >= milp.objective - 1e-6),
+            Sense::Minimize => assert!(lp.objective <= milp.objective + 1e-6),
+        }
+    }
+}

@@ -20,6 +20,16 @@ cargo test --offline --workspace -q
 echo "==> cargo test (release)"
 cargo test --release --offline --workspace -q
 
+echo "==> solver correctness gate (differential + certificates + metamorphic + round-trip)"
+# Named explicitly so a regression in any of these suites fails the gate
+# with an unambiguous step, even though the workspace runs also cover them.
+cargo test --release --offline -p medea-core -q --test differential
+cargo test --release --offline -p medea-solver -q --test certificates --test metamorphic
+cargo test --release --offline -p medea-constraints -q --test prop_constraints
+
+echo "==> solver benchmark smoke (writes BENCH_solver.json, mode=smoke)"
+cargo run --release --offline -p medea-bench --bin solver_bench -- --smoke
+
 echo "==> chaos smoke (fixed-seed fault injection + recovery)"
 cargo run --release --offline -p medea-bench --bin fig8_resilience -- --smoke
 
