@@ -1,0 +1,333 @@
+//! `scale_bench`: cluster-scale scheduling rounds at 500/2000/5000 nodes,
+//! emitted as machine-readable JSON (`BENCH_scale.json`).
+//!
+//! Each scale builds a census-shaped cluster (racks of ~40 nodes, service
+//! units of ~100, ten upgrade domains — the §2.3 production shape), fills
+//! half the machines with background LRA containers carrying service tags,
+//! and then times NodeCandidates heuristic rounds that place an HBase-like
+//! instance (8 workers + 3 auxiliaries, §7.1) under the paper's
+//! constraints plus a population of deployed anti-affinity constraints.
+//!
+//! Beyond round latency, each scale reports:
+//! - nodes touched by the index queries of one candidate-selection pass,
+//!   in indexed and scan mode (the same pass, so directly comparable);
+//! - incremental index maintenance cost (ops during populate, and
+//!   nanoseconds per allocate/release maintenance op);
+//! - the pre-index scan-engine median recorded on this machine right
+//!   before the index layer landed (same workload, same seeds), so the
+//!   JSON carries its own speedup denominator.
+//!
+//! Usage: `cargo run --release -p medea-bench --bin scale_bench`
+//! (`--smoke` runs the 500-node scale only, for CI).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use medea_cluster::{
+    ApplicationId, ClusterState, ContainerRequest, ExecutionKind, IndexConfig, NodeGroupId, NodeId,
+    Resources, Tag,
+};
+use medea_constraints::PlacementConstraint;
+use medea_core::{HeuristicScheduler, ObjectiveWeights, Ordering, Scorer};
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
+
+/// Distinct background service tags (bounds the tag-index breadth).
+const SERVICE_TAGS: u32 = 50;
+
+/// One benchmarked scale's summary statistics.
+struct ScaleResult {
+    nodes: usize,
+    iters: usize,
+    median_us: u64,
+    p99_us: u64,
+    mean_us: u64,
+    populate_us: u64,
+    /// Node entries visited by index queries during one
+    /// candidate-selection pass, indexed mode.
+    nodes_touched_indexed: u64,
+    /// Same pass with the index disabled (every query scans all nodes).
+    nodes_touched_scan: u64,
+    /// Incremental index maintenance ops performed while populating.
+    index_update_ops_populate: u64,
+    /// Mean maintenance cost per allocate/release index op.
+    index_update_ns_per_op: u64,
+    /// Median of the pre-index scan-based engine at this scale, when
+    /// recorded (see `pre_index_baseline`).
+    pre_index_baseline_us: Option<u64>,
+}
+
+/// Contiguous equal partition of `n` nodes into `parts` sets (the shape
+/// `NodeGroups::register_partition` builds).
+fn partition(n: usize, parts: usize) -> Vec<Vec<NodeId>> {
+    let parts = parts.max(1);
+    let mut sets: Vec<Vec<NodeId>> = vec![Vec::new(); parts];
+    for i in 0..n {
+        sets[i * parts / n.max(1)].push(NodeId(i as u32));
+    }
+    sets
+}
+
+/// Census-shaped cluster: 16 GB/16-core nodes, ~40-node racks, ~100-node
+/// service units, 10 upgrade domains, half the nodes' worth of background
+/// LRA containers (4-container apps tagged `svc0..svc49`), plus the
+/// deployed anti-affinity constraints those services carry.
+fn census_cluster(n: usize) -> (ClusterState, Vec<PlacementConstraint>) {
+    let mut state = ClusterState::homogeneous(n, Resources::new(16 * 1024, 16), (n / 40).max(1));
+    state.register_group(NodeGroupId::service_unit(), partition(n, (n / 100).max(1)));
+    state.register_group(NodeGroupId::upgrade_domain(), partition(n, 10));
+
+    let mut rng = StdRng::seed_from_u64(0xC0DE + n as u64);
+    let target = n / 2;
+    let mut placed = 0usize;
+    let mut app = 1_000u64;
+    while placed < target {
+        let svc = rng.random_range(0..SERVICE_TAGS);
+        let req = ContainerRequest::new(Resources::new(2048, 1), [Tag::new(format!("svc{svc}"))]);
+        for _ in 0..4 {
+            loop {
+                let node = NodeId(rng.random_range(0..n as u32));
+                if state
+                    .allocate(ApplicationId(app), node, &req, ExecutionKind::LongRunning)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+            placed += 1;
+        }
+        app += 1;
+    }
+
+    let deployed: Vec<PlacementConstraint> = (0..SERVICE_TAGS)
+        .step_by(2)
+        .map(|k| {
+            let t = Tag::new(format!("svc{k}"));
+            PlacementConstraint::anti_affinity(t.clone(), t, NodeGroupId::node())
+        })
+        .collect();
+    (state, deployed)
+}
+
+/// One scheduling round: place an HBase-like instance (8 workers,
+/// 6-per-node cardinality cap) with the NodeCandidates heuristic.
+fn scale_round(state: &ClusterState, deployed: &[PlacementConstraint], app: u64) {
+    let reqs = vec![medea_sim::apps::hbase_like(ApplicationId(app), 8, 6)];
+    let out = HeuristicScheduler::new(Ordering::NodeCandidates).place(state, &reqs, deployed);
+    assert!(
+        out.iter().all(|o| o.placement().is_some()),
+        "bench round must place its batch"
+    );
+}
+
+/// Node entries visited by index queries during one candidate-selection
+/// pass (every batch item × every node through
+/// [`Scorer::is_violation_free`] — the initial `Nc` computation of the
+/// NodeCandidates heuristic), measured on a working copy in the given
+/// index mode. In scan mode every query charges the full node count, so
+/// the two figures quantify exactly what the index avoids.
+fn candidate_pass_nodes_touched(
+    state: &ClusterState,
+    deployed: &[PlacementConstraint],
+    app: u64,
+    config: IndexConfig,
+) -> u64 {
+    let mut work = state.clone().with_index_config(config);
+    let reqs = vec![medea_sim::apps::hbase_like(ApplicationId(app), 8, 6)];
+    let mut constraints: Vec<PlacementConstraint> = deployed.to_vec();
+    for r in &reqs {
+        constraints.extend(r.constraints.iter().cloned());
+    }
+    let scorer = Scorer::new(ObjectiveWeights::default(), constraints);
+    let nodes: Vec<NodeId> = work.node_ids().collect();
+    let before = work.index_stats().nodes_visited;
+    for r in &reqs {
+        for c in &r.containers {
+            for &n in &nodes {
+                scorer.is_violation_free(&mut work, r.app, c, n);
+            }
+        }
+    }
+    work.index_stats().nodes_visited - before
+}
+
+/// Mean incremental-maintenance cost per index op, via timed
+/// allocate/release churn on a working copy.
+fn index_update_cost_ns(state: &ClusterState) -> u64 {
+    let mut work = state.clone();
+    let req = ContainerRequest::new(Resources::new(1, 1), [Tag::new("bench_churn")]);
+    let n = work.num_nodes() as u32;
+    let before_ops = work.index_stats().update_ops;
+    let t = Instant::now();
+    let pairs = 2_000u32;
+    for i in 0..pairs {
+        let node = NodeId(i % n);
+        if let Ok(id) = work.allocate(
+            ApplicationId(900_000),
+            node,
+            &req,
+            ExecutionKind::LongRunning,
+        ) {
+            work.release(id).expect("churn container exists");
+        }
+    }
+    let elapsed_ns = t.elapsed().as_nanos() as u64;
+    let ops = (work.index_stats().update_ops - before_ops).max(1);
+    elapsed_ns / ops
+}
+
+/// Pre-index medians of the scan-based engine, recorded on this machine
+/// immediately before the incremental index layer landed (same workload,
+/// same seeds; see DESIGN.md "Cluster-scale index layer").
+fn pre_index_baseline(nodes: usize) -> Option<u64> {
+    match nodes {
+        500 => Some(425_987),
+        2_000 => Some(3_393_465),
+        5_000 => Some(17_512_941),
+        _ => None,
+    }
+}
+
+fn time_rounds<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> Vec<u64> {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_micros() as u64);
+    }
+    samples
+}
+
+struct PassStats {
+    nodes_touched_indexed: u64,
+    nodes_touched_scan: u64,
+    index_update_ops_populate: u64,
+    index_update_ns_per_op: u64,
+}
+
+fn summarize(
+    nodes: usize,
+    mut samples: Vec<u64>,
+    populate_us: u64,
+    pass: PassStats,
+    pre_index_baseline_us: Option<u64>,
+) -> ScaleResult {
+    samples.sort_unstable();
+    let iters = samples.len();
+    let median_us = samples[iters / 2];
+    let p99_idx = ((iters as f64 * 0.99).ceil() as usize).clamp(1, iters) - 1;
+    ScaleResult {
+        nodes,
+        iters,
+        median_us,
+        p99_us: samples[p99_idx],
+        mean_us: samples.iter().sum::<u64>() / iters as u64,
+        populate_us,
+        nodes_touched_indexed: pass.nodes_touched_indexed,
+        nodes_touched_scan: pass.nodes_touched_scan,
+        index_update_ops_populate: pass.index_update_ops_populate,
+        index_update_ns_per_op: pass.index_update_ns_per_op,
+        pre_index_baseline_us,
+    }
+}
+
+fn write_json(mode: &str, results: &[ScaleResult]) -> std::io::Result<()> {
+    let mut body = String::new();
+    body.push_str("{\n");
+    let _ = writeln!(body, "  \"bench\": \"scale_bench\",");
+    let _ = writeln!(body, "  \"mode\": \"{mode}\",");
+    body.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str("    {");
+        let _ = write!(
+            body,
+            "\"nodes\": {}, \"iters\": {}, \"median_us\": {}, \"p99_us\": {}, \
+             \"mean_us\": {}, \"populate_us\": {}, \
+             \"nodes_touched_indexed\": {}, \"nodes_touched_scan\": {}, \
+             \"index_update_ops_populate\": {}, \"index_update_ns_per_op\": {}",
+            r.nodes,
+            r.iters,
+            r.median_us,
+            r.p99_us,
+            r.mean_us,
+            r.populate_us,
+            r.nodes_touched_indexed,
+            r.nodes_touched_scan,
+            r.index_update_ops_populate,
+            r.index_update_ns_per_op,
+        );
+        if let Some(b) = r.pre_index_baseline_us {
+            let speedup = b as f64 / r.median_us.max(1) as f64;
+            let _ = write!(
+                body,
+                ", \"pre_index_baseline_us\": {b}, \"speedup_vs_scan\": {speedup:.2}"
+            );
+        }
+        body.push('}');
+        if i + 1 < results.len() {
+            body.push(',');
+        }
+        body.push('\n');
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write("BENCH_scale.json", body)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mode = if smoke { "smoke" } else { "full" };
+    let scales: &[(usize, usize, usize)] = if smoke {
+        &[(500, 1, 2)]
+    } else {
+        &[(500, 1, 3), (2000, 0, 3), (5000, 0, 2)]
+    };
+    let mut results = Vec::new();
+    for &(nodes, warmup, iters) in scales {
+        let t = Instant::now();
+        let (state, deployed) = census_cluster(nodes);
+        let populate_us = t.elapsed().as_micros() as u64;
+        let index_update_ops_populate = state.index_stats().update_ops;
+        let mut app = 500_000u64;
+        let samples = time_rounds(warmup, iters, || {
+            scale_round(&state, &deployed, app);
+            app += 1;
+        });
+        let pass = PassStats {
+            nodes_touched_indexed: candidate_pass_nodes_touched(
+                &state,
+                &deployed,
+                app,
+                IndexConfig::enabled(),
+            ),
+            nodes_touched_scan: candidate_pass_nodes_touched(
+                &state,
+                &deployed,
+                app,
+                IndexConfig::disabled(),
+            ),
+            index_update_ops_populate,
+            index_update_ns_per_op: index_update_cost_ns(&state),
+        };
+        let r = summarize(nodes, samples, populate_us, pass, pre_index_baseline(nodes));
+        println!(
+            "{:>5} nodes: iters {:>2} median {:>10} us p99 {:>10} us populate {:>8} us \
+             touched {:>8}/{:>8} (indexed/scan) index {:>5} ns/op",
+            r.nodes,
+            r.iters,
+            r.median_us,
+            r.p99_us,
+            r.populate_us,
+            r.nodes_touched_indexed,
+            r.nodes_touched_scan,
+            r.index_update_ns_per_op,
+        );
+        results.push(r);
+    }
+    match write_json(mode, &results) {
+        Ok(()) => println!("(json: BENCH_scale.json)"),
+        Err(e) => eprintln!("warning: cannot write BENCH_scale.json: {e}"),
+    }
+}

@@ -45,6 +45,12 @@ impl NodeGroupId {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Whether this is the implicit `node` group (singleton sets that are
+    /// synthesized on the fly rather than stored).
+    pub fn is_node(&self) -> bool {
+        self.0 == "node"
+    }
 }
 
 impl fmt::Display for NodeGroupId {
@@ -195,6 +201,29 @@ impl NodeGroups {
             .get(group)
             .ok_or_else(|| GroupError::UnknownGroup(group.clone()))?;
         Ok(sets.get(set).cloned().unwrap_or_default())
+    }
+
+    /// Borrowed variant of [`NodeGroups::sets_containing`]: the set indices
+    /// containing `node`, without cloning. Returns `None` for the implicit
+    /// `node` group (whose sets are synthesized, not stored) and for
+    /// unknown groups — callers on hot paths special-case `node` and fall
+    /// back to the cloning accessor otherwise.
+    pub fn sets_containing_ref(
+        &self,
+        group: &NodeGroupId,
+        node: NodeId,
+    ) -> Option<&[NodeSetIndex]> {
+        self.membership
+            .get(group)?
+            .get(node.0 as usize)
+            .map(|v| v.as_slice())
+    }
+
+    /// Borrowed variant of [`NodeGroups::set_members`]; same `None` cases
+    /// as [`NodeGroups::sets_containing_ref`], plus out-of-range set
+    /// indices.
+    pub fn set_members_ref(&self, group: &NodeGroupId, set: NodeSetIndex) -> Option<&[NodeId]> {
+        self.sets.get(group)?.get(set).map(|v| v.as_slice())
     }
 
     /// Number of sets in a group.

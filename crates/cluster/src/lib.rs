@@ -16,6 +16,7 @@
 
 mod container;
 mod groups;
+mod index;
 mod node;
 mod resources;
 mod state;
@@ -23,6 +24,7 @@ mod tags;
 
 pub use container::{ApplicationId, ContainerId, ContainerRequest, ExecutionKind};
 pub use groups::{GroupError, NodeGroupId, NodeGroups, NodeSetIndex};
+pub use index::{IndexConfig, IndexStats};
 pub use node::{Node, NodeId};
 pub use resources::Resources;
 pub use state::{Allocation, ClusterError, ClusterState, UtilizationStats};

@@ -10,6 +10,7 @@ use std::fmt;
 
 use crate::container::{ApplicationId, ContainerId, ContainerRequest, ExecutionKind};
 use crate::groups::{NodeGroupId, NodeGroups};
+use crate::index::{ClusterIndex, IndexConfig, IndexStats};
 use crate::node::{Node, NodeId};
 use crate::resources::Resources;
 use crate::tags::{Tag, TagMultiset};
@@ -124,6 +125,11 @@ pub struct ClusterState {
     /// large node sets are O(1) instead of O(|𝒮|). Rebuilt whenever the
     /// group registry changes (see [`ClusterState::register_group`]).
     group_tags: HashMap<NodeGroupId, Vec<TagMultiset>>,
+    /// Incremental tag/free-capacity indexes (see [`crate::index`]),
+    /// maintained in O(Δ) on every allocate/release/retag.
+    index: ClusterIndex,
+    /// One-entry memo of the last `appid:` tag built by `allocate`.
+    last_app_tag: Option<(ApplicationId, Tag)>,
     /// Threshold below which a non-idle node counts as fragmented
     /// (default: 2 GB / 1 core, the paper's §7.4 definition).
     pub fragmentation_threshold: Resources,
@@ -158,10 +164,53 @@ impl ClusterState {
             app_containers: HashMap::new(),
             next_container: 0,
             group_tags: HashMap::new(),
+            index: ClusterIndex::new(IndexConfig::default()),
+            last_app_tag: None,
             fragmentation_threshold: Resources::new(2048, 1),
         };
         state.rebuild_group_tags();
+        state.rebuild_index();
         state
+    }
+
+    /// Rebuilds the incremental indexes from scratch (O(nodes × tags)).
+    fn rebuild_index(&mut self) {
+        self.index.rebuild(
+            self.node_state
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, &s.tags, s.free)),
+        );
+    }
+
+    /// Switches the index layer on or off (see [`IndexConfig`]); enabling
+    /// rebuilds from current state, disabling drops the structures and
+    /// routes every query through its naive full-scan fallback.
+    pub fn set_index_config(&mut self, config: IndexConfig) {
+        self.index.set_config(
+            config,
+            self.node_state
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, &s.tags, s.free)),
+        );
+    }
+
+    /// Builder form of [`ClusterState::set_index_config`].
+    pub fn with_index_config(mut self, config: IndexConfig) -> Self {
+        self.set_index_config(config);
+        self
+    }
+
+    /// Whether the incremental indexes are enabled.
+    pub fn index_enabled(&self) -> bool {
+        self.index.is_enabled()
+    }
+
+    /// Maintenance/query counters of the index layer (the `cluster.index_*`
+    /// metrics).
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
     }
 
     /// Registers (or replaces) a node group and refreshes the per-set tag
@@ -276,9 +325,10 @@ impl ClusterState {
             .get_mut(node.index())
             .ok_or(ClusterError::UnknownNode(node))?;
         state.tags.add(tag.clone());
+        self.index.tag_added(node.0, &tag);
         for (g, sets) in self.group_tags.iter_mut() {
-            if let Ok(indices) = self.groups.sets_containing(g, node) {
-                for si in indices {
+            if let Some(indices) = self.groups.sets_containing_ref(g, node) {
+                for &si in indices {
                     if let Some(m) = sets.get_mut(si) {
                         m.add(tag.clone());
                     }
@@ -296,10 +346,17 @@ impl ClusterState {
             .node_state
             .get_mut(node.index())
             .ok_or(ClusterError::UnknownNode(node))?;
-        state.tags.remove(tag);
+        // Only propagate to the caches when the node actually carried the
+        // tag: the group multisets are unions over member nodes, so an
+        // unconditional remove would steal an occurrence contributed by a
+        // sibling node.
+        if !state.tags.remove(tag) {
+            return Ok(());
+        }
+        self.index.tag_removed(node.0, tag);
         for (g, sets) in self.group_tags.iter_mut() {
-            if let Ok(indices) = self.groups.sets_containing(g, node) {
-                for si in indices {
+            if let Some(indices) = self.groups.sets_containing_ref(g, node) {
+                for &si in indices {
                     if let Some(m) = sets.get_mut(si) {
                         m.remove(tag);
                     }
@@ -352,6 +409,121 @@ impl ClusterState {
         set.iter().map(|&n| self.gamma(n, tag)).sum()
     }
 
+    /// Nodes with `γ_n(t) > 0`, in ascending node-id order. Indexed:
+    /// O(result) via the tag postings; disabled: full scan with identical
+    /// output.
+    pub fn nodes_with_tag(&self, tag: &Tag) -> Vec<NodeId> {
+        if self.index.is_enabled() {
+            let Some(postings) = self.index.postings(tag) else {
+                return Vec::new();
+            };
+            self.index.note_visited(postings.len() as u64);
+            return postings.keys().map(|&n| NodeId(n)).collect();
+        }
+        self.index.note_visited(self.nodes.len() as u64);
+        self.node_ids()
+            .filter(|&n| self.gamma(n, tag) > 0)
+            .collect()
+    }
+
+    /// Nodes carrying at least one occurrence of *every* given tag, in
+    /// ascending node-id order; an empty tag list matches all nodes.
+    /// Indexed queries walk only the rarest tag's postings.
+    pub fn nodes_with_all_tags(&self, tags: &[Tag]) -> Vec<NodeId> {
+        if tags.is_empty() {
+            return self.node_ids().collect();
+        }
+        if self.index.is_enabled() {
+            return self
+                .index
+                .nodes_with_all_tags(tags)
+                .into_iter()
+                .map(NodeId)
+                .collect();
+        }
+        self.index.note_visited(self.nodes.len() as u64);
+        self.node_ids()
+            .filter(|&n| tags.iter().all(|t| self.gamma(n, t) > 0))
+            .collect()
+    }
+
+    /// All nodes ordered by free memory descending, ties broken by free
+    /// vcores descending then node id descending (identical in both index
+    /// modes).
+    pub fn nodes_by_free_memory(&self) -> Vec<NodeId> {
+        if self.index.is_enabled() {
+            return self
+                .index
+                .nodes_by_free_memory()
+                .into_iter()
+                .map(NodeId)
+                .collect();
+        }
+        self.index.note_visited(self.nodes.len() as u64);
+        let mut keyed: Vec<(u64, u32, u32)> = self
+            .node_state
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.free.memory_mb, s.free.vcores, i as u32))
+            .collect();
+        keyed.sort_unstable();
+        keyed.into_iter().rev().map(|(_, _, n)| NodeId(n)).collect()
+    }
+
+    /// Nodes with at least `min_memory_mb` free, ascending by node id.
+    /// Indexed: a range walk of the free-capacity ordering.
+    pub fn nodes_with_free_memory_at_least(&self, min_memory_mb: u64) -> Vec<NodeId> {
+        if self.index.is_enabled() {
+            return self
+                .index
+                .nodes_with_free_memory_at_least(min_memory_mb)
+                .into_iter()
+                .map(NodeId)
+                .collect();
+        }
+        self.index.note_visited(self.nodes.len() as u64);
+        self.node_ids()
+            .filter(|&n| self.node_state[n.index()].free.memory_mb >= min_memory_mb)
+            .collect()
+    }
+
+    /// Verifies every incremental structure — tag postings, free-capacity
+    /// orderings, and the per-group `γ_𝒮` caches — against a full
+    /// recomputation from node state. Returns the first discrepancy; used
+    /// by the differential/chaos test suites as the state invariant.
+    pub fn check_index_consistency(&self) -> Result<(), String> {
+        self.index.check_consistency(
+            self.node_state
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, &s.tags, s.free)),
+        )?;
+        for (g, cached) in &self.group_tags {
+            let sets = self
+                .groups
+                .sets_of(g)
+                .map_err(|_| format!("group '{g}' cached but not registered"))?;
+            if sets.len() != cached.len() {
+                return Err(format!(
+                    "group '{g}': {} cached sets, {} registered",
+                    cached.len(),
+                    sets.len()
+                ));
+            }
+            for (si, members) in sets.iter().enumerate() {
+                let truth = TagMultiset::union(
+                    members
+                        .iter()
+                        .filter_map(|n| self.node_state.get(n.index()).map(|s| &s.tags)),
+                );
+                if truth != cached[si] {
+                    return Err(format!("group '{g}' set {si}: γ_𝒮 cache diverged"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Containers currently on a node.
     pub fn containers_on(&self, id: NodeId) -> Result<&[ContainerId], ClusterError> {
         self.node_state
@@ -394,6 +566,34 @@ impl ClusterState {
         request: &ContainerRequest,
         kind: ExecutionKind,
     ) -> Result<ContainerId, ClusterError> {
+        self.allocate_inner(app, node, request, kind, false)
+    }
+
+    /// Tentative allocation for scorers: identical checks, γ multisets,
+    /// and group caches as [`ClusterState::allocate`] — so every
+    /// constraint-cardinality query sees the container — but skips the
+    /// structures no constraint check reads (tag postings, free-capacity
+    /// orderings, per-app container list). Those stay consistent with the
+    /// *pre-probe* state, so the probe MUST be undone with
+    /// [`ClusterState::probe_release`] before any index query runs.
+    pub fn probe_allocate(
+        &mut self,
+        app: ApplicationId,
+        node: NodeId,
+        request: &ContainerRequest,
+        kind: ExecutionKind,
+    ) -> Result<ContainerId, ClusterError> {
+        self.allocate_inner(app, node, request, kind, true)
+    }
+
+    fn allocate_inner(
+        &mut self,
+        app: ApplicationId,
+        node: NodeId,
+        request: &ContainerRequest,
+        kind: ExecutionKind,
+        probe: bool,
+    ) -> Result<ContainerId, ClusterError> {
         let state = self
             .node_state
             .get_mut(node.index())
@@ -409,19 +609,39 @@ impl ClusterState {
             });
         }
         let mut tags = request.tags.clone();
-        let auto = Tag::app_id(app);
+        // Memoized: scoring probes allocate for the same app thousands of
+        // times per round, and `Tag::app_id` formats a fresh string.
+        let auto = match &self.last_app_tag {
+            Some((a, t)) if *a == app => t.clone(),
+            _ => {
+                let t = Tag::app_id(app);
+                self.last_app_tag = Some((app, t.clone()));
+                t
+            }
+        };
         if !tags.contains(&auto) {
             tags.push(auto);
         }
+        let old_free = state.free;
         state.free = state
             .free
             .checked_sub(&request.resources)
             .expect("fits_in checked above");
         state.tags.add_all(tags.iter().cloned());
+        let new_free = state.free;
+        // Maintain the incremental indexes (skipped for probes: nothing a
+        // constraint check reads lives there, and the probe is rolled back
+        // before any index query runs).
+        if !probe {
+            for t in &tags {
+                self.index.tag_added(node.0, t);
+            }
+            self.index.free_changed(node.0, old_free, new_free);
+        }
         // Maintain the per-group γ caches.
         for (g, sets) in self.group_tags.iter_mut() {
-            if let Ok(indices) = self.groups.sets_containing(g, node) {
-                for si in indices {
+            if let Some(indices) = self.groups.sets_containing_ref(g, node) {
+                for &si in indices {
                     if let Some(m) = sets.get_mut(si) {
                         m.add_all(tags.iter().cloned());
                     }
@@ -446,34 +666,103 @@ impl ClusterState {
                 kind,
             },
         );
-        self.app_containers.entry(app).or_default().push(id);
+        if !probe {
+            self.app_containers.entry(app).or_default().push(id);
+        }
         Ok(id)
     }
 
     /// Releases a container, returning its resources and removing its tags.
     pub fn release(&mut self, id: ContainerId) -> Result<Allocation, ClusterError> {
+        self.release_inner(id, false)
+    }
+
+    /// Undoes a [`ClusterState::probe_allocate`], restoring every
+    /// structure the probe touched.
+    pub fn probe_release(&mut self, id: ContainerId) -> Result<Allocation, ClusterError> {
+        self.release_inner(id, true)
+    }
+
+    fn release_inner(&mut self, id: ContainerId, probe: bool) -> Result<Allocation, ClusterError> {
         let alloc = self
             .allocations
             .remove(&id)
             .ok_or(ClusterError::UnknownContainer(id))?;
         let state = &mut self.node_state[alloc.node.index()];
+        let old_free = state.free;
         state.free += alloc.resources;
-        state.tags.remove_all(alloc.tags.iter());
-        state.containers.retain(|&c| c != id);
+        // Only occurrences still present on the node propagate outward:
+        // `remove_node_tag` may have consumed one of this container's
+        // occurrences already, and decrementing the group caches or the
+        // postings for a tag the node no longer carries would steal an
+        // occurrence contributed by a sibling node. `missing` stays an
+        // unallocated empty Vec in the common (and every probe's) case,
+        // keeping the scoring hot path allocation-free.
+        let mut missing: Vec<&Tag> = Vec::new();
+        for t in &alloc.tags {
+            if !state.tags.remove(t) {
+                missing.push(t);
+            }
+        }
+        // Per-tag removal credits: duplicates in the tag list must skip
+        // exactly as many occurrences as failed to remove.
+        let removed: Option<Vec<&Tag>> = if missing.is_empty() {
+            None
+        } else {
+            let mut skip = missing;
+            let mut out = Vec::with_capacity(alloc.tags.len());
+            for t in &alloc.tags {
+                if let Some(pos) = skip.iter().position(|m| *m == t) {
+                    skip.swap_remove(pos);
+                } else {
+                    out.push(t);
+                }
+            }
+            Some(out)
+        };
+        // Probes always release the most recent allocation on the node, so
+        // this is normally an O(1) pop.
+        if state.containers.last() == Some(&id) {
+            state.containers.pop();
+        } else {
+            state.containers.retain(|&c| c != id);
+        }
+        let new_free = state.free;
+        // Maintain the incremental indexes.
+        if !probe {
+            match &removed {
+                None => {
+                    for t in &alloc.tags {
+                        self.index.tag_removed(alloc.node.0, t);
+                    }
+                }
+                Some(r) => {
+                    for &t in r {
+                        self.index.tag_removed(alloc.node.0, t);
+                    }
+                }
+            }
+            self.index.free_changed(alloc.node.0, old_free, new_free);
+        }
         // Maintain the per-group γ caches.
         for (g, sets) in self.group_tags.iter_mut() {
-            if let Ok(indices) = self.groups.sets_containing(g, alloc.node) {
-                for si in indices {
+            if let Some(indices) = self.groups.sets_containing_ref(g, alloc.node) {
+                for &si in indices {
                     if let Some(m) = sets.get_mut(si) {
-                        m.remove_all(alloc.tags.iter());
+                        match &removed {
+                            None => m.remove_all(alloc.tags.iter()),
+                            Some(r) => m.remove_all(r.iter().copied()),
+                        };
                     }
                 }
             }
         }
-        if let Some(v) = self.app_containers.get_mut(&alloc.app) {
-            v.retain(|&c| c != id);
-            if v.is_empty() {
-                self.app_containers.remove(&alloc.app);
+        if !probe {
+            if let Some(v) = self.app_containers.get_mut(&alloc.app) {
+                v.retain(|&c| c != id);
+                if v.is_empty() {
+                    self.app_containers.remove(&alloc.app);
+                }
             }
         }
         Ok(alloc)

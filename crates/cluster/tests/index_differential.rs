@@ -1,0 +1,349 @@
+//! Differential property suite for the incremental index layer.
+//!
+//! Two cluster states — one with the index enabled, one with
+//! [`IndexConfig::disabled()`] — replay the same random sequence of
+//! allocate/release/retag/crash/recover operations, driven by fixed
+//! `medea-rand` seeds. After every step, every index-backed query is
+//! checked three ways:
+//!
+//! 1. against a naive full-scan oracle recomputed in this file from the
+//!    public per-node accessors (`gamma`, `free`, `node_ids`),
+//! 2. against the disabled-index twin (scan fallback must be
+//!    bit-identical to the indexed path, including ordering), and
+//! 3. against [`ClusterState::check_index_consistency`], which
+//!    recomputes the postings, free orderings, and γ_𝒮 caches from
+//!    scratch.
+
+use medea_cluster::{
+    ApplicationId, ClusterState, ContainerId, ContainerRequest, ExecutionKind, IndexConfig,
+    NodeGroupId, NodeId, Resources, Tag,
+};
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
+
+const NODES: u32 = 12;
+const SEEDS: u64 = 64;
+const OPS_PER_SEED: usize = 120;
+const TAG_UNIVERSE: u8 = 6;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc {
+        app: u64,
+        node: u32,
+        mem: u64,
+        tags: Vec<u8>,
+    },
+    Release {
+        idx: usize,
+    },
+    AddNodeTag {
+        node: u32,
+        tag: u8,
+    },
+    RemoveNodeTag {
+        node: u32,
+        tag: u8,
+    },
+    Crash {
+        node: u32,
+    },
+    Recover {
+        node: u32,
+    },
+}
+
+fn tag_name(t: u8) -> Tag {
+    Tag::new(format!("t{t}"))
+}
+
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.random_range(0..20u32) {
+        0..=9 => Op::Alloc {
+            app: rng.random_range(0..5u64),
+            node: rng.random_range(0..NODES),
+            mem: rng.random_range(1..3000u64),
+            tags: (0..rng.random_range(0..3usize))
+                .map(|_| rng.random_range(0..TAG_UNIVERSE as u64) as u8)
+                .collect(),
+        },
+        10..=13 => Op::Release {
+            idx: rng.random_range(0..64usize),
+        },
+        14..=15 => Op::AddNodeTag {
+            node: rng.random_range(0..NODES),
+            tag: rng.random_range(0..TAG_UNIVERSE as u64) as u8,
+        },
+        16..=17 => Op::RemoveNodeTag {
+            node: rng.random_range(0..NODES),
+            tag: rng.random_range(0..TAG_UNIVERSE as u64) as u8,
+        },
+        18 => Op::Crash {
+            node: rng.random_range(0..NODES),
+        },
+        _ => Op::Recover {
+            node: rng.random_range(0..NODES),
+        },
+    }
+}
+
+fn build_state(config: IndexConfig) -> ClusterState {
+    let mut state = ClusterState::homogeneous(NODES as usize, Resources::new(16 * 1024, 64), 3)
+        .with_index_config(config);
+    // Overlapping custom group: exercises multi-membership γ_𝒮 updates.
+    state.register_group(
+        NodeGroupId::new("zone"),
+        vec![
+            (0..7).map(NodeId).collect(),
+            (5..NODES).map(NodeId).collect(),
+        ],
+    );
+    state
+}
+
+/// Applies one op; returns released container ids (for `live` upkeep).
+/// The evolution is fully determined by the op and prior state, so the
+/// enabled and disabled twins stay in lockstep.
+fn apply(state: &mut ClusterState, op: &Op, live: &mut Vec<ContainerId>) {
+    match op {
+        Op::Alloc {
+            app,
+            node,
+            mem,
+            tags,
+        } => {
+            let req =
+                ContainerRequest::new(Resources::new(*mem, 1), tags.iter().map(|&t| tag_name(t)));
+            if let Ok(id) = state.allocate(
+                ApplicationId(*app),
+                NodeId(*node),
+                &req,
+                ExecutionKind::LongRunning,
+            ) {
+                live.push(id);
+            }
+        }
+        Op::Release { idx } => {
+            if !live.is_empty() {
+                let id = live.remove(idx % live.len());
+                state.release(id).unwrap();
+            }
+        }
+        Op::AddNodeTag { node, tag } => {
+            state.add_node_tag(NodeId(*node), tag_name(*tag)).unwrap();
+        }
+        Op::RemoveNodeTag { node, tag } => {
+            state
+                .remove_node_tag(NodeId(*node), &tag_name(*tag))
+                .unwrap();
+        }
+        Op::Crash { node } => {
+            state.set_available(NodeId(*node), false).unwrap();
+            let lost = state.release_node(NodeId(*node)).unwrap();
+            live.retain(|id| !lost.iter().any(|a| a.id == *id));
+        }
+        Op::Recover { node } => {
+            state.set_available(NodeId(*node), true).unwrap();
+        }
+    }
+}
+
+// ---- Naive full-scan oracles (recomputed from public accessors) ----
+
+fn oracle_nodes_with_tag(s: &ClusterState, tag: &Tag) -> Vec<NodeId> {
+    s.node_ids().filter(|&n| s.gamma(n, tag) > 0).collect()
+}
+
+fn oracle_nodes_with_all_tags(s: &ClusterState, tags: &[Tag]) -> Vec<NodeId> {
+    s.node_ids()
+        .filter(|&n| tags.iter().all(|t| s.gamma(n, t) > 0))
+        .collect()
+}
+
+fn oracle_by_free_memory(s: &ClusterState) -> Vec<NodeId> {
+    let mut keyed: Vec<(u64, u32, u32)> = s
+        .node_ids()
+        .map(|n| {
+            let f = s.free(n).unwrap();
+            (f.memory_mb, f.vcores, n.0)
+        })
+        .collect();
+    keyed.sort_unstable();
+    keyed.into_iter().rev().map(|(_, _, n)| NodeId(n)).collect()
+}
+
+fn oracle_free_at_least(s: &ClusterState, min: u64) -> Vec<NodeId> {
+    s.node_ids()
+        .filter(|&n| s.free(n).unwrap().memory_mb >= min)
+        .collect()
+}
+
+/// Every query family, checked against the oracle and the twin.
+fn check_step(seed: u64, step: usize, on: &ClusterState, off: &ClusterState) {
+    let ctx = |q: &str| format!("seed {seed} step {step}: {q}");
+
+    on.check_index_consistency().unwrap_or_else(|e| {
+        panic!("{}: {e}", ctx("index consistency"));
+    });
+    off.check_index_consistency().unwrap_or_else(|e| {
+        panic!("{}: {e}", ctx("disabled-index consistency"));
+    });
+
+    // Tag queries: the fixed tag universe plus every app-id tag.
+    let mut tags: Vec<Tag> = (0..TAG_UNIVERSE).map(tag_name).collect();
+    tags.extend((0..5).map(|a| Tag::app_id(ApplicationId(a))));
+    for t in &tags {
+        let expected = oracle_nodes_with_tag(on, t);
+        assert_eq!(on.nodes_with_tag(t), expected, "{}", ctx("nodes_with_tag"));
+        assert_eq!(
+            off.nodes_with_tag(t),
+            expected,
+            "{}",
+            ctx("nodes_with_tag off")
+        );
+        // Per-node cardinality (γ window) must agree across modes.
+        for n in on.node_ids() {
+            assert_eq!(on.gamma(n, t), off.gamma(n, t), "{}", ctx("gamma"));
+        }
+    }
+
+    // Conjunctive tag queries over pairs (including same-tag pairs).
+    for pair in [[0u8, 1], [1, 1], [2, 4], [3, 5]] {
+        let q: Vec<Tag> = pair.iter().map(|&t| tag_name(t)).collect();
+        let expected = oracle_nodes_with_all_tags(on, &q);
+        assert_eq!(on.nodes_with_all_tags(&q), expected, "{}", ctx("all_tags"));
+        assert_eq!(
+            off.nodes_with_all_tags(&q),
+            expected,
+            "{}",
+            ctx("all_tags off")
+        );
+    }
+    assert_eq!(
+        on.nodes_with_all_tags(&[]),
+        on.node_ids().collect::<Vec<_>>(),
+        "{}",
+        ctx("all_tags empty")
+    );
+
+    // Free-capacity ordering and range queries.
+    assert_eq!(
+        on.nodes_by_free_memory(),
+        oracle_by_free_memory(on),
+        "{}",
+        ctx("by_free")
+    );
+    assert_eq!(
+        off.nodes_by_free_memory(),
+        oracle_by_free_memory(on),
+        "{}",
+        ctx("by_free off")
+    );
+    for min in [0u64, 1, 1024, 8 * 1024, 16 * 1024, 20 * 1024] {
+        let expected = oracle_free_at_least(on, min);
+        assert_eq!(
+            on.nodes_with_free_memory_at_least(min),
+            expected,
+            "{}",
+            ctx("free_at_least")
+        );
+        assert_eq!(
+            off.nodes_with_free_memory_at_least(min),
+            expected,
+            "{}",
+            ctx("free_at_least off")
+        );
+    }
+
+    // Group-membership cardinalities: cached γ_𝒮 vs a member scan.
+    for group in [NodeGroupId::rack(), NodeGroupId::new("zone")] {
+        let sets = on.groups().sets_of(&group).unwrap();
+        for (si, members) in sets.iter().enumerate() {
+            for t in &tags {
+                let scanned = on.gamma_set(members, t);
+                assert_eq!(
+                    on.gamma_in_set(&group, si, t),
+                    scanned,
+                    "{}",
+                    ctx("gamma_in_set")
+                );
+                assert_eq!(
+                    off.gamma_in_set(&group, si, t),
+                    scanned,
+                    "{}",
+                    ctx("gamma_in_set off")
+                );
+            }
+        }
+    }
+}
+
+/// Tentpole differential property: over ≥50 fixed seeds of random
+/// allocate/release/retag/crash/recover sequences, every index query
+/// equals the full-scan oracle after each step, in both index modes.
+#[test]
+fn index_matches_scan_oracle_under_random_ops() {
+    for seed in 0..SEEDS {
+        let mut rng = StdRng::seed_from_u64(0x1D1F ^ seed);
+        let mut on = build_state(IndexConfig::enabled());
+        let mut off = build_state(IndexConfig::disabled());
+        assert!(on.index_enabled() && !off.index_enabled());
+        let mut live_on: Vec<ContainerId> = Vec::new();
+        let mut live_off: Vec<ContainerId> = Vec::new();
+
+        for step in 0..OPS_PER_SEED {
+            let op = random_op(&mut rng);
+            apply(&mut on, &op, &mut live_on);
+            apply(&mut off, &op, &mut live_off);
+            assert_eq!(
+                live_on, live_off,
+                "seed {seed} step {step}: container id drift"
+            );
+            check_step(seed, step, &on, &off);
+        }
+
+        // Draining the survivors restores a pristine, consistent index.
+        for id in live_on {
+            on.release(id).unwrap();
+        }
+        assert_eq!(on.num_containers(), 0);
+        on.check_index_consistency().unwrap();
+    }
+}
+
+/// Toggling the index off and on mid-stream rebuilds it exactly: a
+/// rebuilt index must answer identically to one maintained throughout.
+#[test]
+fn reenabling_index_rebuilds_exactly() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x7EB1 ^ seed);
+        let mut state = build_state(IndexConfig::enabled());
+        let mut live: Vec<ContainerId> = Vec::new();
+        for _ in 0..40 {
+            let op = random_op(&mut rng);
+            apply(&mut state, &op, &mut live);
+        }
+        let before = state.index_stats().rebuilds;
+        state.set_index_config(IndexConfig::disabled());
+        // Mutations while disabled must not poison a later rebuild.
+        for _ in 0..40 {
+            let op = random_op(&mut rng);
+            apply(&mut state, &op, &mut live);
+        }
+        state.set_index_config(IndexConfig::enabled());
+        assert!(
+            state.index_stats().rebuilds > before,
+            "seed {seed}: no rebuild"
+        );
+        state.check_index_consistency().unwrap();
+        for t in 0..TAG_UNIVERSE {
+            let tag = tag_name(t);
+            assert_eq!(
+                state.nodes_with_tag(&tag),
+                oracle_nodes_with_tag(&state, &tag),
+                "seed {seed}: rebuilt postings diverge"
+            );
+        }
+        assert_eq!(state.nodes_by_free_memory(), oracle_by_free_memory(&state));
+    }
+}

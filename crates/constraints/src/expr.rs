@@ -76,6 +76,11 @@ impl TagExpr {
         if self.tags.len() == 1 && exclude.is_none() {
             return state.gamma(node, &self.tags[0]);
         }
+        // A conjunction can only match on a node carrying every tag; a
+        // single γ miss rules the whole node out without a container walk.
+        if self.tags.iter().any(|t| state.gamma(node, t) == 0) {
+            return 0;
+        }
         let Ok(containers) = state.containers_on(node) else {
             return 0;
         };
@@ -130,6 +135,23 @@ impl TagExpr {
                 }
             }
             return count;
+        }
+        if group.is_node() {
+            // The implicit `node` group's set `i` is the singleton {node i}.
+            return self.cardinality_on_node(state, NodeId(set_idx as u32), exclude);
+        }
+        // Conjunction over a registered group: the per-set γ caches give a
+        // free upper bound — if any tag is absent from the whole set, no
+        // container in it can match.
+        if self
+            .tags
+            .iter()
+            .any(|t| state.gamma_in_set(group, set_idx, t) == 0)
+        {
+            return 0;
+        }
+        if let Some(members) = state.groups().set_members_ref(group, set_idx) {
+            return self.cardinality_on_set(state, members, exclude);
         }
         let members = state
             .groups()

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use medea_cluster::{ApplicationId, NodeGroups};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::constraint::{Cardinality, PlacementConstraint};
 
@@ -100,6 +100,16 @@ pub fn validate_constraint(
 struct Inner {
     app: HashMap<ApplicationId, Vec<PlacementConstraint>>,
     operator: Vec<PlacementConstraint>,
+    /// Bumped on every mutation; a cache entry is valid only while its
+    /// recorded generation matches.
+    generation: u64,
+    /// Active set memoized at a generation. `active()` used to rebuild
+    /// (and clone) the full constraint set on every call in the tick
+    /// path; now it recomputes only after a mutation.
+    cache: Option<(u64, Arc<Vec<StoredConstraint>>)>,
+    /// Times the active set was actually recomputed (regression tests
+    /// assert this only moves on mutation).
+    recomputes: u64,
 }
 
 /// Central, thread-safe store of all active placement constraints.
@@ -141,21 +151,18 @@ impl ConstraintManager {
         for c in &constraints {
             validate_constraint(c, groups)?;
         }
-        self.inner
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .app
-            .insert(app, constraints);
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        inner.generation += 1;
+        inner.app.insert(app, constraints);
         Ok(())
     }
 
     /// Removes an application's constraints (application finished).
     pub fn remove_app(&self, app: ApplicationId) {
-        self.inner
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .app
-            .remove(&app);
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if inner.app.remove(&app).is_some() {
+            inner.generation += 1;
+        }
     }
 
     /// Validates and adds a cluster-operator constraint.
@@ -165,21 +172,19 @@ impl ConstraintManager {
         groups: &NodeGroups,
     ) -> Result<(), ConstraintError> {
         validate_constraint(&constraint, groups)?;
-        self.inner
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .operator
-            .push(constraint);
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        inner.generation += 1;
+        inner.operator.push(constraint);
         Ok(())
     }
 
     /// Removes all operator constraints.
     pub fn clear_operator(&self) {
-        self.inner
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .operator
-            .clear();
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if !inner.operator.is_empty() {
+            inner.generation += 1;
+            inner.operator.clear();
+        }
     }
 
     /// Constraints of one application, if registered.
@@ -206,33 +211,83 @@ impl ConstraintManager {
     /// conflict rule: an application constraint is dropped when an
     /// operator constraint with the same subject, target, and group is
     /// more restrictive on every leaf.
+    ///
+    /// Clones the cached active set; hot paths should prefer
+    /// [`ConstraintManager::active_shared`].
     pub fn active(&self) -> Vec<StoredConstraint> {
-        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
-        let mut out: Vec<StoredConstraint> = Vec::new();
-        for (app, cs) in &inner.app {
-            for c in cs {
-                let overridden = inner.operator.iter().any(|op| overrides(op, c));
-                if !overridden {
-                    out.push(StoredConstraint {
-                        source: ConstraintSource::Application(*app),
-                        constraint: c.clone(),
-                    });
+        self.active_shared().as_ref().clone()
+    }
+
+    /// Shared handle to the active set, memoized behind a generation
+    /// counter: recomputed only after a register/remove mutation, so
+    /// per-tick calls are a cache hit plus an `Arc` bump. Application
+    /// constraints are ordered by application id (then registration
+    /// order), operator constraints after them.
+    pub fn active_shared(&self) -> Arc<Vec<StoredConstraint>> {
+        {
+            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+            if let Some((generation, cached)) = &inner.cache {
+                if *generation == inner.generation {
+                    return Arc::clone(cached);
                 }
             }
         }
-        for c in &inner.operator {
-            out.push(StoredConstraint {
-                source: ConstraintSource::Operator,
-                constraint: c.clone(),
-            });
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        // Re-check under the write lock: another thread may have filled
+        // the cache between our read and write acquisitions.
+        if let Some((generation, cached)) = &inner.cache {
+            if *generation == inner.generation {
+                return Arc::clone(cached);
+            }
         }
-        out
+        let computed = Arc::new(compute_active(&inner));
+        inner.recomputes += 1;
+        inner.cache = Some((inner.generation, Arc::clone(&computed)));
+        computed
+    }
+
+    /// How many times the active set has been recomputed (regression
+    /// hook: must advance only after mutations, not per read).
+    pub fn recompute_count(&self) -> u64 {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .recomputes
     }
 
     /// Returns the effective constraints (without provenance).
     pub fn active_constraints(&self) -> Vec<PlacementConstraint> {
-        self.active().into_iter().map(|s| s.constraint).collect()
+        self.active_shared()
+            .iter()
+            .map(|s| s.constraint.clone())
+            .collect()
     }
+}
+
+/// Builds the active set: the §5.2 conflict rule over a deterministic
+/// ordering (applications sorted by id, then the operator constraints).
+fn compute_active(inner: &Inner) -> Vec<StoredConstraint> {
+    let mut out: Vec<StoredConstraint> = Vec::new();
+    let mut apps: Vec<(&ApplicationId, &Vec<PlacementConstraint>)> = inner.app.iter().collect();
+    apps.sort_by_key(|(id, _)| id.0);
+    for (app, cs) in apps {
+        for c in cs {
+            let overridden = inner.operator.iter().any(|op| overrides(op, c));
+            if !overridden {
+                out.push(StoredConstraint {
+                    source: ConstraintSource::Application(*app),
+                    constraint: c.clone(),
+                });
+            }
+        }
+    }
+    for c in &inner.operator {
+        out.push(StoredConstraint {
+            source: ConstraintSource::Operator,
+            constraint: c.clone(),
+        });
+    }
+    out
 }
 
 /// Returns `true` if operator constraint `op` overrides application
@@ -360,6 +415,71 @@ mod tests {
         cm.register_app(ApplicationId(1), vec![app], &g).unwrap();
         cm.register_operator(op, &g).unwrap();
         assert_eq!(cm.active().len(), 2);
+    }
+
+    #[test]
+    fn active_set_recomputes_only_on_mutation() {
+        let cm = ConstraintManager::new();
+        let g = groups();
+        let c = PlacementConstraint::affinity("a", "b", NodeGroupId::rack());
+        cm.register_app(ApplicationId(1), vec![c], &g).unwrap();
+        assert_eq!(cm.recompute_count(), 0, "lazy: nothing computed yet");
+        let first = cm.active_shared();
+        assert_eq!(cm.recompute_count(), 1);
+        for _ in 0..100 {
+            let again = cm.active_shared();
+            assert!(Arc::ptr_eq(&first, &again), "reads must hit the cache");
+        }
+        assert_eq!(cm.recompute_count(), 1, "reads must not recompute");
+
+        cm.register_operator(
+            PlacementConstraint::anti_affinity("x", "x", NodeGroupId::node()),
+            &g,
+        )
+        .unwrap();
+        let after = cm.active_shared();
+        assert!(!Arc::ptr_eq(&first, &after));
+        assert_eq!(cm.recompute_count(), 2);
+        assert_eq!(after.len(), 2);
+
+        // No-op mutations (removing an unknown app, clearing an empty
+        // operator set) keep the cache valid.
+        cm.remove_app(ApplicationId(99));
+        assert!(Arc::ptr_eq(&after, &cm.active_shared()));
+        cm.clear_operator();
+        let cleared = cm.active_shared();
+        assert_eq!(cm.recompute_count(), 3);
+        cm.clear_operator();
+        assert!(
+            Arc::ptr_eq(&cleared, &cm.active_shared()),
+            "clearing an already-empty operator set must keep the cache"
+        );
+        assert_eq!(cm.recompute_count(), 3);
+    }
+
+    #[test]
+    fn active_order_sorts_apps_by_id() {
+        let cm = ConstraintManager::new();
+        let g = groups();
+        for id in [5u64, 2, 9] {
+            let c = PlacementConstraint::affinity("a", "b", NodeGroupId::rack());
+            cm.register_app(ApplicationId(id), vec![c], &g).unwrap();
+        }
+        cm.register_operator(
+            PlacementConstraint::anti_affinity("x", "x", NodeGroupId::node()),
+            &g,
+        )
+        .unwrap();
+        let sources: Vec<ConstraintSource> = cm.active().iter().map(|s| s.source).collect();
+        assert_eq!(
+            sources,
+            vec![
+                ConstraintSource::Application(ApplicationId(2)),
+                ConstraintSource::Application(ApplicationId(5)),
+                ConstraintSource::Application(ApplicationId(9)),
+                ConstraintSource::Operator,
+            ]
+        );
     }
 
     #[test]

@@ -105,14 +105,24 @@ pub fn check_container(
     let alloc = state.allocation(container).ok()?;
     let node = alloc.node;
     let group = &constraint.group;
-    let Ok(set_indices) = state.groups().sets_containing(group, node) else {
-        // Unknown group: treat as trivially satisfied (validation is the
-        // place where unknown groups are rejected).
-        return Some(ContainerCheck {
-            container,
-            satisfied: true,
-            extent: 0.0,
-        });
+    let node_singleton = [node.index()];
+    let set_indices: &[usize] = if group.is_node() {
+        &node_singleton
+    } else {
+        match state.groups().sets_containing_ref(group, node) {
+            Some(s) => s,
+            // Unknown group: treat as trivially satisfied (validation is
+            // the place where unknown groups are rejected). A live
+            // allocation's node is always in range, so `None` cannot mean
+            // out-of-range here.
+            None => {
+                return Some(ContainerCheck {
+                    container,
+                    satisfied: true,
+                    extent: 0.0,
+                })
+            }
+        }
     };
     if constraint.expr.is_trivial() {
         return Some(ContainerCheck {
@@ -129,7 +139,7 @@ pub fn check_container(
         });
     }
     let mut best = f64::INFINITY;
-    for si in set_indices {
+    for &si in set_indices {
         for conj in &constraint.expr.conjuncts {
             let e = conjunct_extent(state, conj, group, si, container);
             if e < best {
@@ -153,18 +163,44 @@ pub fn check_container(
     })
 }
 
+/// Enumerates the live subject containers of a constraint.
+///
+/// Tagged subjects are seeded from the cluster's tag index: a node hosting
+/// a matching container necessarily carries every subject tag, so only the
+/// postings intersection is walked (node-ascending, hence deterministic).
+/// Tag-less subjects match everything and fall back to an allocation scan.
+fn subjects_of(state: &ClusterState, constraint: &PlacementConstraint) -> Vec<ContainerId> {
+    let tags = constraint.subject.tags();
+    if tags.is_empty() {
+        return state
+            .allocations()
+            .filter(|a| constraint.subject.matches_allocation(a))
+            .map(|a| a.id)
+            .collect();
+    }
+    let mut out = Vec::new();
+    for node in state.nodes_with_all_tags(tags) {
+        let Ok(containers) = state.containers_on(node) else {
+            continue;
+        };
+        for &cid in containers {
+            if let Ok(a) = state.allocation(cid) {
+                if constraint.subject.matches_allocation(a) {
+                    out.push(cid);
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Evaluates a constraint across all live subject containers.
 pub fn evaluate_constraint(
     state: &ClusterState,
     constraint: &PlacementConstraint,
 ) -> ConstraintReport {
     let mut report = ConstraintReport::default();
-    let subjects: Vec<ContainerId> = state
-        .allocations()
-        .filter(|a| constraint.subject.matches_allocation(a))
-        .map(|a| a.id)
-        .collect();
-    for c in subjects {
+    for c in subjects_of(state, constraint) {
         if let Some(check) = check_container(state, constraint, c) {
             report.subjects += 1;
             if !check.satisfied {
@@ -186,12 +222,7 @@ pub fn violation_stats<'a>(
     let mut violating: HashSet<ContainerId> = HashSet::new();
     let mut total_extent = 0.0;
     for constraint in constraints {
-        let subjects: Vec<ContainerId> = state
-            .allocations()
-            .filter(|a| constraint.subject.matches_allocation(a))
-            .map(|a| a.id)
-            .collect();
-        for c in subjects {
+        for c in subjects_of(state, constraint) {
             if let Some(check) = check_container(state, constraint, c) {
                 checked.insert(c);
                 if !check.satisfied {

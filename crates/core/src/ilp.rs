@@ -21,7 +21,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use medea_cluster::{ClusterState, NodeId};
+use medea_cluster::{ClusterState, NodeId, Tag};
 use medea_constraints::{PlacementConstraint, TagConstraint};
 use medea_obs::MetricsRegistry;
 use medea_solver::{Basis, Cmp, Milp, Problem, VarId, VarKind};
@@ -588,7 +588,11 @@ fn select_candidates(
             if leaf.cardinality.min == 0 {
                 continue;
             }
-            for n in state.node_ids() {
+            // The tag index narrows the scan to nodes carrying every target
+            // tag (ascending, the same order as a full node walk); the
+            // cardinality check still verifies a single container matches
+            // the whole conjunction.
+            for n in state.nodes_with_all_tags(leaf.target.tags()) {
                 if out.len() >= target_budget {
                     break 'outer;
                 }
@@ -602,26 +606,37 @@ fn select_candidates(
         }
     }
 
-    // Priority 2: equivalence classes ordered by free memory (descending).
-    let mut classes: HashMap<String, Vec<NodeId>> = HashMap::new();
+    // Priority 3: equivalence classes ordered by free memory (descending).
+    // The class key is structural (free resources, sorted tag multiset,
+    // group memberships) rather than a formatted string — no per-node
+    // format!/join allocations on large clusters.
+    type ClassKey = (u64, u32, Vec<(Tag, u32)>, Vec<Vec<usize>>);
+    let mut classes: HashMap<ClassKey, Vec<NodeId>> = HashMap::new();
     let group_ids: Vec<_> = state.groups().group_ids().cloned().collect();
     for n in state.node_ids() {
         if !usable(n) || out.contains(&n) {
             continue;
         }
         let free = state.free(n).unwrap_or(medea_cluster::Resources::ZERO);
-        let mut key = format!("f{}c{}", free.memory_mb, free.vcores);
-        let mut tags: Vec<String> = state
+        let mut tags: Vec<(Tag, u32)> = state
             .node_tags(n)
-            .map(|m| m.iter().map(|(t, c)| format!("{t}:{c}")).collect())
+            .map(|m| m.iter().map(|(t, c)| (t.clone(), c)).collect())
             .unwrap_or_default();
         tags.sort();
-        key.push_str(&tags.join(","));
-        for g in &group_ids {
-            let sets = state.groups().sets_containing(g, n).unwrap_or_default();
-            key.push_str(&format!("|{g}={sets:?}"));
-        }
-        classes.entry(key).or_default().push(n);
+        let memberships: Vec<Vec<usize>> = group_ids
+            .iter()
+            .map(|g| {
+                state
+                    .groups()
+                    .sets_containing_ref(g, n)
+                    .map(|s| s.to_vec())
+                    .unwrap_or_default()
+            })
+            .collect();
+        classes
+            .entry((free.memory_mb, free.vcores, tags, memberships))
+            .or_default()
+            .push(n);
     }
     let mut per_class: Vec<Vec<NodeId>> = classes
         .into_values()

@@ -52,6 +52,9 @@ struct CoreMetrics {
     breaker_closed: Arc<Counter>,
     breaker_state: Arc<Gauge>,
     solver_stalls: Arc<Counter>,
+    index_update_ops: Arc<Gauge>,
+    index_distinct_tags: Arc<Gauge>,
+    index_rebuilds: Arc<Gauge>,
 }
 
 impl CoreMetrics {
@@ -73,6 +76,9 @@ impl CoreMetrics {
             breaker_closed: registry.counter("core.breaker_closed_total"),
             breaker_state: registry.gauge("core.breaker_state"),
             solver_stalls: registry.counter("core.solver_stalls_total"),
+            index_update_ops: registry.gauge("cluster.index_update_ops"),
+            index_distinct_tags: registry.gauge("cluster.index_distinct_tags"),
+            index_rebuilds: registry.gauge("cluster.index_rebuilds"),
         }
     }
 }
@@ -487,13 +493,13 @@ impl MedeaScheduler {
         let deployed: Vec<_> = {
             let batch_apps: Vec<ApplicationId> = requests.iter().map(|r| r.app).collect();
             self.constraint_manager
-                .active()
-                .into_iter()
+                .active_shared()
+                .iter()
                 .filter(|s| match s.source {
                     medea_constraints::ConstraintSource::Application(a) => !batch_apps.contains(&a),
                     medea_constraints::ConstraintSource::Operator => true,
                 })
-                .map(|s| s.constraint)
+                .map(|s| s.constraint.clone())
                 .collect()
         };
 
@@ -552,6 +558,10 @@ impl MedeaScheduler {
         if let Some(m) = &self.metrics {
             m.cycle_time_us.record_duration(cycle_start.elapsed());
             m.queue_depth.set(self.pending.len() as i64);
+            let idx = self.state.index_stats();
+            m.index_update_ops.set(idx.update_ops as i64);
+            m.index_distinct_tags.set(idx.distinct_tags as i64);
+            m.index_rebuilds.set(idx.rebuilds as i64);
         }
         deployed_out
     }

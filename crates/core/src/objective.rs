@@ -86,28 +86,29 @@ impl Scorer {
     ) -> f64 {
         let affected = self.affected_subjects(state, req, node);
         let before = self.extent_of(state, &affected);
-        let Ok(placed) = state.allocate(app, node, req, ExecutionKind::LongRunning) else {
+        let Ok(placed) = state.probe_allocate(app, node, req, ExecutionKind::LongRunning) else {
             return f64::INFINITY;
         };
         // The new container's own constraint extents plus the deltas it
-        // induces on previously placed subjects.
-        let own: f64 = self
-            .constraints
-            .iter()
-            .filter(|c| {
-                state
-                    .allocation(placed)
-                    .map(|a| c.subject.matches_allocation(a))
-                    .unwrap_or(false)
-            })
-            .map(|c| {
-                check_container(state, c, placed)
-                    .map(|ck| ck.extent * c.weight)
-                    .unwrap_or(0.0)
-            })
-            .sum();
+        // induces on previously placed subjects. One allocation lookup
+        // serves every constraint; no per-call collection.
+        let own: f64 = if let Ok(a) = state.allocation(placed) {
+            self.constraints
+                .iter()
+                .filter(|c| c.subject.matches_allocation(a))
+                .map(|c| {
+                    check_container(state, c, placed)
+                        .map(|ck| ck.extent * c.weight)
+                        .unwrap_or(0.0)
+                })
+                .sum()
+        } else {
+            0.0
+        };
         let after = self.extent_of(state, &affected);
-        state.release(placed).expect("tentative container exists");
+        state
+            .probe_release(placed)
+            .expect("tentative container exists");
         own + (after - before)
     }
 
@@ -186,26 +187,66 @@ impl Scorer {
             if !target_overlaps {
                 continue;
             }
-            let Ok(node_sets) = state.groups().sets_containing(&c.group, node) else {
+            if c.group.is_node() {
+                // Singleton sets: only containers on `node` itself share one.
+                let Ok(containers) = state.containers_on(node) else {
+                    continue;
+                };
+                for &cid in containers {
+                    if let Ok(a) = state.allocation(cid) {
+                        if c.subject.matches_allocation(a) {
+                            out.push((ci, cid));
+                        }
+                    }
+                }
+                continue;
+            }
+            let Some(node_sets) = state.groups().sets_containing_ref(&c.group, node) else {
                 continue;
             };
             if node_sets.is_empty() {
                 continue;
             }
-            // Scan live allocations once (cheaper than walking the node
-            // set's members on large clusters): a subject is affected iff
-            // it shares a set of the constraint's group with `node`.
-            for a in state.allocations() {
-                if !c.subject.matches_allocation(a) {
-                    continue;
+            let subject_tags = c.subject.tags();
+            if subject_tags.is_empty() {
+                // Catch-all subject: no tag postings to seed from, so fall
+                // back to scanning live allocations.
+                for a in state.allocations() {
+                    if !c.subject.matches_allocation(a) {
+                        continue;
+                    }
+                    let shares_set = state
+                        .groups()
+                        .sets_containing_ref(&c.group, a.node)
+                        .map(|sets| sets.iter().any(|s| node_sets.contains(s)))
+                        .unwrap_or(false);
+                    if shares_set {
+                        out.push((ci, a.id));
+                    }
                 }
+                continue;
+            }
+            // Seed candidate hosts from the tag index: a node hosting a
+            // matching subject necessarily carries all the subject's tags,
+            // so the postings intersection is a superset of the hosts.
+            for host in state.nodes_with_all_tags(subject_tags) {
                 let shares_set = state
                     .groups()
-                    .sets_containing(&c.group, a.node)
+                    .sets_containing_ref(&c.group, host)
                     .map(|sets| sets.iter().any(|s| node_sets.contains(s)))
                     .unwrap_or(false);
-                if shares_set {
-                    out.push((ci, a.id));
+                if !shares_set {
+                    continue;
+                }
+                let Ok(containers) = state.containers_on(host) else {
+                    continue;
+                };
+                for &cid in containers {
+                    if let Ok(a) = state.allocation(cid) {
+                        if c.subject.matches_allocation(a) {
+                            out.push((ci, cid));
+                        }
+                    }
                 }
             }
         }

@@ -258,8 +258,7 @@ impl TaskScheduler {
         let total = state.total_capacity();
         let node_rack = state
             .groups()
-            .sets_containing(&NodeGroupId::rack(), node)
-            .ok()
+            .sets_containing_ref(&NodeGroupId::rack(), node)
             .and_then(|v| v.first().copied());
 
         loop {
@@ -350,11 +349,19 @@ impl TaskScheduler {
             // stays bounded regardless of constraint satisfiability.
             let constraints_ok = task.missed_opportunities >= self.rack_locality_delay
                 || task.constraints.iter().all(|c| {
+                    let node_singleton = [node.index()];
+                    let sets: &[usize] = if c.group.is_node() {
+                        &node_singleton
+                    } else {
+                        match state.groups().sets_containing_ref(&c.group, node) {
+                            Some(s) => s,
+                            // Unknown group: treat the constraint as
+                            // trivially satisfied, matching the scan path.
+                            None => return true,
+                        }
+                    };
                     c.expr.conjuncts.iter().any(|conj| {
                         conj.iter().all(|leaf| {
-                            let Ok(sets) = state.groups().sets_containing(&c.group, node) else {
-                                return true;
-                            };
                             sets.iter().any(|&si| {
                                 let count = leaf
                                     .target

@@ -19,7 +19,7 @@
 //!
 //! ~50 fixed `medea-rand` seeds keep the suite deterministic.
 
-use medea_cluster::{ApplicationId, ClusterState, NodeGroupId, Resources, Tag};
+use medea_cluster::{ApplicationId, ClusterState, IndexConfig, NodeGroupId, Resources, Tag};
 use medea_constraints::{Cardinality, PlacementConstraint};
 use medea_core::{
     place_with_ilp_status, HeuristicScheduler, IlpConfig, IlpSolveStatus, LraRequest,
@@ -376,6 +376,72 @@ fn ilp_matches_brute_force_optimum_and_heuristic_is_admissible() {
             ilp_score >= h_score - TOL,
             "seed {seed}: ILP ({ilp_score}) must be heuristic-or-better ({h_score})"
         );
+    }
+}
+
+/// Metamorphic property: the incremental index is a pure acceleration
+/// structure, so running the same workload with indexes enabled vs
+/// disabled ([`IndexConfig::disabled()`]) must produce identical
+/// placements, container by container, for every seed — through both
+/// the greedy heuristic and the gap-0 ILP.
+#[test]
+fn index_mode_never_changes_placements() {
+    let weights = ObjectiveWeights {
+        w3: 0.0,
+        ..ObjectiveWeights::default()
+    };
+    let cfg = IlpConfig {
+        weights,
+        gap: 0.0,
+        time_limit: Duration::from_secs(30),
+        node_limit: 5_000_000,
+        warm_cache: None,
+        ..IlpConfig::default()
+    };
+
+    for seed in 0..SEEDS {
+        let instance = random_instance(seed);
+        let indexed = instance
+            .state
+            .clone()
+            .with_index_config(IndexConfig::enabled());
+        let scanned = instance
+            .state
+            .clone()
+            .with_index_config(IndexConfig::disabled());
+        assert!(indexed.index_enabled() && !scanned.index_enabled());
+
+        let mut h_on = HeuristicScheduler::new(Ordering::NodeCandidates);
+        h_on.weights = weights;
+        let mut h_off = HeuristicScheduler::new(Ordering::NodeCandidates);
+        h_off.weights = weights;
+        let a = assignment_of(
+            &instance.requests,
+            &h_on.place(&indexed, &instance.requests, &[]),
+        );
+        let b = assignment_of(
+            &instance.requests,
+            &h_off.place(&scanned, &instance.requests, &[]),
+        );
+        assert_eq!(
+            a, b,
+            "seed {seed}: heuristic placements diverge by index mode"
+        );
+
+        // The ILP path (candidate selection + warm starts) every few
+        // seeds: identical candidates in, identical solution out.
+        if seed % 5 == 0 {
+            let (on_out, on_status) =
+                place_with_ilp_status(&indexed, &instance.requests, &[], &cfg);
+            let (off_out, off_status) =
+                place_with_ilp_status(&scanned, &instance.requests, &[], &cfg);
+            assert_eq!(on_status, off_status, "seed {seed}: ILP status diverges");
+            assert_eq!(
+                assignment_of(&instance.requests, &on_out),
+                assignment_of(&instance.requests, &off_out),
+                "seed {seed}: ILP placements diverge by index mode"
+            );
+        }
     }
 }
 

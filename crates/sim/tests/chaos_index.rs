@@ -1,0 +1,142 @@
+//! Chaos × index interplay: the incremental index layer must stay
+//! coherent through the fault-injection pipeline. The smoke scenario
+//! from the chaos suite is replayed stepwise, pausing just after every
+//! `NodeCrash`/`NodeRecover` event to assert the state invariants:
+//!
+//! - no stale index entries — postings, free orderings, and γ_𝒮 caches
+//!   all match a from-scratch recomputation
+//!   ([`ClusterState::check_index_consistency`]);
+//! - recovery accounting balances — every container lost to a crash is
+//!   replaced, declared unplaceable, or still pending, never silently
+//!   dropped.
+
+use medea_cluster::{ApplicationId, ClusterState, NodeGroupId, Resources, Tag};
+use medea_core::LraAlgorithm;
+use medea_sim::{
+    su_partition, ChaosConfig, ChaosSchedule, FailureParams, SimDriver, SimEvent,
+    UnavailabilityTrace,
+};
+
+const TICKS_PER_HOUR: u64 = 3_600;
+const HOURS: usize = 12;
+
+/// The chaos smoke scenario: 4 service units × 8 nodes, 6 spread LRAs,
+/// seeded crash/recovery schedule derived from an unavailability trace.
+fn build_scenario(seed: u64) -> (SimDriver, ChaosSchedule) {
+    let sus = 4usize;
+    let nodes_per_su = 8usize;
+    let mut cluster =
+        ClusterState::homogeneous(sus * nodes_per_su, Resources::new(16 * 1024, 16), sus);
+    let su_sets = su_partition(sus * nodes_per_su, sus);
+    cluster.register_group(
+        NodeGroupId::service_unit(),
+        su_sets.iter().map(|s| s.to_vec()).collect(),
+    );
+
+    let mut sim = SimDriver::new(cluster, LraAlgorithm::NodeCandidates, 30);
+    for app in 1..=6u64 {
+        let tag = format!("svc{app}");
+        sim.schedule(
+            app * 5,
+            SimEvent::SubmitLra(medea_core::LraRequest::uniform(
+                ApplicationId(app),
+                8,
+                Resources::new(2048, 2),
+                vec![Tag::new(tag.clone())],
+                vec![medea_constraints::PlacementConstraint::anti_affinity(
+                    tag.as_str(),
+                    tag.as_str(),
+                    NodeGroupId::node(),
+                )],
+            )),
+        );
+    }
+
+    let trace = UnavailabilityTrace::generate(
+        &FailureParams {
+            service_units: sus,
+            hours: HOURS,
+            spike_probability: 0.03,
+            ..FailureParams::default()
+        },
+        seed,
+    );
+    let chaos = ChaosSchedule::from_trace(
+        &trace,
+        &su_sets,
+        &ChaosConfig {
+            seed,
+            ticks_per_hour: TICKS_PER_HOUR,
+            flapping_nodes: 1,
+            ..ChaosConfig::default()
+        },
+    );
+    assert!(chaos.crashes() > 0, "scenario needs crashes to be a test");
+    (sim, chaos)
+}
+
+/// Full-scan check that every svc/appid tag posting matches the node
+/// tag multisets — stale entries for crashed nodes would surface here
+/// (on top of the structural consistency check).
+fn assert_no_stale_tag_entries(state: &ClusterState) {
+    let mut tags: Vec<Tag> = (1..=6u64).map(|a| Tag::new(format!("svc{a}"))).collect();
+    tags.extend((1..=6u64).map(|a| Tag::app_id(ApplicationId(a))));
+    for tag in &tags {
+        let indexed = state.nodes_with_tag(tag);
+        let scanned: Vec<_> = state
+            .node_ids()
+            .filter(|&n| state.gamma(n, tag) > 0)
+            .collect();
+        assert_eq!(indexed, scanned, "stale postings for tag {tag}");
+    }
+}
+
+#[test]
+fn index_stays_consistent_across_every_crash_and_recovery() {
+    for seed in [3u64, 11, 17] {
+        let (mut sim, chaos) = build_scenario(seed);
+
+        // Checkpoint just after every crash/recovery event (dedup keeps
+        // the run-until sequence strictly advancing).
+        let mut checkpoints: Vec<u64> = chaos
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, SimEvent::NodeCrash(_) | SimEvent::NodeRecover(_)))
+            .map(|&(t, _)| t + 1)
+            .collect();
+        checkpoints.sort_unstable();
+        checkpoints.dedup();
+        assert!(
+            checkpoints.len() >= 2,
+            "seed {seed}: need both crashes and recoveries"
+        );
+        sim.inject_chaos(&chaos);
+
+        for t in checkpoints {
+            sim.run_until(t);
+            let state = sim.medea().state();
+            state
+                .check_index_consistency()
+                .unwrap_or_else(|e| panic!("seed {seed} tick {t}: {e}"));
+            assert_no_stale_tag_entries(state);
+            let r = sim.medea().recovery_report();
+            assert!(
+                r.accounted(),
+                "seed {seed} tick {t}: lost {} != replaced {} + unplaceable {} + pending {}",
+                r.containers_lost,
+                r.containers_replaced,
+                r.containers_unplaceable,
+                r.containers_pending
+            );
+        }
+
+        // Drain the tail: backed-off retries and end-of-trace recoveries.
+        sim.run_until(HOURS as u64 * TICKS_PER_HOUR + 50_000);
+        let state = sim.medea().state();
+        state.check_index_consistency().unwrap();
+        assert_no_stale_tag_entries(state);
+        let r = sim.medea().recovery_report();
+        assert!(r.accounted(), "seed {seed}: final accounting unbalanced");
+        assert!(r.containers_lost > 0, "seed {seed}: chaos killed nothing");
+    }
+}

@@ -27,8 +27,15 @@ cargo test --release --offline -p medea-core -q --test differential
 cargo test --release --offline -p medea-solver -q --test certificates --test metamorphic
 cargo test --release --offline -p medea-constraints -q --test prop_constraints
 
+echo "==> index correctness gate (index-vs-scan differential + chaos interplay)"
+cargo test --release --offline -p medea-cluster -q --test index_differential
+cargo test --release --offline -p medea-sim -q --test chaos_index
+
 echo "==> solver benchmark smoke (writes BENCH_solver.json, mode=smoke)"
 cargo run --release --offline -p medea-bench --bin solver_bench -- --smoke
+
+echo "==> cluster-scale benchmark smoke (writes BENCH_scale.json, mode=smoke)"
+cargo run --release --offline -p medea-bench --bin scale_bench -- --smoke
 
 echo "==> chaos smoke (fixed-seed fault injection + recovery)"
 cargo run --release --offline -p medea-bench --bin fig8_resilience -- --smoke
