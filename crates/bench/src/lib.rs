@@ -11,11 +11,13 @@
 
 mod models;
 mod output;
+mod pipeline;
 mod scenarios;
 mod timing;
 
 pub use models::placement_model;
 pub use output::{f2, f3, pct, Report};
+pub use pipeline::{paper_solve_model, run_pipeline, PipelineRun, PipelineScenario};
 pub use scenarios::{
     deploy_lras, deploy_lras_with_metrics, hbase_count_for_utilization, lra_mix, DeployResult,
 };

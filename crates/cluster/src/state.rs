@@ -5,7 +5,7 @@
 //! performs *all* actual allocations against it, which is how Medea avoids
 //! the conflicting-placement problem of multi-level schedulers.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use crate::container::{ApplicationId, ContainerId, ContainerRequest, ExecutionKind};
@@ -130,10 +130,26 @@ pub struct ClusterState {
     index: ClusterIndex,
     /// One-entry memo of the last `appid:` tag built by `allocate`.
     last_app_tag: Option<(ApplicationId, Tag)>,
+    /// Global mutation epoch: incremented by every state-changing
+    /// operation (allocate, release, tag/availability changes). Snapshots
+    /// record it at capture so the commit path can measure staleness.
+    epoch: u64,
+    /// Per-node generation stamp: the epoch of the node's last mutation.
+    node_generation: Vec<u64>,
+    /// Bounded log of recent `(epoch, node)` mutations, newest at the
+    /// back, enabling O(changed) snapshot diffs.
+    change_log: VecDeque<(u64, u32)>,
+    /// Smallest `since` epoch the change log still answers exactly;
+    /// diffs older than this fall back to the generation scan.
+    change_log_floor: u64,
     /// Threshold below which a non-idle node counts as fragmented
     /// (default: 2 GB / 1 core, the paper's §7.4 definition).
     pub fragmentation_threshold: Resources,
 }
+
+/// Retained change-log entries; beyond this, old entries are trimmed and
+/// diffs older than the trimmed range degrade to an O(nodes) scan.
+const CHANGE_LOG_CAP: usize = 4096;
 
 impl ClusterState {
     /// Creates a cluster from nodes, registering a `rack` partition with
@@ -156,6 +172,7 @@ impl ClusterState {
                 available: true,
             })
             .collect();
+        let num_nodes = nodes.len();
         let mut state = ClusterState {
             nodes,
             node_state,
@@ -166,6 +183,10 @@ impl ClusterState {
             group_tags: HashMap::new(),
             index: ClusterIndex::new(IndexConfig::default()),
             last_app_tag: None,
+            epoch: 0,
+            node_generation: vec![0; num_nodes],
+            change_log: VecDeque::new(),
+            change_log_floor: 0,
             fragmentation_threshold: Resources::new(2048, 1),
         };
         state.rebuild_group_tags();
@@ -181,6 +202,77 @@ impl ClusterState {
                 .enumerate()
                 .map(|(i, s)| (i as u32, &s.tags, s.free)),
         );
+    }
+
+    /// Records a mutation of `node`: bumps the global epoch, stamps the
+    /// node's generation, and appends to the bounded change log.
+    fn touch(&mut self, node: NodeId) {
+        self.epoch += 1;
+        if let Some(g) = self.node_generation.get_mut(node.index()) {
+            *g = self.epoch;
+        }
+        self.change_log.push_back((self.epoch, node.0));
+        while self.change_log.len() > CHANGE_LOG_CAP {
+            if let Some((e, _)) = self.change_log.pop_front() {
+                // Entries at epoch <= e are gone: only diffs since >= e
+                // remain exact.
+                self.change_log_floor = e;
+            }
+        }
+    }
+
+    /// Records a mutation affecting every node (group topology changes):
+    /// one epoch bump, all generations stamped, change log reset.
+    fn touch_all(&mut self) {
+        self.epoch += 1;
+        for g in &mut self.node_generation {
+            *g = self.epoch;
+        }
+        self.change_log.clear();
+        self.change_log_floor = self.epoch;
+    }
+
+    /// The global mutation epoch (see [`crate::ClusterSnapshot`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch of a node's last mutation (0 = never mutated).
+    pub fn node_generation(&self, node: NodeId) -> u64 {
+        self.node_generation.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Captures a versioned snapshot of this state (see
+    /// [`crate::ClusterSnapshot::capture`]).
+    pub fn snapshot(&self) -> crate::ClusterSnapshot {
+        crate::ClusterSnapshot::capture(self)
+    }
+
+    /// Nodes mutated after epoch `since`, ascending and deduplicated.
+    /// O(changed) via the change log while it covers `since`; O(nodes)
+    /// generation comparison once the log has been trimmed past it.
+    pub fn nodes_changed_since(&self, since: u64) -> Vec<NodeId> {
+        if since >= self.epoch {
+            return Vec::new();
+        }
+        if since >= self.change_log_floor {
+            let mut out: Vec<u32> = self
+                .change_log
+                .iter()
+                .rev()
+                .take_while(|&&(e, _)| e > since)
+                .map(|&(_, n)| n)
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            return out.into_iter().map(NodeId).collect();
+        }
+        self.node_generation
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g > since)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
     }
 
     /// Switches the index layer on or off (see [`IndexConfig`]); enabling
@@ -219,6 +311,9 @@ impl ClusterState {
     pub fn register_group(&mut self, group: NodeGroupId, node_sets: Vec<Vec<NodeId>>) {
         self.groups.register(group, node_sets);
         self.rebuild_group_tags();
+        // Group topology feeds every γ_𝒮 query: snapshots taken before
+        // this point must see the whole cluster as changed.
+        self.touch_all();
     }
 
     /// Rebuilds every group's per-set tag multiset from current state.
@@ -308,10 +403,15 @@ impl ClusterState {
     /// Unavailability does not release containers: the resilience
     /// experiments count containers on unavailable nodes as unavailable.
     pub fn set_available(&mut self, id: NodeId, available: bool) -> Result<(), ClusterError> {
-        self.node_state
+        let state = self
+            .node_state
             .get_mut(id.index())
-            .map(|s| s.available = available)
-            .ok_or(ClusterError::UnknownNode(id))
+            .ok_or(ClusterError::UnknownNode(id))?;
+        if state.available != available {
+            state.available = available;
+            self.touch(id);
+        }
+        Ok(())
     }
 
     /// Adds a node-level tag occurrence (not attached to any container),
@@ -325,6 +425,7 @@ impl ClusterState {
             .get_mut(node.index())
             .ok_or(ClusterError::UnknownNode(node))?;
         state.tags.add(tag.clone());
+        self.touch(node);
         self.index.tag_added(node.0, &tag);
         for (g, sets) in self.group_tags.iter_mut() {
             if let Some(indices) = self.groups.sets_containing_ref(g, node) {
@@ -353,6 +454,7 @@ impl ClusterState {
         if !state.tags.remove(tag) {
             return Ok(());
         }
+        self.touch(node);
         self.index.tag_removed(node.0, tag);
         for (g, sets) in self.group_tags.iter_mut() {
             if let Some(indices) = self.groups.sets_containing_ref(g, node) {
@@ -631,8 +733,10 @@ impl ClusterState {
         let new_free = state.free;
         // Maintain the incremental indexes (skipped for probes: nothing a
         // constraint check reads lives there, and the probe is rolled back
-        // before any index query runs).
+        // before any index query runs). Probes also leave the mutation
+        // epoch untouched — they are net no-ops by contract.
         if !probe {
+            self.touch(node);
             for t in &tags {
                 self.index.tag_added(node.0, t);
             }
@@ -730,6 +834,7 @@ impl ClusterState {
         let new_free = state.free;
         // Maintain the incremental indexes.
         if !probe {
+            self.touch(alloc.node);
             match &removed {
                 None => {
                     for t in &alloc.tags {

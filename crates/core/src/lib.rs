@@ -47,7 +47,7 @@ pub use heuristics::{HeuristicScheduler, Ordering};
 pub use ilp::{place_with_ilp, place_with_ilp_status, IlpBasisCache, IlpConfig, IlpSolveStatus};
 pub use jkube::JKubeScheduler;
 pub use lra::{LraAlgorithm, LraScheduler};
-pub use medea::{LraDeployment, MedeaScheduler, MedeaStats};
+pub use medea::{InflightSolve, LraDeployment, MedeaScheduler, MedeaStats};
 pub use migration::{Migration, MigrationConfig, MigrationController};
 pub use objective::{ObjectiveWeights, Scorer};
 pub use obs_bridge::SolverMetricsBridge;

@@ -40,6 +40,8 @@ struct CoreMetrics {
     cycle_time_us: Arc<Histogram>,
     place_us: Arc<Histogram>,
     cycles: Arc<Counter>,
+    solve_inflight: Arc<Gauge>,
+    placement_staleness_ticks: Arc<Histogram>,
     lras_deployed: Arc<Counter>,
     lras_unplaced: Arc<Counter>,
     commit_conflicts: Arc<Counter>,
@@ -64,6 +66,8 @@ impl CoreMetrics {
             cycle_time_us: registry.histogram("core.cycle_time_us"),
             place_us: registry.histogram("core.place_us"),
             cycles: registry.counter("core.cycles_total"),
+            solve_inflight: registry.gauge("core.solve_inflight"),
+            placement_staleness_ticks: registry.histogram("core.placement_staleness_ticks"),
             lras_deployed: registry.counter("core.lras_deployed_total"),
             lras_unplaced: registry.counter("core.lras_unplaced_total"),
             commit_conflicts: registry.counter("core.commit_conflicts_total"),
@@ -111,6 +115,77 @@ pub struct LraDeployment {
     pub algorithm_time: std::time::Duration,
     /// Whether these containers re-place ones lost to a node crash.
     pub recovered: bool,
+}
+
+/// An in-flight LRA solve: the output of [`MedeaScheduler::propose`],
+/// consumed by [`MedeaScheduler::commit`].
+///
+/// Holds the batch that was solved, the placements the algorithm proposed
+/// against a [`medea_cluster::ClusterSnapshot`] of the cluster, and the
+/// per-entry *violation baseline* — the number of violated constraint
+/// checks each placement had on the snapshot itself. At commit time the
+/// same count is re-evaluated on live state: a higher count means the
+/// cluster drifted under the solve (γ-cardinality drift) and the entry is
+/// conflicted rather than committed.
+///
+/// Exactly one solve may be in flight per scheduler:
+/// [`MedeaScheduler::propose`] returns `None` while one exists. Dropping
+/// an `InflightSolve` without committing it loses the batch; always hand
+/// it back via [`MedeaScheduler::commit`].
+#[derive(Debug)]
+pub struct InflightSolve {
+    batch: Vec<PendingLra>,
+    outcomes: Vec<PlacementOutcome>,
+    /// Violated-check count per batch entry on the snapshot right after
+    /// its own placement was applied (`None` for unplaced entries or
+    /// placements the snapshot itself rejected — those skip the γ-drift
+    /// comparison; the live allocation still validates capacity).
+    baselines: Vec<Option<usize>>,
+    /// Constraints of already-deployed LRAs + operator at propose time.
+    deployed_constraints: Vec<PlacementConstraint>,
+    snapshot_epoch: u64,
+    proposed_at: u64,
+    algorithm_time: std::time::Duration,
+    lras: usize,
+    containers: usize,
+    recovery_containers: usize,
+}
+
+impl InflightSolve {
+    /// Tick the batch was proposed at.
+    pub fn proposed_at(&self) -> u64 {
+        self.proposed_at
+    }
+
+    /// Cluster mutation epoch of the snapshot the solve ran against.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snapshot_epoch
+    }
+
+    /// Wall-clock time the placement algorithm spent on the batch.
+    pub fn algorithm_time(&self) -> std::time::Duration {
+        self.algorithm_time
+    }
+
+    /// Number of LRAs in the solved batch.
+    pub fn lras(&self) -> usize {
+        self.lras
+    }
+
+    /// Total containers requested by the solved batch.
+    pub fn containers(&self) -> usize {
+        self.containers
+    }
+
+    /// The proposed (not yet committed) placements: `(app, nodes)` per
+    /// placed batch entry, in batch order.
+    pub fn placements(&self) -> Vec<(ApplicationId, Vec<NodeId>)> {
+        self.batch
+            .iter()
+            .zip(&self.outcomes)
+            .filter_map(|(p, o)| o.placement().map(|pl| (p.request.app, pl.nodes.clone())))
+            .collect()
+    }
 }
 
 /// Counters exposed for the evaluation harness.
@@ -168,6 +243,12 @@ pub struct MedeaScheduler {
     recovery_replaced: usize,
     recovery_unplaceable: usize,
     unplaceable_by_app: HashMap<ApplicationId, usize>,
+    /// Solves currently in flight (0 or 1: propose/commit are paired).
+    inflight: usize,
+    /// Recovery containers inside the in-flight batch; counted as pending
+    /// by [`MedeaScheduler::recovery_report`] so the lost = replaced +
+    /// unplaceable + pending invariant holds mid-solve.
+    inflight_recovery_containers: usize,
     stats: MedeaStats,
     metrics: Option<CoreMetrics>,
 }
@@ -196,6 +277,8 @@ impl MedeaScheduler {
             recovery_replaced: 0,
             recovery_unplaceable: 0,
             unplaceable_by_app: HashMap::new(),
+            inflight: 0,
+            inflight_recovery_containers: 0,
             stats: MedeaStats::default(),
             metrics: None,
         }
@@ -319,12 +402,15 @@ impl MedeaScheduler {
     /// [`MedeaScheduler::node_lost`] is replaced, explicitly unplaceable,
     /// or still pending — never silently lost.
     pub fn recovery_report(&self) -> RecoveryReport {
+        // Recovery containers inside an in-flight solve are neither
+        // replaced nor queued yet — they count as pending until commit.
         let pending: usize = self
             .pending
             .iter()
             .filter(|p| p.is_recovery)
             .map(|p| p.request.num_containers())
-            .sum();
+            .sum::<usize>()
+            + self.inflight_recovery_containers;
         let mut by_app: Vec<(ApplicationId, usize)> = self
             .unplaceable_by_app
             .iter()
@@ -463,10 +549,42 @@ impl MedeaScheduler {
     /// Advances time: when the scheduling interval is reached, runs the
     /// LRA scheduler on the pending batch and commits the placements.
     ///
+    /// Synchronous compatibility path: [`MedeaScheduler::propose`]
+    /// followed immediately by [`MedeaScheduler::commit`] at the same
+    /// tick, so the solve never observes a stale snapshot. The
+    /// asynchronous pipeline calls the two phases itself with simulated
+    /// solve latency in between.
+    ///
     /// Returns the LRAs deployed in this invocation.
     pub fn tick(&mut self, now: u64) -> Vec<LraDeployment> {
+        match self.propose(now) {
+            Some(solve) => self.commit(now, solve),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether a solve is currently in flight (proposed, not committed).
+    pub fn solve_inflight(&self) -> bool {
+        self.inflight > 0
+    }
+
+    /// Phase 1 of the placement pipeline (§5.3: the LRA scheduler runs
+    /// off the critical path): freezes a [`medea_cluster::ClusterSnapshot`]
+    /// of the cluster, runs the placement algorithm for the eligible
+    /// pending batch against it, and returns the proposal for a later
+    /// [`MedeaScheduler::commit`]. The live state is free to mutate —
+    /// task containers, crashes, completions — while the solve is
+    /// conceptually in flight.
+    ///
+    /// Returns `None` (without consuming a cycle) when the interval has
+    /// not elapsed, the queue is empty or entirely backed off, or a solve
+    /// is already in flight (at most one at a time).
+    pub fn propose(&mut self, now: u64) -> Option<InflightSolve> {
+        if self.inflight > 0 {
+            return None;
+        }
         if now < self.next_run || self.pending.is_empty() {
-            return Vec::new();
+            return None;
         }
         // Recovery retries back off between attempts: only entries whose
         // backoff has elapsed join this batch; the rest stay queued. If
@@ -476,21 +594,19 @@ impl MedeaScheduler {
             self.pending.drain(..).partition(|p| p.not_before <= now);
         self.pending = deferred.into();
         if batch.is_empty() {
-            return Vec::new();
+            return None;
         }
         self.next_run = now + self.interval;
         self.stats.cycles += 1;
-        let cycle_start = Instant::now();
         if let Some(m) = &self.metrics {
             m.cycles.inc();
-            m.queue_depth.set((self.pending.len() + batch.len()) as i64);
         }
 
         let requests: Vec<LraRequest> = batch.iter().map(|p| p.request.clone()).collect();
 
         // Constraints of deployed LRAs + operator, minus the new batch's
         // own (those travel with the requests).
-        let deployed: Vec<_> = {
+        let deployed: Vec<PlacementConstraint> = {
             let batch_apps: Vec<ApplicationId> = requests.iter().map(|r| r.app).collect();
             self.constraint_manager
                 .active_shared()
@@ -503,18 +619,124 @@ impl MedeaScheduler {
                 .collect()
         };
 
+        let mut snapshot = self.state.snapshot();
         let t0 = Instant::now();
-        let outcomes = self.place_batch(&requests, &deployed);
+        let outcomes = self.place_batch(snapshot.state(), &requests, &deployed);
         let algorithm_time = t0.elapsed();
         if let Some(m) = &self.metrics {
             m.place_us.record_duration(algorithm_time);
         }
 
+        // Establish the commit-time validation baseline: apply the
+        // proposed placements to the snapshot in batch order and count
+        // each entry's violated constraint checks right after its own
+        // allocation. Commit replays the same sequence on live state; a
+        // higher live count means the cluster drifted mid-solve.
+        let mut baselines: Vec<Option<usize>> = Vec::with_capacity(batch.len());
+        for (pending, outcome) in batch.iter().zip(&outcomes) {
+            let Some(placement) = outcome.placement() else {
+                baselines.push(None);
+                continue;
+            };
+            let mut ids = Vec::with_capacity(placement.nodes.len());
+            let mut ok = true;
+            for (c, &n) in pending.request.containers.iter().zip(&placement.nodes) {
+                match snapshot.state_mut().allocate(
+                    pending.request.app,
+                    n,
+                    c,
+                    ExecutionKind::LongRunning,
+                ) {
+                    Ok(id) => ids.push(id),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                // The algorithm proposed something the snapshot itself
+                // rejects; commit will fail it on capacity. No baseline.
+                for id in ids {
+                    let _ = snapshot.state_mut().release(id);
+                }
+                baselines.push(None);
+                continue;
+            }
+            baselines.push(Some(Self::violated_checks(
+                snapshot.state(),
+                &pending.request.constraints,
+                &deployed,
+                &ids,
+            )));
+        }
+
+        let lras = batch.len();
+        let containers: usize = batch.iter().map(|p| p.request.num_containers()).sum();
+        let recovery_containers: usize = batch
+            .iter()
+            .filter(|p| p.is_recovery)
+            .map(|p| p.request.num_containers())
+            .sum();
+        self.inflight = 1;
+        self.inflight_recovery_containers = recovery_containers;
+        if let Some(m) = &self.metrics {
+            m.solve_inflight.set(1);
+        }
+        Some(InflightSolve {
+            batch,
+            outcomes,
+            baselines,
+            deployed_constraints: deployed,
+            snapshot_epoch: snapshot.epoch(),
+            proposed_at: now,
+            algorithm_time,
+            lras,
+            containers,
+            recovery_containers,
+        })
+    }
+
+    /// Phase 3 of the placement pipeline: re-validates every proposed
+    /// placement against the **live** state — capacity consumed by task
+    /// containers mid-solve, nodes crashed mid-solve, γ-cardinality
+    /// drift past the propose-time baseline — commits the still-valid
+    /// subset, and resubmits conflicted entries to the next interval
+    /// (the §5.4 conflict policy).
+    ///
+    /// Returns the LRAs deployed.
+    pub fn commit(&mut self, now: u64, solve: InflightSolve) -> Vec<LraDeployment> {
+        let InflightSolve {
+            batch,
+            outcomes,
+            baselines,
+            deployed_constraints,
+            proposed_at,
+            algorithm_time,
+            recovery_containers,
+            ..
+        } = solve;
+        self.inflight = 0;
+        self.inflight_recovery_containers = self
+            .inflight_recovery_containers
+            .saturating_sub(recovery_containers);
+        let commit_start = Instant::now();
+        if let Some(m) = &self.metrics {
+            m.solve_inflight.set(0);
+            m.placement_staleness_ticks
+                .record(now.saturating_sub(proposed_at));
+        }
+
         let mut deployed_out = Vec::new();
-        for (pending, outcome) in batch.into_iter().zip(outcomes) {
+        for ((pending, outcome), baseline) in batch.into_iter().zip(outcomes).zip(baselines) {
             match outcome {
                 PlacementOutcome::Placed(placement) => {
-                    match self.commit(&pending.request, &placement.nodes) {
+                    match self.commit_validated(
+                        &pending.request,
+                        &placement.nodes,
+                        baseline,
+                        &deployed_constraints,
+                    ) {
                         Ok(containers) => {
                             self.stats.lras_deployed += 1;
                             if pending.is_recovery {
@@ -556,7 +778,11 @@ impl MedeaScheduler {
             }
         }
         if let Some(m) = &self.metrics {
-            m.cycle_time_us.record_duration(cycle_start.elapsed());
+            // The cycle spans both phases: algorithm time plus commit
+            // validation. Queue depth is set exactly once per cycle, here
+            // at cycle end, after resubmissions have settled.
+            m.cycle_time_us
+                .record_duration(algorithm_time + commit_start.elapsed());
             m.queue_depth.set(self.pending.len() as i64);
             let idx = self.state.index_stats();
             m.index_update_ops.set(idx.update_ops as i64);
@@ -566,6 +792,34 @@ impl MedeaScheduler {
         deployed_out
     }
 
+    /// Counts violated `(constraint, container)` checks over the given
+    /// containers: the request's own constraints plus the deployed set,
+    /// restricted to constraints whose subject matches the allocation.
+    fn violated_checks(
+        state: &ClusterState,
+        own: &[PlacementConstraint],
+        deployed: &[PlacementConstraint],
+        ids: &[ContainerId],
+    ) -> usize {
+        let mut violated = 0;
+        for &id in ids {
+            let Ok(alloc) = state.allocation(id) else {
+                continue;
+            };
+            for c in own.iter().chain(deployed) {
+                if !c.subject.matches_allocation(alloc) {
+                    continue;
+                }
+                if let Some(check) = medea_constraints::check_container(state, c, id) {
+                    if !check.satisfied {
+                        violated += 1;
+                    }
+                }
+            }
+        }
+        violated
+    }
+
     /// Runs the placement algorithm for one batch, routing the ILP
     /// through the circuit breaker: injected stalls and solver
     /// degradations count as failures; while the breaker is open every
@@ -573,31 +827,30 @@ impl MedeaScheduler {
     /// cool-down elapses and a probe succeeds.
     fn place_batch(
         &mut self,
+        state: &ClusterState,
         requests: &[LraRequest],
         deployed: &[PlacementConstraint],
     ) -> Vec<PlacementOutcome> {
         if self.lra_scheduler.algorithm != LraAlgorithm::Ilp {
-            return self.lra_scheduler.place(&self.state, requests, deployed);
+            return self.lra_scheduler.place(state, requests, deployed);
         }
         let opened_before = self.breaker.opened_total();
         let closed_before = self.breaker.closed_total();
         let outcomes = if self.stall_cycles_remaining > 0 {
             self.stall_cycles_remaining -= 1;
             self.breaker.on_failure();
-            self.lra_scheduler
-                .place_degraded(&self.state, requests, deployed)
+            self.lra_scheduler.place_degraded(state, requests, deployed)
         } else if self.breaker.allow() {
-            let (outcomes, status) =
-                self.lra_scheduler
-                    .place_with_status(&self.state, requests, deployed);
+            let (outcomes, status) = self
+                .lra_scheduler
+                .place_with_status(state, requests, deployed);
             match status {
                 IlpSolveStatus::Solved => self.breaker.on_success(),
                 IlpSolveStatus::Degraded => self.breaker.on_failure(),
             }
             outcomes
         } else {
-            self.lra_scheduler
-                .place_degraded(&self.state, requests, deployed)
+            self.lra_scheduler.place_degraded(state, requests, deployed)
         };
         if let Some(m) = &self.metrics {
             m.breaker_opened
@@ -609,9 +862,22 @@ impl MedeaScheduler {
         outcomes
     }
 
-    /// Commits a placement against the live state; on any failure all of
-    /// the LRA's containers are rolled back (§5.4 conflict handling).
-    fn commit(&mut self, request: &LraRequest, nodes: &[NodeId]) -> Result<Vec<ContainerId>, ()> {
+    /// Commits a placement against the live state with commit-time
+    /// re-validation; on any failure all of the LRA's containers are
+    /// rolled back (§5.4 conflict handling). Failure modes:
+    ///
+    /// - allocation fails — capacity consumed by task containers or the
+    ///   node crashed (went unavailable) while the solve was in flight;
+    /// - γ-cardinality drift — the placement's violated-check count on
+    ///   live state exceeds the propose-time baseline, i.e. concurrent
+    ///   mutations made the proposal worse than what the solver chose.
+    fn commit_validated(
+        &mut self,
+        request: &LraRequest,
+        nodes: &[NodeId],
+        baseline: Option<usize>,
+        deployed: &[PlacementConstraint],
+    ) -> Result<Vec<ContainerId>, ()> {
         let mut ids = Vec::with_capacity(nodes.len());
         for (c, &n) in request.containers.iter().zip(nodes) {
             match self
@@ -625,6 +891,15 @@ impl MedeaScheduler {
                     }
                     return Err(());
                 }
+            }
+        }
+        if let Some(base) = baseline {
+            let live = Self::violated_checks(&self.state, &request.constraints, deployed, &ids);
+            if live > base {
+                for id in ids {
+                    let _ = self.state.release(id);
+                }
+                return Err(());
             }
         }
         Ok(ids)

@@ -56,6 +56,29 @@ pub enum SimEvent {
     },
     /// The LRA scheduling interval fires.
     SchedulerTick,
+    /// An in-flight LRA solve finishes: the solve latency charged at
+    /// propose time has elapsed on the sim clock and the proposal is
+    /// validated and committed against live state
+    /// ([`PipelineMode::Async`] only).
+    LraPlacementReady,
+}
+
+/// How the LRA solve relates to the simulation clock (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Compatibility mode: propose and commit happen inside one
+    /// [`SimEvent::SchedulerTick`], and the solve latency *blocks* the
+    /// simulated resource manager — every event due while the solve runs
+    /// (heartbeats included) is handled only once it completes. This is
+    /// the monolithic scheduler the paper argues against.
+    #[default]
+    Sync,
+    /// Medea's pipeline: propose captures a snapshot at the tick, the
+    /// solve latency elapses on the sim clock while heartbeats, task
+    /// allocations, and chaos events keep interleaving, and a
+    /// [`SimEvent::LraPlacementReady`] commits the proposal against live
+    /// state (conflicts are resubmitted).
+    Async,
 }
 
 /// Entry in the event queue, ordered by `(time, sequence)`.
@@ -112,6 +135,7 @@ struct SimObs {
     chaos_node_recoveries: Arc<Counter>,
     chaos_solver_stalls: Arc<Counter>,
     chaos_containers_killed: Arc<Counter>,
+    placement_readies: Arc<Counter>,
     clock: Arc<Gauge>,
 }
 
@@ -130,6 +154,7 @@ impl SimObs {
             chaos_node_recoveries: registry.counter("sim.chaos_node_recoveries_total"),
             chaos_solver_stalls: registry.counter("sim.chaos_solver_stalls_total"),
             chaos_containers_killed: registry.counter("sim.chaos_containers_killed_total"),
+            placement_readies: registry.counter("sim.placement_ready_total"),
             clock: registry.gauge("sim.clock_ticks"),
         }
     }
@@ -163,6 +188,16 @@ pub struct SimDriver {
     /// Task runtime per queue (set by the latest `SubmitTasks` per queue).
     queue_durations: std::collections::HashMap<String, u64>,
     default_task_duration: u64,
+    /// How LRA solves relate to the sim clock (default [`PipelineMode::Sync`]).
+    pipeline: PipelineMode,
+    /// Solve latency charged per propose/commit pair.
+    solve_latency: crate::SolveLatencyModel,
+    /// The proposal awaiting its [`SimEvent::LraPlacementReady`] (async).
+    inflight: Option<medea_core::InflightSolve>,
+    /// In [`PipelineMode::Sync`], the time the simulated resource manager
+    /// is blocked until by the last synchronous solve; events due earlier
+    /// are handled at this time instead.
+    busy_until: u64,
     obs: Option<SimObs>,
 }
 
@@ -185,6 +220,10 @@ impl SimDriver {
             heartbeats_started: false,
             queue_durations: std::collections::HashMap::new(),
             default_task_duration: 1_000,
+            pipeline: PipelineMode::default(),
+            solve_latency: crate::SolveLatencyModel::instant(),
+            inflight: None,
+            busy_until: 0,
             obs: None,
         };
         sim.schedule(0, SimEvent::SchedulerTick);
@@ -209,6 +248,38 @@ impl SimDriver {
     /// Current simulation time.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Selects the placement pipeline mode (default [`PipelineMode::Sync`]).
+    pub fn set_pipeline(&mut self, mode: PipelineMode) {
+        self.pipeline = mode;
+    }
+
+    /// Builder-style [`SimDriver::set_pipeline`].
+    pub fn with_pipeline(mut self, mode: PipelineMode) -> Self {
+        self.set_pipeline(mode);
+        self
+    }
+
+    /// The active pipeline mode.
+    pub fn pipeline(&self) -> PipelineMode {
+        self.pipeline
+    }
+
+    /// Sets the solve latency model charged per propose/commit pair.
+    pub fn set_solve_latency(&mut self, model: crate::SolveLatencyModel) {
+        self.solve_latency = model;
+    }
+
+    /// Builder-style [`SimDriver::set_solve_latency`].
+    pub fn with_solve_latency(mut self, model: crate::SolveLatencyModel) -> Self {
+        self.set_solve_latency(model);
+        self
+    }
+
+    /// Whether an LRA solve is currently in flight (async pipeline).
+    pub fn solve_inflight(&self) -> bool {
+        self.inflight.is_some()
     }
 
     /// The scheduler under simulation.
@@ -261,6 +332,12 @@ impl SimDriver {
     }
 
     /// Runs all events up to and including `end`, advancing time.
+    ///
+    /// In [`PipelineMode::Sync`], events due while a synchronous solve
+    /// blocked the resource manager are handled at the time the solve
+    /// completes (`busy_until`) — this is how a monolithic tick inflates
+    /// task-scheduling latency. Time never moves backwards and can end
+    /// past `end` if a solve straddles the boundary.
     pub fn run_until(&mut self, end: u64) {
         loop {
             match self.queue.peek() {
@@ -270,16 +347,24 @@ impl SimDriver {
             let Some(Reverse(ev)) = self.queue.pop() else {
                 break;
             };
-            self.now = ev.time;
+            self.now = ev.time.max(self.busy_until).max(self.now);
             self.handle(ev.event);
         }
-        self.now = end;
+        self.now = self.now.max(end);
     }
 
-    /// Drains every queued event regardless of time (use with care: with
-    /// periodic heartbeats the queue never empties).
-    pub fn run_to_completion(&mut self, safety_limit: u64) {
+    /// Runs until `safety_limit`, then reports whether the run actually
+    /// drained: `true` when no non-periodic event remains queued and no
+    /// LRA solve is in flight; `false` when the safety limit truncated
+    /// outstanding work (periodic heartbeats and scheduler ticks
+    /// reschedule themselves forever and do not count).
+    #[must_use = "a false return means the run was truncated at the safety limit"]
+    pub fn run_to_completion(&mut self, safety_limit: u64) -> bool {
         self.run_until(safety_limit);
+        self.inflight.is_none()
+            && !self.queue.iter().any(|Reverse(q)| {
+                !matches!(q.event, SimEvent::Heartbeat(_) | SimEvent::SchedulerTick)
+            })
     }
 
     fn handle(&mut self, event: SimEvent) {
@@ -297,6 +382,7 @@ impl SimDriver {
                 SimEvent::NodeCrash(_) => obs.chaos_node_crashes.inc(),
                 SimEvent::SolverStall { .. } => obs.chaos_solver_stalls.inc(),
                 SimEvent::SchedulerTick => obs.scheduler_ticks.inc(),
+                SimEvent::LraPlacementReady => obs.placement_readies.inc(),
             }
         }
         match event {
@@ -358,15 +444,53 @@ impl SimDriver {
                 self.medea.inject_solver_stall(cycles);
             }
             SimEvent::SchedulerTick => {
-                let deployed = self.medea.tick(self.now);
-                for d in deployed {
-                    self.metrics.lra_latencies.push(d.latency_ticks);
-                    self.metrics.lra_algorithm_times.push(d.algorithm_time);
-                    self.metrics.deployments.push(d);
+                match self.pipeline {
+                    PipelineMode::Sync => {
+                        if let Some(solve) = self.medea.propose(self.now) {
+                            let lat = self
+                                .solve_latency
+                                .latency_ticks(solve.lras(), solve.containers());
+                            // The monolithic tick blocks the RM for the
+                            // whole solve: commit lands at now + lat and
+                            // every event due in between waits.
+                            let commit_at = self.now + lat;
+                            self.busy_until = self.busy_until.max(commit_at);
+                            let deployed = self.medea.commit(commit_at, solve);
+                            self.record_deployments(deployed);
+                        }
+                    }
+                    PipelineMode::Async => {
+                        // At most one solve in flight; a tick that fires
+                        // mid-solve is skipped (propose also guards this)
+                        // and the queue waits for the next interval.
+                        if self.inflight.is_none() {
+                            if let Some(solve) = self.medea.propose(self.now) {
+                                let lat = self
+                                    .solve_latency
+                                    .latency_ticks(solve.lras(), solve.containers());
+                                self.inflight = Some(solve);
+                                self.schedule(self.now + lat, SimEvent::LraPlacementReady);
+                            }
+                        }
+                    }
                 }
                 let interval = self.medea.interval.max(1);
                 self.schedule(self.now + interval, SimEvent::SchedulerTick);
             }
+            SimEvent::LraPlacementReady => {
+                if let Some(solve) = self.inflight.take() {
+                    let deployed = self.medea.commit(self.now, solve);
+                    self.record_deployments(deployed);
+                }
+            }
+        }
+    }
+
+    fn record_deployments(&mut self, deployed: Vec<LraDeployment>) {
+        for d in deployed {
+            self.metrics.lra_latencies.push(d.latency_ticks);
+            self.metrics.lra_algorithm_times.push(d.algorithm_time);
+            self.metrics.deployments.push(d);
         }
     }
 

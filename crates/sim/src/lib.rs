@@ -17,8 +17,8 @@ mod workload;
 
 pub use census::{generate_census, ClusterCensus};
 pub use chaos::{su_partition, ChaosConfig, ChaosSchedule};
-pub use driver::{SimDriver, SimEvent, SimMetrics};
+pub use driver::{PipelineMode, SimDriver, SimEvent, SimMetrics};
 pub use failures::{FailureParams, UnavailabilityTrace};
 pub use metrics::{box_stats, coefficient_of_variation, percentile, BoxStats, Cdf};
-pub use perfmodel::{PerfModel, PerfParams, PlacementProfile};
+pub use perfmodel::{PerfModel, PerfParams, PlacementProfile, SolveLatencyModel};
 pub use workload::{fill_with_batch, GoogleTraceLike, GridMix};

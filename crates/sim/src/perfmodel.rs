@@ -258,6 +258,72 @@ impl PerfModel {
     }
 }
 
+/// Deterministic model of ILP solve latency on the simulation clock.
+///
+/// The paper's premise for running the LRA scheduler off the critical
+/// path (§5.3) is that constraint solves take real time — seconds at
+/// cluster scale — during which the task scheduler must keep serving
+/// heartbeats. The simulator charges this latency between
+/// [propose](medea_core::MedeaScheduler::propose) and
+/// [commit](medea_core::MedeaScheduler::commit): affine in the batch
+/// size, in integer ticks, so fixed-seed runs stay bit-reproducible (no
+/// wall-clock feeds back into simulated decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveLatencyModel {
+    /// Fixed per-solve overhead in ticks (model build, warm start).
+    pub base_ticks: u64,
+    /// Marginal ticks per LRA in the batch.
+    pub per_lra_ticks: u64,
+    /// Marginal ticks per requested container in the batch.
+    pub per_container_ticks: u64,
+}
+
+impl Default for SolveLatencyModel {
+    fn default() -> Self {
+        SolveLatencyModel::instant()
+    }
+}
+
+impl SolveLatencyModel {
+    /// Zero-latency model: commit lands on the same tick as propose.
+    pub fn instant() -> Self {
+        SolveLatencyModel {
+            base_ticks: 0,
+            per_lra_ticks: 0,
+            per_container_ticks: 0,
+        }
+    }
+
+    /// ILP-like latency: hundreds of milliseconds of fixed cost plus a
+    /// per-LRA and per-container term, calibrated so a typical
+    /// evaluation batch solves within (but a large fraction of) the
+    /// paper's 10 s scheduling interval.
+    pub fn ilp_like() -> Self {
+        SolveLatencyModel {
+            base_ticks: 400,
+            per_lra_ticks: 150,
+            per_container_ticks: 25,
+        }
+    }
+
+    /// Fixed latency regardless of batch size (deadline-style solves).
+    pub fn fixed(ticks: u64) -> Self {
+        SolveLatencyModel {
+            base_ticks: ticks,
+            per_lra_ticks: 0,
+            per_container_ticks: 0,
+        }
+    }
+
+    /// Solve latency in ticks for a batch of `lras` LRAs requesting
+    /// `containers` containers in total.
+    pub fn latency_ticks(&self, lras: usize, containers: usize) -> u64 {
+        self.base_ticks
+            + self.per_lra_ticks * lras as u64
+            + self.per_container_ticks * containers as u64
+    }
+}
+
 /// Log-normal multiplicative noise with median 1.
 fn lognormal(rng: &mut StdRng, sigma: f64) -> f64 {
     // Box-Muller from two uniforms.

@@ -7,18 +7,34 @@ use medea_cluster::{ApplicationId, ClusterState, NodeGroupId, Resources, Tag};
 use medea_core::LraAlgorithm;
 use medea_obs::MetricsRegistry;
 use medea_sim::{
-    su_partition, ChaosConfig, ChaosSchedule, FailureParams, SimDriver, SimEvent,
-    UnavailabilityTrace,
+    su_partition, ChaosConfig, ChaosSchedule, FailureParams, PipelineMode, SimDriver, SimEvent,
+    SolveLatencyModel, UnavailabilityTrace,
 };
 use std::sync::Arc;
 
 const TICKS_PER_HOUR: u64 = 3_600;
 const HOURS: usize = 24;
 
+/// Synchronous-pipeline chaos run (the pre-pipeline behavior).
+fn run_chaos(seed: u64, algorithm: LraAlgorithm) -> SimDriver {
+    run_chaos_with(
+        seed,
+        algorithm,
+        PipelineMode::Sync,
+        SolveLatencyModel::instant(),
+    )
+}
+
 /// Builds a small cluster (4 SUs × 8 nodes, SUs registered as a node
 /// group) with a chaos schedule derived from a seeded trace, runs the
-/// whole horizon, and returns the driver.
-fn run_chaos(seed: u64, algorithm: LraAlgorithm) -> SimDriver {
+/// whole horizon under the given placement pipeline, and returns the
+/// driver.
+fn run_chaos_with(
+    seed: u64,
+    algorithm: LraAlgorithm,
+    mode: PipelineMode,
+    latency: SolveLatencyModel,
+) -> SimDriver {
     let sus = 4usize;
     let nodes_per_su = 8usize;
     let mut cluster =
@@ -29,7 +45,9 @@ fn run_chaos(seed: u64, algorithm: LraAlgorithm) -> SimDriver {
         su_sets.iter().map(|s| s.to_vec()).collect(),
     );
 
-    let mut sim = SimDriver::new(cluster, algorithm, 30);
+    let mut sim = SimDriver::new(cluster, algorithm, 30)
+        .with_pipeline(mode)
+        .with_solve_latency(latency);
     // 6 LRAs × 8 containers with node anti-affinity (spread).
     for app in 1..=6u64 {
         let tag = format!("svc{app}");
@@ -141,6 +159,44 @@ fn same_seed_identical_events_and_post_recovery_state() {
 fn every_killed_lra_container_is_accounted_for() {
     for seed in [3u64, 17, 99] {
         let sim = run_chaos(seed, LraAlgorithm::NodeCandidates);
+        let r = sim.medea().recovery_report();
+        assert!(
+            r.accounted(),
+            "seed {seed}: lost {} != replaced {} + unplaceable {} + pending {}",
+            r.containers_lost,
+            r.containers_replaced,
+            r.containers_unplaceable,
+            r.containers_pending
+        );
+        assert!(r.containers_lost > 0, "seed {seed}: chaos killed nothing");
+        assert!(
+            r.replacement_ratio() >= 0.95,
+            "seed {seed}: replacement ratio {} below 95%",
+            r.replacement_ratio()
+        );
+    }
+}
+
+#[test]
+fn async_pipeline_same_seed_is_byte_identical() {
+    // Solve latency of 20 on a 30-tick interval keeps a solve in flight
+    // two thirds of the time, so crashes routinely land mid-solve.
+    let lat = SolveLatencyModel::fixed(20);
+    let a = run_chaos_with(11, LraAlgorithm::NodeCandidates, PipelineMode::Async, lat);
+    let b = run_chaos_with(11, LraAlgorithm::NodeCandidates, PipelineMode::Async, lat);
+    assert_eq!(state_digest(&a), state_digest(&b));
+}
+
+#[test]
+fn async_pipeline_accounts_for_mid_solve_crashes() {
+    for seed in [3u64, 17, 99] {
+        let sim = run_chaos_with(
+            seed,
+            LraAlgorithm::NodeCandidates,
+            PipelineMode::Async,
+            SolveLatencyModel::fixed(20),
+        );
+        assert!(!sim.solve_inflight(), "seed {seed}: tail must drain");
         let r = sim.medea().recovery_report();
         assert!(
             r.accounted(),

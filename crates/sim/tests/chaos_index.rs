@@ -13,16 +13,25 @@
 use medea_cluster::{ApplicationId, ClusterState, NodeGroupId, Resources, Tag};
 use medea_core::LraAlgorithm;
 use medea_sim::{
-    su_partition, ChaosConfig, ChaosSchedule, FailureParams, SimDriver, SimEvent,
-    UnavailabilityTrace,
+    su_partition, ChaosConfig, ChaosSchedule, FailureParams, PipelineMode, SimDriver, SimEvent,
+    SolveLatencyModel, UnavailabilityTrace,
 };
 
 const TICKS_PER_HOUR: u64 = 3_600;
 const HOURS: usize = 12;
 
+/// The chaos smoke scenario under the synchronous pipeline.
+fn build_scenario(seed: u64) -> (SimDriver, ChaosSchedule) {
+    build_scenario_with(seed, PipelineMode::Sync, SolveLatencyModel::instant())
+}
+
 /// The chaos smoke scenario: 4 service units × 8 nodes, 6 spread LRAs,
 /// seeded crash/recovery schedule derived from an unavailability trace.
-fn build_scenario(seed: u64) -> (SimDriver, ChaosSchedule) {
+fn build_scenario_with(
+    seed: u64,
+    mode: PipelineMode,
+    latency: SolveLatencyModel,
+) -> (SimDriver, ChaosSchedule) {
     let sus = 4usize;
     let nodes_per_su = 8usize;
     let mut cluster =
@@ -33,7 +42,9 @@ fn build_scenario(seed: u64) -> (SimDriver, ChaosSchedule) {
         su_sets.iter().map(|s| s.to_vec()).collect(),
     );
 
-    let mut sim = SimDriver::new(cluster, LraAlgorithm::NodeCandidates, 30);
+    let mut sim = SimDriver::new(cluster, LraAlgorithm::NodeCandidates, 30)
+        .with_pipeline(mode)
+        .with_solve_latency(latency);
     for app in 1..=6u64 {
         let tag = format!("svc{app}");
         sim.schedule(
@@ -137,6 +148,55 @@ fn index_stays_consistent_across_every_crash_and_recovery() {
         assert_no_stale_tag_entries(state);
         let r = sim.medea().recovery_report();
         assert!(r.accounted(), "seed {seed}: final accounting unbalanced");
+        assert!(r.containers_lost > 0, "seed {seed}: chaos killed nothing");
+    }
+}
+
+#[test]
+fn index_stays_consistent_with_async_pipeline_and_mid_solve_crashes() {
+    // Solve latency 20 on a 30-tick interval: most crash/recovery events
+    // land while a solve is in flight, so commit-time invalidation and
+    // the index maintenance paths interleave maximally.
+    for seed in [3u64, 11] {
+        let (mut sim, chaos) =
+            build_scenario_with(seed, PipelineMode::Async, SolveLatencyModel::fixed(20));
+        let mut checkpoints: Vec<u64> = chaos
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, SimEvent::NodeCrash(_) | SimEvent::NodeRecover(_)))
+            .map(|&(t, _)| t + 1)
+            .collect();
+        checkpoints.sort_unstable();
+        checkpoints.dedup();
+        sim.inject_chaos(&chaos);
+
+        for t in checkpoints {
+            sim.run_until(t);
+            let state = sim.medea().state();
+            state
+                .check_index_consistency()
+                .unwrap_or_else(|e| panic!("seed {seed} tick {t} (async): {e}"));
+            assert_no_stale_tag_entries(state);
+            // The accounting invariant must hold even while a solve is
+            // in flight (its recovery containers count as pending).
+            let r = sim.medea().recovery_report();
+            assert!(
+                r.accounted(),
+                "seed {seed} tick {t} (async, inflight={}): lost {} != {} + {} + {}",
+                sim.solve_inflight(),
+                r.containers_lost,
+                r.containers_replaced,
+                r.containers_unplaceable,
+                r.containers_pending
+            );
+        }
+
+        sim.run_until(HOURS as u64 * TICKS_PER_HOUR + 50_000);
+        let state = sim.medea().state();
+        state.check_index_consistency().unwrap();
+        assert_no_stale_tag_entries(state);
+        let r = sim.medea().recovery_report();
+        assert!(r.accounted(), "seed {seed}: final async accounting");
         assert!(r.containers_lost > 0, "seed {seed}: chaos killed nothing");
     }
 }

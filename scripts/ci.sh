@@ -31,11 +31,19 @@ echo "==> index correctness gate (index-vs-scan differential + chaos interplay)"
 cargo test --release --offline -p medea-cluster -q --test index_differential
 cargo test --release --offline -p medea-sim -q --test chaos_index
 
+echo "==> async pipeline gate (async-vs-sync differential + commit conflicts + chaos)"
+cargo test --release --offline -p medea-sim -q --test async_vs_sync
+cargo test --release --offline -p medea-core -q --test async_pipeline
+cargo test --release --offline -p medea-sim -q --test chaos
+
 echo "==> solver benchmark smoke (writes BENCH_solver.json, mode=smoke)"
 cargo run --release --offline -p medea-bench --bin solver_bench -- --smoke
 
 echo "==> cluster-scale benchmark smoke (writes BENCH_scale.json, mode=smoke)"
 cargo run --release --offline -p medea-bench --bin scale_bench -- --smoke
+
+echo "==> pipeline benchmark smoke (writes BENCH_pipeline.json, mode=smoke)"
+cargo run --release --offline -p medea-bench --bin pipeline_bench -- --smoke
 
 echo "==> chaos smoke (fixed-seed fault injection + recovery)"
 cargo run --release --offline -p medea-bench --bin fig8_resilience -- --smoke
