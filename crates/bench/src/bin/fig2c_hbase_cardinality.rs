@@ -42,13 +42,7 @@ fn main() {
     }
     report.finish();
 
-    let argmin = |curve: &[(u32, f64)]| {
-        curve
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0
-    };
+    let argmin = |curve: &[(u32, f64)]| curve.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
     println!(
         "\nPaper claim: intermediate cardinality beats both extremes, and the \
          optimum depends on cluster load. Measured optima: low-utilized = \

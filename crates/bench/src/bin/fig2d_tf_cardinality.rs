@@ -40,13 +40,7 @@ fn main() {
     }
     report.finish();
 
-    let argmin = |curve: &[(u32, f64)]| {
-        curve
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0
-    };
+    let argmin = |curve: &[(u32, f64)]| curve.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
     let best_high = argmin(&high_curve);
     let best_low = argmin(&low_curve);
     let at = |curve: &[(u32, f64)], c: u32| curve.iter().find(|&&(x, _)| x == c).unwrap().1;

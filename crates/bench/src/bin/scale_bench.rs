@@ -1,4 +1,4 @@
-//! `scale_bench`: cluster-scale scheduling rounds at 500/2000/5000 nodes,
+//! `scale_bench`: cluster-scale scheduling rounds at 500–50000 nodes,
 //! emitted as machine-readable JSON (`BENCH_scale.json`).
 //!
 //! Each scale builds a census-shaped cluster (racks of ~40 nodes, service
@@ -15,20 +15,30 @@
 //!   nanoseconds per allocate/release maintenance op);
 //! - the pre-index scan-engine median recorded on this machine right
 //!   before the index layer landed (same workload, same seeds), so the
-//!   JSON carries its own speedup denominator.
+//!   JSON carries its own speedup denominator;
+//! - full sharded-vs-unsharded scheduler rounds (10 LRAs × 8 containers
+//!   through [`MedeaScheduler::tick`]): the same batch placed by one
+//!   monolithic solve and by per-shard solves over service-unit shards.
+//!   The speedup is purely algorithmic — a single thread runs the shard
+//!   solves back-to-back, each scanning only its shard's nodes. At
+//!   20000+ nodes the sharded round must be at most half the unsharded
+//!   round (enforced here, so CI catches regressions).
 //!
 //! Usage: `cargo run --release -p medea-bench --bin scale_bench`
-//! (`--smoke` runs the 500-node scale only, for CI).
+//! (`--smoke` runs the 500- and 20000-node scales only, for CI).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use medea_cluster::{
     ApplicationId, ClusterState, ContainerRequest, ExecutionKind, IndexConfig, NodeGroupId, NodeId,
-    Resources, Tag,
+    Resources, ShardConfig, Tag,
 };
 use medea_constraints::PlacementConstraint;
-use medea_core::{HeuristicScheduler, ObjectiveWeights, Ordering, Scorer};
+use medea_core::{
+    HeuristicScheduler, LraAlgorithm, LraRequest, MedeaScheduler, ObjectiveWeights, Ordering,
+    Scorer,
+};
 use medea_rand::rngs::StdRng;
 use medea_rand::{RngExt, SeedableRng};
 
@@ -55,6 +65,13 @@ struct ScaleResult {
     /// Median of the pre-index scan-based engine at this scale, when
     /// recorded (see `pre_index_baseline`).
     pre_index_baseline_us: Option<u64>,
+    /// Median full-scheduler round (propose + commit of 10 LRAs × 8
+    /// containers), monolithic solve.
+    unsharded_round_us: u64,
+    /// Same round split into per-shard solves.
+    sharded_round_us: u64,
+    /// Shard count of the sharded run (service-unit basis).
+    shards: usize,
 }
 
 /// Contiguous equal partition of `n` nodes into `parts` sets (the shape
@@ -188,6 +205,74 @@ fn pre_index_baseline(nodes: usize) -> Option<u64> {
     }
 }
 
+/// Outcome of the sharded-vs-unsharded scheduler-round comparison.
+struct ShardCompare {
+    unsharded_round_us: u64,
+    sharded_round_us: u64,
+    shards: usize,
+}
+
+/// Times full scheduler rounds — 10 LRAs of 8 containers each, every app
+/// carrying its own node-level anti-affinity — through
+/// [`MedeaScheduler::tick`], once with a monolithic solve and once with
+/// per-shard solves (service-unit shards, footprint-free entries
+/// round-robined). The apps' tags are distinct, so shard solves cannot
+/// interact and every round must commit conflict-free; the asserts keep
+/// the bench honest about that.
+fn sharded_comparison(state: &ClusterState, nodes: usize, iters: usize) -> ShardCompare {
+    // Whole service units per shard; capped so small scales still get a
+    // meaningful (>= 2-way) split.
+    let shards = (nodes / 1250).clamp(2, 16);
+    let mut app_base = 700_000u64;
+    let mut run = |config: Option<ShardConfig>| -> u64 {
+        let mut m = MedeaScheduler::new(state.clone(), LraAlgorithm::Serial, 10);
+        if let Some(c) = config {
+            m.set_sharding(c);
+        }
+        let mut samples = Vec::with_capacity(iters);
+        for it in 0..iters as u64 {
+            let now = 10 * it;
+            for _ in 0..10 {
+                let tag = format!("lra{app_base}");
+                m.submit_lra(
+                    LraRequest::uniform(
+                        ApplicationId(app_base),
+                        8,
+                        Resources::new(512, 0),
+                        vec![Tag::new(tag.clone())],
+                        vec![PlacementConstraint::anti_affinity(
+                            tag.as_str(),
+                            tag.as_str(),
+                            NodeGroupId::node(),
+                        )],
+                    ),
+                    now,
+                )
+                .expect("bench LRA submits cleanly");
+                app_base += 1;
+            }
+            let t = Instant::now();
+            let deployed = m.tick(now);
+            samples.push(t.elapsed().as_micros() as u64);
+            assert_eq!(deployed.len(), 10, "comparison round must deploy its batch");
+        }
+        assert_eq!(
+            m.stats().commit_conflicts,
+            0,
+            "disjoint apps cannot conflict"
+        );
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+    let unsharded_round_us = run(None);
+    let sharded_round_us = run(Some(ShardConfig::with_shards(shards)));
+    ShardCompare {
+        unsharded_round_us,
+        sharded_round_us,
+        shards,
+    }
+}
+
 fn time_rounds<F: FnMut()>(warmup: usize, iters: usize, mut f: F) -> Vec<u64> {
     for _ in 0..warmup {
         f();
@@ -214,6 +299,7 @@ fn summarize(
     populate_us: u64,
     pass: PassStats,
     pre_index_baseline_us: Option<u64>,
+    compare: ShardCompare,
 ) -> ScaleResult {
     samples.sort_unstable();
     let iters = samples.len();
@@ -231,6 +317,9 @@ fn summarize(
         index_update_ops_populate: pass.index_update_ops_populate,
         index_update_ns_per_op: pass.index_update_ns_per_op,
         pre_index_baseline_us,
+        unsharded_round_us: compare.unsharded_round_us,
+        sharded_round_us: compare.sharded_round_us,
+        shards: compare.shards,
     }
 }
 
@@ -266,6 +355,13 @@ fn write_json(mode: &str, results: &[ScaleResult]) -> std::io::Result<()> {
                 ", \"pre_index_baseline_us\": {b}, \"speedup_vs_scan\": {speedup:.2}"
             );
         }
+        let shard_speedup = r.unsharded_round_us as f64 / r.sharded_round_us.max(1) as f64;
+        let _ = write!(
+            body,
+            ", \"unsharded_round_us\": {}, \"sharded_round_us\": {}, \
+             \"shards\": {}, \"shard_speedup\": {shard_speedup:.2}",
+            r.unsharded_round_us, r.sharded_round_us, r.shards,
+        );
         body.push('}');
         if i + 1 < results.len() {
             body.push(',');
@@ -280,9 +376,16 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mode = if smoke { "smoke" } else { "full" };
     let scales: &[(usize, usize, usize)] = if smoke {
-        &[(500, 1, 2)]
+        // The 20000-node row keeps the sharded-speedup gate in CI.
+        &[(500, 1, 2), (20000, 0, 2)]
     } else {
-        &[(500, 1, 3), (2000, 0, 3), (5000, 0, 2)]
+        &[
+            (500, 1, 3),
+            (2000, 0, 3),
+            (5000, 0, 2),
+            (20000, 0, 2),
+            (50000, 0, 2),
+        ]
     };
     let mut results = Vec::new();
     for &(nodes, warmup, iters) in scales {
@@ -311,10 +414,29 @@ fn main() {
             index_update_ops_populate,
             index_update_ns_per_op: index_update_cost_ns(&state),
         };
-        let r = summarize(nodes, samples, populate_us, pass, pre_index_baseline(nodes));
+        let compare = sharded_comparison(&state, nodes, iters.max(2));
+        if nodes >= 20_000 {
+            assert!(
+                compare.sharded_round_us * 2 <= compare.unsharded_round_us,
+                "sharded round ({} us) must be at most half the unsharded \
+                 round ({} us) at {} nodes",
+                compare.sharded_round_us,
+                compare.unsharded_round_us,
+                nodes,
+            );
+        }
+        let r = summarize(
+            nodes,
+            samples,
+            populate_us,
+            pass,
+            pre_index_baseline(nodes),
+            compare,
+        );
         println!(
             "{:>5} nodes: iters {:>2} median {:>10} us p99 {:>10} us populate {:>8} us \
-             touched {:>8}/{:>8} (indexed/scan) index {:>5} ns/op",
+             touched {:>8}/{:>8} (indexed/scan) index {:>5} ns/op \
+             round {:>9}/{:>9} us (unsharded/sharded x{})",
             r.nodes,
             r.iters,
             r.median_us,
@@ -323,6 +445,9 @@ fn main() {
             r.nodes_touched_indexed,
             r.nodes_touched_scan,
             r.index_update_ns_per_op,
+            r.unsharded_round_us,
+            r.sharded_round_us,
+            r.shards,
         );
         results.push(r);
     }

@@ -19,6 +19,7 @@ mod groups;
 mod index;
 mod node;
 mod resources;
+mod shard;
 mod snapshot;
 mod state;
 mod tags;
@@ -28,6 +29,7 @@ pub use groups::{GroupError, NodeGroupId, NodeGroups, NodeSetIndex};
 pub use index::{IndexConfig, IndexStats};
 pub use node::{Node, NodeId};
 pub use resources::Resources;
+pub use shard::{ShardConfig, ShardPlan};
 pub use snapshot::ClusterSnapshot;
 pub use state::{Allocation, ClusterError, ClusterState, UtilizationStats};
 pub use tags::{Tag, TagMultiset};

@@ -76,7 +76,20 @@ impl ClusterSnapshot {
 
     /// Number of live mutations applied since capture (staleness in
     /// mutation events, not ticks).
+    ///
+    /// Staleness is only defined against the state lineage the snapshot
+    /// was captured from. Comparing against a *rebuilt* state (whose
+    /// epoch counter restarted and may sit below the capture epoch) is a
+    /// caller bug; this debug-asserts on the inversion rather than
+    /// silently reporting 0, and saturates in release builds.
     pub fn staleness_events(&self, live: &ClusterState) -> u64 {
+        debug_assert!(
+            live.epoch() >= self.epoch,
+            "snapshot epoch {} is ahead of live epoch {}: staleness queried \
+             against a state the snapshot was not captured from",
+            self.epoch,
+            live.epoch(),
+        );
         live.epoch().saturating_sub(self.epoch)
     }
 
@@ -166,6 +179,22 @@ mod tests {
             .unwrap();
         live.probe_release(id).unwrap();
         assert_eq!(live.epoch(), before);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "ahead of live epoch")]
+    fn staleness_against_older_lineage_is_rejected() {
+        // Capture from a mutated state, then query staleness against a
+        // fresh (rebuilt) state whose epoch counter is behind the capture
+        // epoch. saturating_sub would silently report 0 — debug builds
+        // must flag the inversion instead.
+        let mut live = cluster();
+        live.allocate(ApplicationId(1), NodeId(0), &req(64), ExecutionKind::Task)
+            .unwrap();
+        let snap = ClusterSnapshot::capture(&live);
+        let rebuilt = cluster();
+        let _ = snap.staleness_events(&rebuilt);
     }
 
     #[test]

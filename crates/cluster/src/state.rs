@@ -255,6 +255,16 @@ impl ClusterState {
         if since >= self.epoch {
             return Vec::new();
         }
+        // `since >= floor` (not `>`) is exact, including at the boundary
+        // where an overflow pop just set `change_log_floor` to the popped
+        // entry's epoch: epochs are unique (every `touch` bumps the global
+        // epoch before logging), so the popped entry is the only one at
+        // epoch == floor, and a query at `since == floor` only needs
+        // entries with epoch > floor — all of which are still in the log.
+        // After `touch_all` the log is empty with floor == epoch, and
+        // `since == floor` is already handled by the early return above.
+        // Only `since < floor` can have lost entries and must fall back to
+        // the generation scan.
         if since >= self.change_log_floor {
             let mut out: Vec<u32> = self
                 .change_log
@@ -984,6 +994,50 @@ mod tests {
             c.release(id),
             Err(ClusterError::UnknownContainer(_))
         ));
+    }
+
+    #[test]
+    fn change_log_floor_boundary_is_exact() {
+        // After overflow pops, `change_log_floor` is the epoch of the
+        // last popped entry. A diff at exactly `since == floor` takes the
+        // fast path; because epochs are unique, every entry it needs
+        // (epoch > floor) is still in the log, so the fast path must
+        // agree exactly with the O(nodes) generation scan — not merely
+        // return a superset.
+        let mut c = ClusterState::homogeneous(8, Resources::new(8192, 8), 2);
+        let zero = ContainerRequest::new(Resources::new(0, 0), Vec::<Tag>::new());
+        // Epochs 1..=5 touch only node 7; epochs 6..=CAP+5 touch 0..=6.
+        for _ in 0..5 {
+            c.allocate(ApplicationId(1), NodeId(7), &zero, ExecutionKind::Task)
+                .unwrap();
+        }
+        for i in 0..CHANGE_LOG_CAP {
+            c.allocate(
+                ApplicationId(1),
+                NodeId((i % 7) as u32),
+                &zero,
+                ExecutionKind::Task,
+            )
+            .unwrap();
+        }
+        assert_eq!(c.epoch(), (CHANGE_LOG_CAP + 5) as u64);
+        let floor = 5u64; // epochs 1..=5 were popped to keep CAP entries
+        let ground_truth = |since: u64| -> Vec<NodeId> {
+            (0..8u32)
+                .map(NodeId)
+                .filter(|&n| c.node_generation(n) > since)
+                .collect()
+        };
+        // Exactly at the floor: node 7 (last touched at epoch 5) must be
+        // excluded and nodes 0..=6 included, same as the generation scan.
+        let fast = c.nodes_changed_since(floor);
+        assert_eq!(fast, ground_truth(floor));
+        assert_eq!(fast, (0..7u32).map(NodeId).collect::<Vec<_>>());
+        // One epoch below the floor the log has lost an entry, so the
+        // slow path must report node 7's epoch-5 mutation too.
+        let below = c.nodes_changed_since(floor - 1);
+        assert_eq!(below, ground_truth(floor - 1));
+        assert!(below.contains(&NodeId(7)));
     }
 
     #[test]

@@ -67,6 +67,25 @@ impl HeuristicScheduler {
         requests: &[LraRequest],
         deployed_constraints: &[PlacementConstraint],
     ) -> Vec<PlacementOutcome> {
+        self.place_on(state, requests, deployed_constraints, None)
+    }
+
+    /// Like [`HeuristicScheduler::place`], but restricted to an allowed
+    /// node list (a shard's nodes). Scoring still sees the full cluster
+    /// state — `γ` counts over groups remain globally correct — only the
+    /// candidate hosts are restricted. `None` means all nodes.
+    ///
+    /// Callers must pass `allowed` in ascending node-id order: the greedy
+    /// scan breaks score ties by keeping the first maximum, so scan order
+    /// is part of the placement contract (sharded runs reproduce
+    /// unsharded tie-breaks only because both scan ascending ids).
+    pub fn place_on(
+        &self,
+        state: &ClusterState,
+        requests: &[LraRequest],
+        deployed_constraints: &[PlacementConstraint],
+        allowed: Option<&[NodeId]>,
+    ) -> Vec<PlacementOutcome> {
         let mut work = state.clone();
         let mut constraints: Vec<PlacementConstraint> = deployed_constraints.to_vec();
         for r in requests {
@@ -106,7 +125,10 @@ impl HeuristicScheduler {
             }
         }
 
-        let nodes: Vec<NodeId> = work.node_ids().collect();
+        let nodes: Vec<NodeId> = match allowed {
+            Some(a) => a.to_vec(),
+            None => work.node_ids().collect(),
+        };
         let mut placements: Vec<Vec<Option<NodeId>>> = requests
             .iter()
             .map(|r| vec![None; r.containers.len()])
@@ -212,7 +234,11 @@ fn place_best(
     let mut best: Option<(NodeId, f64)> = None;
     for &n in nodes {
         if let Some(s) = scorer.score(work, app, request, n) {
-            if best.is_none_or(|(_, bs)| s > bs) {
+            // total_cmp keeps the argmax well-defined for every score the
+            // scorer can emit (scores are finite by contract, but a partial
+            // comparison here would silently mis-order if that ever broke);
+            // strict Greater keeps first-wins tie-breaking in scan order.
+            if best.is_none_or(|(_, bs)| s.total_cmp(&bs) == std::cmp::Ordering::Greater) {
                 best = Some((n, s));
             }
         }
@@ -376,6 +402,69 @@ mod tests {
             stats.containers_violating, 0,
             "batch-aware heuristic should satisfy inter-app affinity"
         );
+    }
+
+    #[test]
+    fn zero_capacity_node_scores_finite_and_loses() {
+        // The 0/0 utilization-share class of NaN scores: a zero-capacity
+        // node is feasible for a zero-demand container, and its balance
+        // term divides by zero capacity. The scorer must produce a finite
+        // score or None for it — a NaN score would poison the greedy
+        // argmax (NaN neither wins nor loses a `>` comparison, so
+        // whichever node is scanned first would stick) — and placement
+        // must deterministically land on the real node.
+        use medea_cluster::Node;
+        let state = ClusterState::new(
+            vec![
+                Node::new(NodeId(0), Resources::new(0, 0)),
+                Node::new(NodeId(1), Resources::new(16 * 1024, 16)),
+            ],
+            1,
+        );
+        let scorer = Scorer::new(ObjectiveWeights::default(), vec![]);
+        let req_zero = ContainerRequest::new(Resources::new(0, 0), [Tag::new("z")]);
+        let mut probe = state.clone();
+        for n in [NodeId(0), NodeId(1)] {
+            if let Some(s) = scorer.score(&mut probe, ApplicationId(7), &req_zero, n) {
+                assert!(s.is_finite(), "score on {n:?} must never be NaN/inf");
+            }
+        }
+        let req = LraRequest {
+            app: ApplicationId(1),
+            containers: vec![req_zero],
+            constraints: vec![],
+        };
+        for ordering in [
+            Ordering::Submission,
+            Ordering::TagPopularity,
+            Ordering::NodeCandidates,
+        ] {
+            let out =
+                HeuristicScheduler::new(ordering).place(&state, std::slice::from_ref(&req), &[]);
+            let pl = out[0].placement().unwrap();
+            assert_eq!(pl.nodes, vec![NodeId(1)], "{ordering:?}");
+        }
+    }
+
+    #[test]
+    fn place_on_restricts_candidate_hosts() {
+        let state = cluster(6, 3);
+        let req = LraRequest::uniform(
+            ApplicationId(1),
+            3,
+            Resources::new(1024, 1),
+            vec![Tag::new("s")],
+            vec![],
+        );
+        let allowed = [NodeId(2), NodeId(3)];
+        let out = HeuristicScheduler::new(Ordering::Submission).place_on(
+            &state,
+            &[req],
+            &[],
+            Some(&allowed),
+        );
+        let pl = out[0].placement().unwrap();
+        assert!(pl.nodes.iter().all(|n| allowed.contains(n)));
     }
 
     #[test]

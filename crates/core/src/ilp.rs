@@ -175,6 +175,26 @@ pub fn place_with_ilp_status(
     deployed_constraints: &[PlacementConstraint],
     cfg: &IlpConfig,
 ) -> (Vec<PlacementOutcome>, IlpSolveStatus) {
+    place_with_ilp_status_on(state, requests, deployed_constraints, cfg, None)
+}
+
+/// Like [`place_with_ilp_status`], but restricted to an allowed node list
+/// (a shard's nodes); `None` means all nodes. The restriction is applied
+/// where candidates are *selected* — the heuristic MIP start and all
+/// three candidate-selection priorities — so the whole model, not just a
+/// post-filter, lives inside the shard. Constraint evaluation still sees
+/// the full state, keeping `γ` counts over groups globally correct.
+///
+/// Per-shard solvers should also hold per-shard [`IlpBasisCache`]s (one
+/// shard's basis never matches another shard's skeleton, and a shared
+/// single-slot cache would thrash).
+pub fn place_with_ilp_status_on(
+    state: &ClusterState,
+    requests: &[LraRequest],
+    deployed_constraints: &[PlacementConstraint],
+    cfg: &IlpConfig,
+    allowed: Option<&[NodeId]>,
+) -> (Vec<PlacementOutcome>, IlpSolveStatus) {
     if requests.is_empty() {
         return (Vec::new(), IlpSolveStatus::Solved);
     }
@@ -237,7 +257,7 @@ pub fn place_with_ilp_status(
     // the result is heuristic-or-better.
     let heuristic =
         crate::heuristics::HeuristicScheduler::new(crate::heuristics::Ordering::NodeCandidates)
-            .place(state, requests, deployed_constraints);
+            .place_on(state, requests, deployed_constraints, allowed);
     let heuristic_nodes: Vec<NodeId> = {
         let mut v: Vec<NodeId> = heuristic
             .iter()
@@ -259,6 +279,7 @@ pub fn place_with_ilp_status(
         &heuristic_nodes,
         max_candidates,
         t_total,
+        allowed,
     );
     if candidates.is_empty() {
         // No usable node can host even the smallest container: the batch
@@ -544,6 +565,7 @@ fn initial_point(
 /// 3. the *freest* equivalence classes, round-robin across classes for
 ///    diversity (so consecutive scheduling cycles do not keep re-packing
 ///    the same nodes).
+#[allow(clippy::too_many_arguments)]
 fn select_candidates(
     state: &ClusterState,
     new_containers: &[NewContainer],
@@ -551,6 +573,7 @@ fn select_candidates(
     heuristic_nodes: &[NodeId],
     max_candidates: usize,
     t_total: usize,
+    allowed: Option<&[NodeId]>,
 ) -> Vec<NodeId> {
     let min_demand = new_containers
         .iter()
@@ -563,8 +586,15 @@ fn select_candidates(
         })
         .unwrap_or(medea_cluster::Resources::ZERO);
 
+    // The shard restriction filters *here*, inside usability, rather than
+    // post-hoc on the result: priorities 2 and 3 would otherwise fill the
+    // budget with out-of-shard nodes that a post-filter then discards,
+    // leaving the model with far fewer candidates than budgeted.
+    let allowed_set: Option<std::collections::HashSet<NodeId>> =
+        allowed.map(|a| a.iter().copied().collect());
     let usable = |n: NodeId| {
-        state.is_available(n)
+        allowed_set.as_ref().is_none_or(|a| a.contains(&n))
+            && state.is_available(n)
             && state
                 .free(n)
                 .map(|f| min_demand.fits_in(&f))

@@ -44,7 +44,10 @@ pub use capabilities::{
     implemented_capabilities, paper_table1, render_table, CapabilityRow, Support,
 };
 pub use heuristics::{HeuristicScheduler, Ordering};
-pub use ilp::{place_with_ilp, place_with_ilp_status, IlpBasisCache, IlpConfig, IlpSolveStatus};
+pub use ilp::{
+    place_with_ilp, place_with_ilp_status, place_with_ilp_status_on, IlpBasisCache, IlpConfig,
+    IlpSolveStatus,
+};
 pub use jkube::JKubeScheduler;
 pub use lra::{LraAlgorithm, LraScheduler};
 pub use medea::{InflightSolve, LraDeployment, MedeaScheduler, MedeaStats};

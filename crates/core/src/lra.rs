@@ -2,11 +2,11 @@
 
 use std::fmt;
 
-use medea_cluster::ClusterState;
+use medea_cluster::{ClusterState, NodeId};
 use medea_constraints::PlacementConstraint;
 
 use crate::heuristics::{HeuristicScheduler, Ordering};
-use crate::ilp::{place_with_ilp_status, IlpConfig, IlpSolveStatus};
+use crate::ilp::{place_with_ilp_status_on, IlpConfig, IlpSolveStatus};
 use crate::jkube::JKubeScheduler;
 use crate::request::{LraRequest, PlacementOutcome};
 use crate::yarn::YarnScheduler;
@@ -96,6 +96,20 @@ impl LraScheduler {
             .0
     }
 
+    /// Like [`LraScheduler::place`], but restricted to an allowed node
+    /// list (a shard's nodes); `None` means all nodes. Scoring still sees
+    /// the full state — only candidate hosts are restricted.
+    pub fn place_on(
+        &self,
+        state: &ClusterState,
+        requests: &[LraRequest],
+        deployed_constraints: &[PlacementConstraint],
+        allowed: Option<&[NodeId]>,
+    ) -> Vec<PlacementOutcome> {
+        self.place_with_status_on(state, requests, deployed_constraints, allowed)
+            .0
+    }
+
     /// Like [`LraScheduler::place`], additionally reporting whether the
     /// ILP path degraded to its heuristic fallback. Non-ILP algorithms
     /// always report [`IlpSolveStatus::Solved`] (they have no solver to
@@ -106,11 +120,29 @@ impl LraScheduler {
         requests: &[LraRequest],
         deployed_constraints: &[PlacementConstraint],
     ) -> (Vec<PlacementOutcome>, IlpSolveStatus) {
+        self.place_with_status_on(state, requests, deployed_constraints, None)
+    }
+
+    /// Allowed-node-restricted variant of
+    /// [`LraScheduler::place_with_status`].
+    pub fn place_with_status_on(
+        &self,
+        state: &ClusterState,
+        requests: &[LraRequest],
+        deployed_constraints: &[PlacementConstraint],
+        allowed: Option<&[NodeId]>,
+    ) -> (Vec<PlacementOutcome>, IlpSolveStatus) {
         if self.algorithm == LraAlgorithm::Ilp {
-            return place_with_ilp_status(state, requests, deployed_constraints, &self.ilp);
+            return place_with_ilp_status_on(
+                state,
+                requests,
+                deployed_constraints,
+                &self.ilp,
+                allowed,
+            );
         }
         (
-            self.place_non_ilp(state, requests, deployed_constraints),
+            self.place_non_ilp(state, requests, deployed_constraints, allowed),
             IlpSolveStatus::Solved,
         )
     }
@@ -124,10 +156,23 @@ impl LraScheduler {
         requests: &[LraRequest],
         deployed_constraints: &[PlacementConstraint],
     ) -> Vec<PlacementOutcome> {
-        HeuristicScheduler::new(Ordering::NodeCandidates).place(
+        self.place_degraded_on(state, requests, deployed_constraints, None)
+    }
+
+    /// Allowed-node-restricted variant of
+    /// [`LraScheduler::place_degraded`].
+    pub fn place_degraded_on(
+        &self,
+        state: &ClusterState,
+        requests: &[LraRequest],
+        deployed_constraints: &[PlacementConstraint],
+        allowed: Option<&[NodeId]>,
+    ) -> Vec<PlacementOutcome> {
+        HeuristicScheduler::new(Ordering::NodeCandidates).place_on(
             state,
             requests,
             deployed_constraints,
+            allowed,
         )
     }
 
@@ -136,6 +181,7 @@ impl LraScheduler {
         state: &ClusterState,
         requests: &[LraRequest],
         deployed_constraints: &[PlacementConstraint],
+        allowed: Option<&[NodeId]>,
     ) -> Vec<PlacementOutcome> {
         match self.algorithm {
             // Only reachable via place_with_status, which routes ILP
@@ -144,26 +190,47 @@ impl LraScheduler {
             LraAlgorithm::Ilp | LraAlgorithm::NodeCandidates => HeuristicScheduler::new(
                 Ordering::NodeCandidates,
             )
-            .place(state, requests, deployed_constraints),
-            LraAlgorithm::TagPopularity => HeuristicScheduler::new(Ordering::TagPopularity).place(
+            .place_on(state, requests, deployed_constraints, allowed),
+            LraAlgorithm::TagPopularity => HeuristicScheduler::new(Ordering::TagPopularity)
+                .place_on(state, requests, deployed_constraints, allowed),
+            LraAlgorithm::Serial => HeuristicScheduler::new(Ordering::Submission).place_on(
                 state,
                 requests,
                 deployed_constraints,
+                allowed,
             ),
-            LraAlgorithm::Serial => HeuristicScheduler::new(Ordering::Submission).place(
-                state,
+            // The J-Kube and YARN baselines pick nodes internally; the
+            // restriction is applied by masking availability on a working
+            // copy (every placer honors node availability).
+            LraAlgorithm::JKube => JKubeScheduler::jkube().place(
+                masked(state, allowed).as_ref().unwrap_or(state),
                 requests,
                 deployed_constraints,
             ),
-            LraAlgorithm::JKube => {
-                JKubeScheduler::jkube().place(state, requests, deployed_constraints)
-            }
-            LraAlgorithm::JKubePlusPlus => {
-                JKubeScheduler::jkube_plus_plus().place(state, requests, deployed_constraints)
-            }
-            LraAlgorithm::Yarn => YarnScheduler::new().place(state, requests),
+            LraAlgorithm::JKubePlusPlus => JKubeScheduler::jkube_plus_plus().place(
+                masked(state, allowed).as_ref().unwrap_or(state),
+                requests,
+                deployed_constraints,
+            ),
+            LraAlgorithm::Yarn => YarnScheduler::new()
+                .place(masked(state, allowed).as_ref().unwrap_or(state), requests),
         }
     }
+}
+
+/// Working copy of `state` with every node outside `allowed` marked
+/// unavailable; `None` when no restriction applies.
+fn masked(state: &ClusterState, allowed: Option<&[NodeId]>) -> Option<ClusterState> {
+    let allowed = allowed?;
+    let mut work = state.clone();
+    let set: std::collections::HashSet<NodeId> = allowed.iter().copied().collect();
+    let ids: Vec<NodeId> = work.node_ids().collect();
+    for n in ids {
+        if !set.contains(&n) {
+            let _ = work.set_available(n, false);
+        }
+    }
+    Some(work)
 }
 
 #[cfg(test)]

@@ -22,11 +22,14 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
-use medea_cluster::{ApplicationId, ClusterState, ContainerId, ExecutionKind, NodeGroupId, NodeId};
+use medea_cluster::{
+    ApplicationId, ClusterSnapshot, ClusterState, ContainerId, ExecutionKind, NodeGroupId, NodeId,
+    ShardConfig, ShardPlan,
+};
 use medea_constraints::{ConstraintError, ConstraintManager, PlacementConstraint, TagExpr};
 use medea_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
-use crate::ilp::IlpSolveStatus;
+use crate::ilp::{IlpBasisCache, IlpSolveStatus};
 use crate::lra::{LraAlgorithm, LraScheduler};
 use crate::recovery::{fault_domain_tag, CircuitBreaker, NodeLossReport, RecoveryConfig};
 use crate::recovery::{BreakerState, RecoveryReport, FAULT_DOMAIN_TAG};
@@ -54,6 +57,9 @@ struct CoreMetrics {
     breaker_closed: Arc<Counter>,
     breaker_state: Arc<Gauge>,
     solver_stalls: Arc<Counter>,
+    shards_active: Arc<Gauge>,
+    shard_resubmissions: Arc<Counter>,
+    shard_solve_us: Arc<Histogram>,
     index_update_ops: Arc<Gauge>,
     index_distinct_tags: Arc<Gauge>,
     index_rebuilds: Arc<Gauge>,
@@ -80,6 +86,9 @@ impl CoreMetrics {
             breaker_closed: registry.counter("core.breaker_closed_total"),
             breaker_state: registry.gauge("core.breaker_state"),
             solver_stalls: registry.counter("core.solver_stalls_total"),
+            shards_active: registry.gauge("core.shards_active"),
+            shard_resubmissions: registry.counter("core.shard_resubmissions_total"),
+            shard_solve_us: registry.histogram("core.shard_solve_us"),
             index_update_ops: registry.gauge("cluster.index_update_ops"),
             index_distinct_tags: registry.gauge("cluster.index_distinct_tags"),
             index_rebuilds: registry.gauge("cluster.index_rebuilds"),
@@ -97,6 +106,18 @@ struct PendingLra {
     not_before: u64,
     /// Whether this request re-places containers lost to a node crash.
     is_recovery: bool,
+}
+
+/// Where a batch entry's constraint footprint routes it during a sharded
+/// round (see [`MedeaScheduler::propose_all`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryRoute {
+    /// All affinity targets live in one shard: solve there.
+    Pinned(usize),
+    /// No footprint: any shard works; spread round-robin.
+    Any,
+    /// Constraints straddle shards: solve over the full node set.
+    Residual,
 }
 
 /// Result of one committed LRA placement.
@@ -128,10 +149,12 @@ pub struct LraDeployment {
 /// cluster drifted under the solve (γ-cardinality drift) and the entry is
 /// conflicted rather than committed.
 ///
-/// Exactly one solve may be in flight per scheduler:
-/// [`MedeaScheduler::propose`] returns `None` while one exists. Dropping
-/// an `InflightSolve` without committing it loses the batch; always hand
-/// it back via [`MedeaScheduler::commit`].
+/// One *round* may be in flight per scheduler, holding one solve
+/// ([`MedeaScheduler::propose`]) or — with sharding enabled — one solve
+/// per active shard plus an optional cross-shard residual
+/// ([`MedeaScheduler::propose_all`]); new rounds are refused while any of
+/// them is uncommitted. Dropping an `InflightSolve` without committing it
+/// loses the batch; always hand it back via [`MedeaScheduler::commit`].
 #[derive(Debug)]
 pub struct InflightSolve {
     batch: Vec<PendingLra>,
@@ -149,6 +172,12 @@ pub struct InflightSolve {
     lras: usize,
     containers: usize,
     recovery_containers: usize,
+    /// The shard this solve was restricted to; `None` for an unsharded
+    /// solve or the cross-shard residual of a sharded round.
+    shard: Option<usize>,
+    /// Whether this solve belongs to a sharded round (conflicts then
+    /// count toward `core.shard_resubmissions_total`).
+    sharded: bool,
 }
 
 impl InflightSolve {
@@ -177,6 +206,12 @@ impl InflightSolve {
         self.containers
     }
 
+    /// The shard this solve was restricted to (`None`: unsharded, or the
+    /// cross-shard residual solve of a sharded round).
+    pub fn shard(&self) -> Option<usize> {
+        self.shard
+    }
+
     /// The proposed (not yet committed) placements: `(app, nodes)` per
     /// placed batch entry, in batch order.
     pub fn placements(&self) -> Vec<(ApplicationId, Vec<NodeId>)> {
@@ -201,6 +236,9 @@ pub struct MedeaStats {
     pub lras_dropped: usize,
     /// Scheduling-interval invocations.
     pub cycles: usize,
+    /// Commit conflicts of sharded rounds (the subset of
+    /// `commit_conflicts` attributable to cross-shard reconciliation).
+    pub shard_resubmissions: usize,
 }
 
 /// The Medea resource-manager extension: LRA queue + two schedulers over
@@ -243,7 +281,16 @@ pub struct MedeaScheduler {
     recovery_replaced: usize,
     recovery_unplaceable: usize,
     unplaceable_by_app: HashMap<ApplicationId, usize>,
-    /// Solves currently in flight (0 or 1: propose/commit are paired).
+    /// Sharded-solving configuration (disabled by default: one
+    /// monolithic solve per round).
+    shard: ShardConfig,
+    /// Per-shard ILP warm-basis caches, grown on demand: a shard's basis
+    /// never matches another shard's constraint skeleton, so sharing the
+    /// scheduler's single-slot cache across shards would thrash it.
+    shard_caches: Vec<Arc<IlpBasisCache>>,
+    /// Solves currently in flight: 0 or 1 unsharded; up to one per shard
+    /// plus a residual during a sharded round. New rounds are gated on
+    /// this reaching 0.
     inflight: usize,
     /// Recovery containers inside the in-flight batch; counted as pending
     /// by [`MedeaScheduler::recovery_report`] so the lost = replaced +
@@ -277,6 +324,8 @@ impl MedeaScheduler {
             recovery_replaced: 0,
             recovery_unplaceable: 0,
             unplaceable_by_app: HashMap::new(),
+            shard: ShardConfig::disabled(),
+            shard_caches: Vec::new(),
             inflight: 0,
             inflight_recovery_containers: 0,
             stats: MedeaStats::default(),
@@ -288,6 +337,26 @@ impl MedeaScheduler {
     pub fn with_task_scheduler(mut self, ts: TaskScheduler) -> Self {
         self.task_scheduler = ts;
         self
+    }
+
+    /// Enables (or reconfigures) sharded solving: each round partitions
+    /// the cluster along rack/service-unit boundaries and runs one
+    /// restricted solve per shard (see [`MedeaScheduler::propose_all`]).
+    /// Builder form of [`MedeaScheduler::set_sharding`].
+    pub fn with_sharding(mut self, config: ShardConfig) -> Self {
+        self.set_sharding(config);
+        self
+    }
+
+    /// Enables (or reconfigures) sharded solving (see
+    /// [`MedeaScheduler::with_sharding`]).
+    pub fn set_sharding(&mut self, config: ShardConfig) {
+        self.shard = config;
+    }
+
+    /// The current sharded-solving configuration.
+    pub fn sharding(&self) -> &ShardConfig {
+        &self.shard
     }
 
     /// Replaces the recovery policy (and resets the circuit breaker to
@@ -557,13 +626,17 @@ impl MedeaScheduler {
     ///
     /// Returns the LRAs deployed in this invocation.
     pub fn tick(&mut self, now: u64) -> Vec<LraDeployment> {
-        match self.propose(now) {
-            Some(solve) => self.commit(now, solve),
-            None => Vec::new(),
+        let solves = self.propose_all(now);
+        let mut out = Vec::new();
+        for solve in solves {
+            out.extend(self.commit(now, solve));
         }
+        out
     }
 
-    /// Whether a solve is currently in flight (proposed, not committed).
+    /// Whether any solve is currently in flight (proposed, not
+    /// committed). A sharded round keeps this `true` until every
+    /// per-shard solve (and the residual, if any) has been committed.
     pub fn solve_inflight(&self) -> bool {
         self.inflight > 0
     }
@@ -578,13 +651,46 @@ impl MedeaScheduler {
     ///
     /// Returns `None` (without consuming a cycle) when the interval has
     /// not elapsed, the queue is empty or entirely backed off, or a solve
-    /// is already in flight (at most one at a time).
+    /// is already in flight. Always produces a single monolithic solve,
+    /// regardless of the sharding configuration — sharded rounds go
+    /// through [`MedeaScheduler::propose_all`].
     pub fn propose(&mut self, now: u64) -> Option<InflightSolve> {
+        self.propose_round(now, false).pop()
+    }
+
+    /// Phase 1 of the sharded pipeline: like [`MedeaScheduler::propose`],
+    /// but when sharding is enabled the round is split into per-shard
+    /// solves. The cluster is partitioned along rack/service-unit
+    /// boundaries ([`ShardPlan`]); each batch entry is routed by its
+    /// constraint footprint:
+    ///
+    /// - own constraint over a group that straddles shards → the
+    ///   cross-shard **residual** solve (full node set);
+    /// - affinity targets carried by nodes of exactly one shard → pinned
+    ///   to that shard;
+    /// - affinity targets spanning several shards → residual;
+    /// - no footprint → round-robin across shards, freest shard first
+    ///   (the `ClusterIndex` free-memory ordering).
+    ///
+    /// Every solve runs against the same snapshot with its baseline
+    /// computed on the *pristine* snapshot, so interactions between
+    /// shards (e.g. a deployed cardinality constraint spanning two
+    /// shards) surface as γ-drift commit conflicts and are reconciled by
+    /// the usual §5.4 rollback + resubmission path.
+    ///
+    /// Returns an empty vector under the same conditions `propose`
+    /// returns `None`. Each returned solve must be handed back via
+    /// [`MedeaScheduler::commit`]; new rounds are refused until all are.
+    pub fn propose_all(&mut self, now: u64) -> Vec<InflightSolve> {
+        self.propose_round(now, self.shard.enabled)
+    }
+
+    fn propose_round(&mut self, now: u64, sharded: bool) -> Vec<InflightSolve> {
         if self.inflight > 0 {
-            return None;
+            return Vec::new();
         }
         if now < self.next_run || self.pending.is_empty() {
-            return None;
+            return Vec::new();
         }
         // Recovery retries back off between attempts: only entries whose
         // backoff has elapsed join this batch; the rest stay queued. If
@@ -594,7 +700,7 @@ impl MedeaScheduler {
             self.pending.drain(..).partition(|p| p.not_before <= now);
         self.pending = deferred.into();
         if batch.is_empty() {
-            return None;
+            return Vec::new();
         }
         self.next_run = now + self.interval;
         self.stats.cycles += 1;
@@ -602,12 +708,10 @@ impl MedeaScheduler {
             m.cycles.inc();
         }
 
-        let requests: Vec<LraRequest> = batch.iter().map(|p| p.request.clone()).collect();
-
         // Constraints of deployed LRAs + operator, minus the new batch's
         // own (those travel with the requests).
         let deployed: Vec<PlacementConstraint> = {
-            let batch_apps: Vec<ApplicationId> = requests.iter().map(|r| r.app).collect();
+            let batch_apps: Vec<ApplicationId> = batch.iter().map(|p| p.request.app).collect();
             self.constraint_manager
                 .active_shared()
                 .iter()
@@ -619,12 +723,169 @@ impl MedeaScheduler {
                 .collect()
         };
 
+        // One snapshot per round, shared by every sub-solve: solves only
+        // read it (their working copies are restricted to shard nodes),
+        // and baseline bookkeeping below is undone per sub-batch.
         let mut snapshot = self.state.snapshot();
+
+        let plan = if sharded {
+            Some(ShardPlan::build(
+                self.state.groups(),
+                self.shard.target_shards,
+            ))
+        } else {
+            None
+        };
+
+        let mut solves = Vec::new();
+        match plan {
+            Some(plan) if plan.num_shards() > 1 => {
+                let k = plan.num_shards();
+                let mut sub: Vec<Vec<PendingLra>> = (0..k).map(|_| Vec::new()).collect();
+                let mut residual: Vec<PendingLra> = Vec::new();
+                // Round-robin order for footprint-free entries: shards in
+                // order of first appearance in the free-memory ordering
+                // (freest shard first), so load spreads toward capacity.
+                let order = {
+                    let mut seen = vec![false; k];
+                    let mut ord = Vec::with_capacity(k);
+                    for n in self.state.nodes_by_free_memory() {
+                        if let Some(s) = plan.shard_of(n) {
+                            if !seen[s] {
+                                seen[s] = true;
+                                ord.push(s);
+                            }
+                        }
+                    }
+                    for (s, seen) in seen.iter().enumerate() {
+                        if !seen {
+                            ord.push(s);
+                        }
+                    }
+                    ord
+                };
+                let mut rr = 0usize;
+                for p in batch {
+                    match Self::route_entry(&self.state, &plan, &p.request) {
+                        EntryRoute::Pinned(s) => sub[s].push(p),
+                        EntryRoute::Any => {
+                            sub[order[rr % order.len()]].push(p);
+                            rr += 1;
+                        }
+                        EntryRoute::Residual => residual.push(p),
+                    }
+                }
+                let mut active = 0i64;
+                for (s, sb) in sub.into_iter().enumerate() {
+                    if sb.is_empty() {
+                        continue;
+                    }
+                    active += 1;
+                    let allowed = plan.nodes(s).to_vec();
+                    solves.push(self.solve_sub_batch(
+                        now,
+                        sb,
+                        &deployed,
+                        &mut snapshot,
+                        Some(s),
+                        Some(&allowed),
+                        true,
+                    ));
+                }
+                if !residual.is_empty() {
+                    solves.push(self.solve_sub_batch(
+                        now,
+                        residual,
+                        &deployed,
+                        &mut snapshot,
+                        None,
+                        None,
+                        true,
+                    ));
+                }
+                if let Some(m) = &self.metrics {
+                    m.shards_active.set(active);
+                }
+            }
+            _ => {
+                solves.push(self.solve_sub_batch(
+                    now,
+                    batch,
+                    &deployed,
+                    &mut snapshot,
+                    None,
+                    None,
+                    sharded,
+                ));
+                if let Some(m) = &self.metrics {
+                    if sharded {
+                        // Degenerate plan (one basis set): sharding was on
+                        // but the round ran as a single solve.
+                        m.shards_active.set(1);
+                    }
+                }
+            }
+        }
+
+        self.inflight = solves.len();
+        self.inflight_recovery_containers = solves.iter().map(|s| s.recovery_containers).sum();
+        if let Some(m) = &self.metrics {
+            m.solve_inflight.set(self.inflight as i64);
+        }
+        solves
+    }
+
+    /// Runs the placement algorithm for one sub-batch of the round —
+    /// restricted to `allowed` nodes for a shard solve — and computes its
+    /// commit-validation baselines against the shared round snapshot.
+    ///
+    /// Baselines accumulate *within* the sub-batch (commit replays the
+    /// same order on live state) but are undone before returning, so
+    /// every sub-batch's baseline is computed on the pristine snapshot.
+    /// This is load-bearing for conflict detection: if a later shard's
+    /// baseline saw an earlier shard's tentative placements, cross-shard
+    /// γ-drift would be absorbed into the baseline and never surface as a
+    /// commit conflict.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_sub_batch(
+        &mut self,
+        now: u64,
+        batch: Vec<PendingLra>,
+        deployed: &[PlacementConstraint],
+        snapshot: &mut ClusterSnapshot,
+        shard: Option<usize>,
+        allowed: Option<&[NodeId]>,
+        sharded: bool,
+    ) -> InflightSolve {
+        let requests: Vec<LraRequest> = batch.iter().map(|p| p.request.clone()).collect();
+
+        // Shard solves use per-shard warm-basis caches; swap the shard's
+        // cache in for the duration of the solve and restore afterwards.
+        let mut swapped: Option<Option<Arc<IlpBasisCache>>> = None;
+        if let Some(s) = shard {
+            if self.lra_scheduler.algorithm == LraAlgorithm::Ilp {
+                while self.shard_caches.len() <= s {
+                    self.shard_caches.push(Arc::new(IlpBasisCache::default()));
+                }
+                swapped = Some(
+                    self.lra_scheduler
+                        .ilp
+                        .warm_cache
+                        .replace(Arc::clone(&self.shard_caches[s])),
+                );
+            }
+        }
         let t0 = Instant::now();
-        let outcomes = self.place_batch(snapshot.state(), &requests, &deployed);
+        let outcomes = self.place_batch_on(snapshot.state(), &requests, deployed, allowed);
         let algorithm_time = t0.elapsed();
+        if let Some(prev) = swapped {
+            self.lra_scheduler.ilp.warm_cache = prev;
+        }
         if let Some(m) = &self.metrics {
             m.place_us.record_duration(algorithm_time);
+            if shard.is_some() {
+                m.shard_solve_us.record_duration(algorithm_time);
+            }
         }
 
         // Establish the commit-time validation baseline: apply the
@@ -633,6 +894,7 @@ impl MedeaScheduler {
         // allocation. Commit replays the same sequence on live state; a
         // higher live count means the cluster drifted mid-solve.
         let mut baselines: Vec<Option<usize>> = Vec::with_capacity(batch.len());
+        let mut applied: Vec<ContainerId> = Vec::new();
         for (pending, outcome) in batch.iter().zip(&outcomes) {
             let Some(placement) = outcome.placement() else {
                 baselines.push(None);
@@ -666,9 +928,15 @@ impl MedeaScheduler {
             baselines.push(Some(Self::violated_checks(
                 snapshot.state(),
                 &pending.request.constraints,
-                &deployed,
+                deployed,
                 &ids,
             )));
+            applied.extend(ids);
+        }
+        // Restore the snapshot for the round's next sub-batch (see the
+        // method doc: baselines must be pristine per sub-batch).
+        for id in applied.into_iter().rev() {
+            let _ = snapshot.state_mut().release(id);
         }
 
         let lras = batch.len();
@@ -678,23 +946,54 @@ impl MedeaScheduler {
             .filter(|p| p.is_recovery)
             .map(|p| p.request.num_containers())
             .sum();
-        self.inflight = 1;
-        self.inflight_recovery_containers = recovery_containers;
-        if let Some(m) = &self.metrics {
-            m.solve_inflight.set(1);
-        }
-        Some(InflightSolve {
+        InflightSolve {
             batch,
             outcomes,
             baselines,
-            deployed_constraints: deployed,
+            deployed_constraints: deployed.to_vec(),
             snapshot_epoch: snapshot.epoch(),
             proposed_at: now,
             algorithm_time,
             lras,
             containers,
             recovery_containers,
-        })
+            shard,
+            sharded,
+        }
+    }
+
+    /// Routes one batch entry by its constraint footprint (see
+    /// [`MedeaScheduler::propose_all`]). Only the entry's *own*
+    /// constraints pin or residualize it; interactions with deployed
+    /// constraints that span shards are deliberately left to commit-time
+    /// γ-drift validation.
+    fn route_entry(state: &ClusterState, plan: &ShardPlan, request: &LraRequest) -> EntryRoute {
+        let mut shards: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for c in &request.constraints {
+            if !plan.is_aligned(&c.group) {
+                return EntryRoute::Residual;
+            }
+            for leaf in c.expr.leaves() {
+                // Only minimum-cardinality (affinity-like) leaves pin the
+                // entry near their targets; anti-affinity leaves have
+                // nothing to co-locate with, and their violations are
+                // scored against the full snapshot from any shard.
+                if leaf.cardinality.min == 0 {
+                    continue;
+                }
+                for n in state.nodes_with_all_tags(leaf.target.tags()) {
+                    if let Some(s) = plan.shard_of(n) {
+                        shards.insert(s);
+                    }
+                }
+            }
+        }
+        let mut it = shards.iter();
+        match (it.next(), it.next()) {
+            (None, _) => EntryRoute::Any,
+            (Some(&s), None) => EntryRoute::Pinned(s),
+            (Some(_), Some(_)) => EntryRoute::Residual,
+        }
     }
 
     /// Phase 3 of the placement pipeline: re-validates every proposed
@@ -714,15 +1013,16 @@ impl MedeaScheduler {
             proposed_at,
             algorithm_time,
             recovery_containers,
+            sharded,
             ..
         } = solve;
-        self.inflight = 0;
+        self.inflight = self.inflight.saturating_sub(1);
         self.inflight_recovery_containers = self
             .inflight_recovery_containers
             .saturating_sub(recovery_containers);
         let commit_start = Instant::now();
         if let Some(m) = &self.metrics {
-            m.solve_inflight.set(0);
+            m.solve_inflight.set(self.inflight as i64);
             m.placement_staleness_ticks
                 .record(now.saturating_sub(proposed_at));
         }
@@ -763,6 +1063,16 @@ impl MedeaScheduler {
                             self.stats.commit_conflicts += 1;
                             if let Some(m) = &self.metrics {
                                 m.commit_conflicts.inc();
+                            }
+                            if sharded {
+                                // Cross-shard interference (or ordinary
+                                // drift) detected during a sharded round:
+                                // tracked separately so operators can see
+                                // how much re-solving sharding costs.
+                                self.stats.shard_resubmissions += 1;
+                                if let Some(m) = &self.metrics {
+                                    m.shard_resubmissions.inc();
+                                }
                             }
                             self.resubmit(pending, now);
                         }
@@ -820,37 +1130,43 @@ impl MedeaScheduler {
         violated
     }
 
-    /// Runs the placement algorithm for one batch, routing the ILP
+    /// Runs the placement algorithm for one batch — restricted to
+    /// `allowed` candidate hosts when solving a shard — routing the ILP
     /// through the circuit breaker: injected stalls and solver
     /// degradations count as failures; while the breaker is open every
     /// batch is served by the node-candidates heuristic until the
     /// cool-down elapses and a probe succeeds.
-    fn place_batch(
+    fn place_batch_on(
         &mut self,
         state: &ClusterState,
         requests: &[LraRequest],
         deployed: &[PlacementConstraint],
+        allowed: Option<&[NodeId]>,
     ) -> Vec<PlacementOutcome> {
         if self.lra_scheduler.algorithm != LraAlgorithm::Ilp {
-            return self.lra_scheduler.place(state, requests, deployed);
+            return self
+                .lra_scheduler
+                .place_on(state, requests, deployed, allowed);
         }
         let opened_before = self.breaker.opened_total();
         let closed_before = self.breaker.closed_total();
         let outcomes = if self.stall_cycles_remaining > 0 {
             self.stall_cycles_remaining -= 1;
             self.breaker.on_failure();
-            self.lra_scheduler.place_degraded(state, requests, deployed)
+            self.lra_scheduler
+                .place_degraded_on(state, requests, deployed, allowed)
         } else if self.breaker.allow() {
             let (outcomes, status) = self
                 .lra_scheduler
-                .place_with_status(state, requests, deployed);
+                .place_with_status_on(state, requests, deployed, allowed);
             match status {
                 IlpSolveStatus::Solved => self.breaker.on_success(),
                 IlpSolveStatus::Degraded => self.breaker.on_failure(),
             }
             outcomes
         } else {
-            self.lra_scheduler.place_degraded(state, requests, deployed)
+            self.lra_scheduler
+                .place_degraded_on(state, requests, deployed, allowed)
         };
         if let Some(m) = &self.metrics {
             m.breaker_opened

@@ -136,7 +136,12 @@ impl Scorer {
             let free_after = state.free(node).ok()?.saturating_sub(&req.resources);
             1.0 - free_after.memory_share(&cap)
         };
-        Some(-self.weights.w2 * viol - self.weights.w3 * frag - 0.01 * util_after)
+        let score = -self.weights.w2 * viol - self.weights.w3 * frag - 0.01 * util_after;
+        // `util_after` is NaN on a zero-capacity node (0/0 memory share),
+        // which the `viol` finiteness check above does not cover. A NaN
+        // score is unusable for argmax comparisons, so treat such a node
+        // as unscoreable rather than letting NaN poison the comparison.
+        score.is_finite().then_some(score)
     }
 
     /// Returns `true` if placing the container on the node introduces no

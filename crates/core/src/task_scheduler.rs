@@ -270,10 +270,14 @@ impl TaskScheduler {
             let mut order: Vec<usize> = (0..self.queues.len())
                 .filter(|&i| !self.queues[i].pending.is_empty())
                 .collect();
+            // total_cmp, not partial_cmp(..).unwrap_or(Equal): the latter is
+            // not a total order when a pressure ratio is NaN, and a non-total
+            // comparator makes sort output (and thus queue service order)
+            // depend on the input permutation.
             order.sort_by(|&a, &b| {
                 let ra = queue_pressure(&self.queues[a], &total);
                 let rb = queue_pressure(&self.queues[b], &total);
-                ra.partial_cmp(&rb).unwrap_or(std::cmp::Ordering::Equal)
+                ra.total_cmp(&rb)
             });
 
             let mut allocated_any = false;

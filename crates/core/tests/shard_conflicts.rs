@@ -1,0 +1,162 @@
+//! Cross-shard commit-conflict reconciliation (§5.4 applied to sharded
+//! rounds): two shard solves of the same round cannot see each other's
+//! tentative placements, so interactions between them must surface at
+//! commit time — as γ-cardinality drift past the propose-time baseline,
+//! or as a capacity failure — and roll back exactly the conflicting
+//! entry, which is resubmitted and deploys on the next interval.
+
+use medea_cluster::{
+    ApplicationId, ClusterState, Node, NodeGroupId, NodeId, Resources, ShardConfig, Tag,
+};
+use medea_constraints::PlacementConstraint;
+use medea_core::{LraAlgorithm, LraRequest, MedeaScheduler};
+
+/// Drift class 1: γ-cardinality. A deployed anti-affinity constraint
+/// ranges over a "zone" group spanning both shards; two unconstrained
+/// "q"-tagged apps are round-robined to different shards, each solve's
+/// baseline sees zero other "q" containers, and whichever commits second
+/// finds the zone occupied — γ drifted past its baseline. Exactly that
+/// one entry rolls back and resubmits; the retry absorbs the (soft)
+/// violation because its new baseline already includes the survivor.
+#[test]
+fn spanning_cardinality_rolls_back_one_victim_and_resubmits() {
+    let mut state = ClusterState::homogeneous(4, Resources::new(16 * 1024, 16), 2);
+    state.register_group(
+        NodeGroupId::new("zone"),
+        vec![(0..4u32).map(NodeId).collect()],
+    );
+    let mut m = MedeaScheduler::new(state, LraAlgorithm::Serial, 10)
+        .with_sharding(ShardConfig::with_shards(2));
+
+    // The guard app owns the spanning constraint: at most zero *other*
+    // "q" containers per zone. Its own container is not "q"-tagged, so
+    // the first "q" placement is clean and the second violates.
+    m.submit_lra(
+        LraRequest::uniform(
+            ApplicationId(1),
+            1,
+            Resources::new(1024, 1),
+            vec![Tag::new("guard")],
+            vec![PlacementConstraint::anti_affinity(
+                "q",
+                "q",
+                NodeGroupId::new("zone"),
+            )],
+        ),
+        0,
+    )
+    .unwrap();
+    assert_eq!(m.tick(0).len(), 1, "guard app deploys");
+
+    // Two unconstrained "q" apps: no footprint, so they round-robin into
+    // different shards and solve against disjoint node sets.
+    for app in [2u64, 3] {
+        m.submit_lra(
+            LraRequest::uniform(
+                ApplicationId(app),
+                1,
+                Resources::new(1024, 1),
+                vec![Tag::new("q")],
+                vec![],
+            ),
+            10,
+        )
+        .unwrap();
+    }
+    let deployed = m.tick(10);
+    assert_eq!(
+        deployed.len(),
+        1,
+        "exactly one of the two q apps survives the round"
+    );
+    assert_eq!(m.stats().commit_conflicts, 1);
+    assert_eq!(
+        m.stats().shard_resubmissions,
+        1,
+        "the conflict is attributed to the sharded round"
+    );
+    assert_eq!(m.pending_lras(), 1, "the victim is requeued, not dropped");
+    assert_eq!(m.stats().lras_deployed, 2);
+    let survivor = deployed[0].app;
+
+    // Retry: the victim's new baseline includes the survivor's container,
+    // so the (soft) violation no longer counts as drift and it deploys.
+    let retried = m.tick(20);
+    assert_eq!(retried.len(), 1);
+    assert_ne!(retried[0].app, survivor);
+    assert_eq!(m.stats().commit_conflicts, 1, "no second conflict");
+    assert_eq!(m.stats().lras_deployed, 3);
+    assert_eq!(m.pending_lras(), 0);
+}
+
+/// Drift class 2: capacity. A shard solve and the cross-shard residual
+/// solve of the same round both pick the roomiest node; the shard solve
+/// commits first and consumes the capacity, so the residual entry fails
+/// allocation at commit, rolls back, and lands on the other node at the
+/// next interval.
+#[test]
+fn shard_and_residual_capacity_collision_resubmits_residual() {
+    // Heterogeneous two-node cluster, one node per rack/shard: node 0 is
+    // the roomier one both solves will want.
+    let mut state = ClusterState::new(
+        [
+            Node::new(NodeId(0), Resources::new(8192, 8)),
+            Node::new(NodeId(1), Resources::new(6144, 8)),
+        ],
+        2,
+    );
+    state.register_group(NodeGroupId::new("zone"), vec![vec![NodeId(0), NodeId(1)]]);
+    let mut m = MedeaScheduler::new(state, LraAlgorithm::Serial, 10)
+        .with_sharding(ShardConfig::with_shards(2));
+
+    // app 1 carries a (trivially satisfied) constraint over the spanning
+    // zone group: unaligned, so it routes to the residual solve over the
+    // full node set.
+    m.submit_lra(
+        LraRequest::uniform(
+            ApplicationId(1),
+            1,
+            Resources::new(5120, 1),
+            vec![Tag::new("s1")],
+            vec![PlacementConstraint::cardinality(
+                "s1",
+                "s1",
+                0,
+                10,
+                NodeGroupId::new("zone"),
+            )],
+        ),
+        0,
+    )
+    .unwrap();
+    // app 2 is unconstrained: round-robined into the freest shard, which
+    // is node 0's.
+    m.submit_lra(
+        LraRequest::uniform(
+            ApplicationId(2),
+            1,
+            Resources::new(5120, 1),
+            vec![Tag::new("s2")],
+            vec![],
+        ),
+        0,
+    )
+    .unwrap();
+
+    let deployed = m.tick(0);
+    assert_eq!(deployed.len(), 1);
+    assert_eq!(deployed[0].app, ApplicationId(2), "the shard solve wins");
+    assert_eq!(deployed[0].nodes, vec![NodeId(0)]);
+    assert_eq!(m.stats().commit_conflicts, 1);
+    assert_eq!(m.stats().shard_resubmissions, 1);
+    assert_eq!(m.pending_lras(), 1);
+
+    // Retry: node 0 no longer fits 5 GB, so the residual entry takes
+    // node 1.
+    let retried = m.tick(10);
+    assert_eq!(retried.len(), 1);
+    assert_eq!(retried[0].app, ApplicationId(1));
+    assert_eq!(retried[0].nodes, vec![NodeId(1)]);
+    assert_eq!(m.stats().commit_conflicts, 1, "no second conflict");
+    assert_eq!(m.pending_lras(), 0);
+}

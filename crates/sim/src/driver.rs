@@ -59,8 +59,13 @@ pub enum SimEvent {
     /// An in-flight LRA solve finishes: the solve latency charged at
     /// propose time has elapsed on the sim clock and the proposal is
     /// validated and committed against live state
-    /// ([`PipelineMode::Async`] only).
-    LraPlacementReady,
+    /// ([`PipelineMode::Async`] only). A sharded round proposes several
+    /// solves per tick, each with its own ready event, identified by the
+    /// driver-assigned `solve` handle.
+    LraPlacementReady {
+        /// Driver-assigned handle of the solve that completed.
+        solve: u64,
+    },
 }
 
 /// How the LRA solve relates to the simulation clock (§5.3).
@@ -192,8 +197,12 @@ pub struct SimDriver {
     pipeline: PipelineMode,
     /// Solve latency charged per propose/commit pair.
     solve_latency: crate::SolveLatencyModel,
-    /// The proposal awaiting its [`SimEvent::LraPlacementReady`] (async).
-    inflight: Option<medea_core::InflightSolve>,
+    /// Proposals awaiting their [`SimEvent::LraPlacementReady`] (async),
+    /// keyed by the driver-assigned solve handle. Sharded rounds put
+    /// several solves in flight at once; a new round starts only when the
+    /// map has drained (the scheduler enforces the same gate).
+    inflight: std::collections::HashMap<u64, medea_core::InflightSolve>,
+    next_solve_id: u64,
     /// In [`PipelineMode::Sync`], the time the simulated resource manager
     /// is blocked until by the last synchronous solve; events due earlier
     /// are handled at this time instead.
@@ -222,7 +231,8 @@ impl SimDriver {
             default_task_duration: 1_000,
             pipeline: PipelineMode::default(),
             solve_latency: crate::SolveLatencyModel::instant(),
-            inflight: None,
+            inflight: std::collections::HashMap::new(),
+            next_solve_id: 0,
             busy_until: 0,
             obs: None,
         };
@@ -277,9 +287,9 @@ impl SimDriver {
         self
     }
 
-    /// Whether an LRA solve is currently in flight (async pipeline).
+    /// Whether any LRA solve is currently in flight (async pipeline).
     pub fn solve_inflight(&self) -> bool {
-        self.inflight.is_some()
+        !self.inflight.is_empty()
     }
 
     /// The scheduler under simulation.
@@ -361,7 +371,7 @@ impl SimDriver {
     #[must_use = "a false return means the run was truncated at the safety limit"]
     pub fn run_to_completion(&mut self, safety_limit: u64) -> bool {
         self.run_until(safety_limit);
-        self.inflight.is_none()
+        self.inflight.is_empty()
             && !self.queue.iter().any(|Reverse(q)| {
                 !matches!(q.event, SimEvent::Heartbeat(_) | SimEvent::SchedulerTick)
             })
@@ -382,7 +392,7 @@ impl SimDriver {
                 SimEvent::NodeCrash(_) => obs.chaos_node_crashes.inc(),
                 SimEvent::SolverStall { .. } => obs.chaos_solver_stalls.inc(),
                 SimEvent::SchedulerTick => obs.scheduler_ticks.inc(),
-                SimEvent::LraPlacementReady => obs.placement_readies.inc(),
+                SimEvent::LraPlacementReady { .. } => obs.placement_readies.inc(),
             }
         }
         match event {
@@ -446,30 +456,38 @@ impl SimDriver {
             SimEvent::SchedulerTick => {
                 match self.pipeline {
                     PipelineMode::Sync => {
-                        if let Some(solve) = self.medea.propose(self.now) {
-                            let lat = self
+                        // The monolithic tick blocks the RM for the whole
+                        // round: solves run back-to-back (one solver
+                        // thread), each commits when its latency elapses,
+                        // and every event due in between waits.
+                        let mut at = self.now;
+                        for solve in self.medea.propose_all(self.now) {
+                            at += self
                                 .solve_latency
                                 .latency_ticks(solve.lras(), solve.containers());
-                            // The monolithic tick blocks the RM for the
-                            // whole solve: commit lands at now + lat and
-                            // every event due in between waits.
-                            let commit_at = self.now + lat;
-                            self.busy_until = self.busy_until.max(commit_at);
-                            let deployed = self.medea.commit(commit_at, solve);
+                            self.busy_until = self.busy_until.max(at);
+                            let deployed = self.medea.commit(at, solve);
                             self.record_deployments(deployed);
                         }
                     }
                     PipelineMode::Async => {
-                        // At most one solve in flight; a tick that fires
-                        // mid-solve is skipped (propose also guards this)
-                        // and the queue waits for the next interval.
-                        if self.inflight.is_none() {
-                            if let Some(solve) = self.medea.propose(self.now) {
+                        // At most one round in flight; a tick that fires
+                        // mid-round is skipped (propose also guards this)
+                        // and the queue waits for the next interval. A
+                        // sharded round yields several solves, each with
+                        // its own latency and ready event.
+                        if self.inflight.is_empty() {
+                            for solve in self.medea.propose_all(self.now) {
                                 let lat = self
                                     .solve_latency
                                     .latency_ticks(solve.lras(), solve.containers());
-                                self.inflight = Some(solve);
-                                self.schedule(self.now + lat, SimEvent::LraPlacementReady);
+                                let id = self.next_solve_id;
+                                self.next_solve_id += 1;
+                                self.inflight.insert(id, solve);
+                                self.schedule(
+                                    self.now + lat,
+                                    SimEvent::LraPlacementReady { solve: id },
+                                );
                             }
                         }
                     }
@@ -477,8 +495,8 @@ impl SimDriver {
                 let interval = self.medea.interval.max(1);
                 self.schedule(self.now + interval, SimEvent::SchedulerTick);
             }
-            SimEvent::LraPlacementReady => {
-                if let Some(solve) = self.inflight.take() {
+            SimEvent::LraPlacementReady { solve } => {
+                if let Some(solve) = self.inflight.remove(&solve) {
                     let deployed = self.medea.commit(self.now, solve);
                     self.record_deployments(deployed);
                 }

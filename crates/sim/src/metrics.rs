@@ -28,7 +28,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return f64::NAN;
     }
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(f64::total_cmp);
     percentile_sorted(&v, p)
 }
 
@@ -50,7 +50,7 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 /// Computes the Fig. 7 box statistics of a sample.
 pub fn box_stats(values: &[f64]) -> BoxStats {
     let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.sort_by(f64::total_cmp);
     let mean = if v.is_empty() {
         f64::NAN
     } else {
@@ -91,7 +91,7 @@ impl Cdf {
     /// Builds a CDF from a sample.
     pub fn new(values: impl IntoIterator<Item = f64>) -> Self {
         let mut sorted: Vec<f64> = values.into_iter().collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(f64::total_cmp);
         Cdf { sorted }
     }
 
@@ -159,6 +159,29 @@ mod tests {
     fn percentile_empty_and_single() {
         assert!(percentile(&[], 50.0).is_nan());
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn nan_samples_sort_last_and_keep_order_total() {
+        // total_cmp places NaN above every finite value, so a stray NaN
+        // sample lands at the top of the sorted order deterministically.
+        // The previous partial_cmp(..).unwrap_or(Equal) comparator was not
+        // a total order: NaN compared Equal to everything, so the sort
+        // result (and every percentile below the NaN) depended on the
+        // input permutation.
+        let a = [f64::NAN, 3.0, 1.0, 2.0];
+        let b = [3.0, 1.0, f64::NAN, 2.0];
+        assert_eq!(percentile(&a, 0.0), 1.0);
+        assert_eq!(percentile(&a, 0.0), percentile(&b, 0.0));
+        // p50 of 4 samples interpolates between ranks 1 and 2 of the
+        // sorted order [1, 2, 3, NaN] => 2.5, regardless of where the
+        // NaN appeared in the input.
+        assert_eq!(percentile(&a, 50.0), 2.5);
+        assert_eq!(percentile(&b, 50.0), 2.5);
+        let cdf_a = Cdf::new(a);
+        let cdf_b = Cdf::new(b);
+        assert_eq!(cdf_a.quantile(0.0), cdf_b.quantile(0.0));
+        assert_eq!(cdf_a.probability_at(2.0), 0.5);
     }
 
     #[test]

@@ -36,6 +36,10 @@ cargo test --release --offline -p medea-sim -q --test async_vs_sync
 cargo test --release --offline -p medea-core -q --test async_pipeline
 cargo test --release --offline -p medea-sim -q --test chaos
 
+echo "==> sharded solving gate (sharded-vs-unsharded differential + cross-shard conflicts)"
+cargo test --release --offline -p medea-core -q --test shard_differential
+cargo test --release --offline -p medea-core -q --test shard_conflicts
+
 echo "==> solver benchmark smoke (writes BENCH_solver.json, mode=smoke)"
 cargo run --release --offline -p medea-bench --bin solver_bench -- --smoke
 
