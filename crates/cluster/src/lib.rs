@@ -19,6 +19,7 @@ mod groups;
 mod index;
 mod node;
 mod resources;
+mod restore;
 mod shard;
 mod snapshot;
 mod state;
@@ -29,6 +30,7 @@ pub use groups::{GroupError, NodeGroupId, NodeGroups, NodeSetIndex};
 pub use index::{IndexConfig, IndexStats};
 pub use node::{Node, NodeId};
 pub use resources::Resources;
+pub use restore::RestoreError;
 pub use shard::{ShardConfig, ShardPlan};
 pub use snapshot::ClusterSnapshot;
 pub use state::{Allocation, ClusterError, ClusterState, UtilizationStats};

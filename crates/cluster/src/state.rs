@@ -7,6 +7,9 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use medea_journal::{JournalOp, JournalRecord, Wal};
 
 use crate::container::{ApplicationId, ContainerId, ContainerRequest, ExecutionKind};
 use crate::groups::{NodeGroupId, NodeGroups};
@@ -74,11 +77,11 @@ impl std::error::Error for ClusterError {}
 
 /// Per-node dynamic state.
 #[derive(Debug, Clone)]
-struct NodeState {
-    free: Resources,
-    tags: TagMultiset,
-    containers: Vec<ContainerId>,
-    available: bool,
+pub(crate) struct NodeState {
+    pub(crate) free: Resources,
+    pub(crate) tags: TagMultiset,
+    pub(crate) containers: Vec<ContainerId>,
+    pub(crate) available: bool,
 }
 
 /// Aggregate utilization metrics used by the global-objective experiments
@@ -112,19 +115,19 @@ pub struct UtilizationStats {
 /// cluster.release(c).unwrap();
 /// assert_eq!(cluster.gamma(NodeId(0), &Tag::new("hb")), 0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ClusterState {
-    nodes: Vec<Node>,
-    node_state: Vec<NodeState>,
-    groups: NodeGroups,
-    allocations: HashMap<ContainerId, Allocation>,
-    app_containers: HashMap<ApplicationId, Vec<ContainerId>>,
-    next_container: u64,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) node_state: Vec<NodeState>,
+    pub(crate) groups: NodeGroups,
+    pub(crate) allocations: HashMap<ContainerId, Allocation>,
+    pub(crate) app_containers: HashMap<ApplicationId, Vec<ContainerId>>,
+    pub(crate) next_container: u64,
     /// Per-group, per-set tag multisets, maintained incrementally on
     /// allocate/release so that `γ_𝒮(t)` queries over racks and other
     /// large node sets are O(1) instead of O(|𝒮|). Rebuilt whenever the
     /// group registry changes (see [`ClusterState::register_group`]).
-    group_tags: HashMap<NodeGroupId, Vec<TagMultiset>>,
+    pub(crate) group_tags: HashMap<NodeGroupId, Vec<TagMultiset>>,
     /// Incremental tag/free-capacity indexes (see [`crate::index`]),
     /// maintained in O(Δ) on every allocate/release/retag.
     index: ClusterIndex,
@@ -133,18 +136,49 @@ pub struct ClusterState {
     /// Global mutation epoch: incremented by every state-changing
     /// operation (allocate, release, tag/availability changes). Snapshots
     /// record it at capture so the commit path can measure staleness.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Per-node generation stamp: the epoch of the node's last mutation.
-    node_generation: Vec<u64>,
+    pub(crate) node_generation: Vec<u64>,
     /// Bounded log of recent `(epoch, node)` mutations, newest at the
     /// back, enabling O(changed) snapshot diffs.
-    change_log: VecDeque<(u64, u32)>,
+    pub(crate) change_log: VecDeque<(u64, u32)>,
     /// Smallest `since` epoch the change log still answers exactly;
     /// diffs older than this fall back to the generation scan.
-    change_log_floor: u64,
+    pub(crate) change_log_floor: u64,
+    /// Attached write-ahead journal, if any (see [`crate::restore`]).
+    /// Every *non-probe* mutation appends one epoch-stamped record.
+    /// Deliberately absent from clones: snapshots and other copies are
+    /// scratch state whose mutations must never reach the log — only the
+    /// live state journals.
+    pub(crate) journal: Option<Arc<Mutex<Wal>>>,
     /// Threshold below which a non-idle node counts as fragmented
     /// (default: 2 GB / 1 core, the paper's §7.4 definition).
     pub fragmentation_threshold: Resources,
+}
+
+impl Clone for ClusterState {
+    fn clone(&self) -> Self {
+        ClusterState {
+            nodes: self.nodes.clone(),
+            node_state: self.node_state.clone(),
+            groups: self.groups.clone(),
+            allocations: self.allocations.clone(),
+            app_containers: self.app_containers.clone(),
+            next_container: self.next_container,
+            group_tags: self.group_tags.clone(),
+            index: self.index.clone(),
+            last_app_tag: self.last_app_tag.clone(),
+            epoch: self.epoch,
+            node_generation: self.node_generation.clone(),
+            change_log: self.change_log.clone(),
+            change_log_floor: self.change_log_floor,
+            // The journal is intentionally NOT cloned: a clone is scratch
+            // state (snapshot, what-if copy) and journaling its mutations
+            // would corrupt the durable history of the live state.
+            journal: None,
+            fragmentation_threshold: self.fragmentation_threshold,
+        }
+    }
 }
 
 /// Retained change-log entries; beyond this, old entries are trimmed and
@@ -187,11 +221,29 @@ impl ClusterState {
             node_generation: vec![0; num_nodes],
             change_log: VecDeque::new(),
             change_log_floor: 0,
+            journal: None,
             fragmentation_threshold: Resources::new(2048, 1),
         };
         state.rebuild_group_tags();
         state.rebuild_index();
         state
+    }
+
+    /// Appends one journal record at the current epoch, if a journal is
+    /// attached. Best-effort: storage failures are counted in
+    /// [`medea_journal::JournalStats::append_errors`], not propagated —
+    /// placement must not start failing because the journal's disk did.
+    fn record(&self, op: JournalOp) {
+        if let Some(journal) = &self.journal {
+            let mut wal = match journal.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            wal.append_best_effort(&JournalRecord {
+                epoch: self.epoch,
+                op,
+            });
+        }
     }
 
     /// Rebuilds the incremental indexes from scratch (O(nodes × tags)).
@@ -319,11 +371,21 @@ impl ClusterState {
     /// caches. Use this instead of mutating the registry directly so the
     /// `γ_𝒮` caches stay coherent.
     pub fn register_group(&mut self, group: NodeGroupId, node_sets: Vec<Vec<NodeId>>) {
+        let journal_op = self.journal.is_some().then(|| JournalOp::RegisterGroup {
+            group: group.as_str().to_string(),
+            sets: node_sets
+                .iter()
+                .map(|set| set.iter().map(|n| n.0).collect())
+                .collect(),
+        });
         self.groups.register(group, node_sets);
         self.rebuild_group_tags();
         // Group topology feeds every γ_𝒮 query: snapshots taken before
         // this point must see the whole cluster as changed.
         self.touch_all();
+        if let Some(op) = journal_op {
+            self.record(op);
+        }
     }
 
     /// Rebuilds every group's per-set tag multiset from current state.
@@ -420,6 +482,10 @@ impl ClusterState {
         if state.available != available {
             state.available = available;
             self.touch(id);
+            self.record(JournalOp::SetAvailable {
+                node: id.0,
+                available,
+            });
         }
         Ok(())
     }
@@ -436,6 +502,10 @@ impl ClusterState {
             .ok_or(ClusterError::UnknownNode(node))?;
         state.tags.add(tag.clone());
         self.touch(node);
+        self.record(JournalOp::NodeTagAdd {
+            node: node.0,
+            tag: tag.as_str().to_string(),
+        });
         self.index.tag_added(node.0, &tag);
         for (g, sets) in self.group_tags.iter_mut() {
             if let Some(indices) = self.groups.sets_containing_ref(g, node) {
@@ -465,6 +535,10 @@ impl ClusterState {
             return Ok(());
         }
         self.touch(node);
+        self.record(JournalOp::NodeTagRemove {
+            node: node.0,
+            tag: tag.as_str().to_string(),
+        });
         self.index.tag_removed(node.0, tag);
         for (g, sets) in self.group_tags.iter_mut() {
             if let Some(indices) = self.groups.sets_containing_ref(g, node) {
@@ -782,6 +856,19 @@ impl ClusterState {
         );
         if !probe {
             self.app_containers.entry(app).or_default().push(id);
+            if self.journal.is_some() {
+                if let Some(alloc) = self.allocations.get(&id) {
+                    self.record(JournalOp::Place {
+                        container: id.0,
+                        app: app.0,
+                        node: node.0,
+                        memory_mb: alloc.resources.memory_mb,
+                        vcores: alloc.resources.vcores,
+                        long_running: matches!(kind, ExecutionKind::LongRunning),
+                        tags: alloc.tags.iter().map(|t| t.as_str().to_string()).collect(),
+                    });
+                }
+            }
         }
         Ok(id)
     }
@@ -879,6 +966,7 @@ impl ClusterState {
                     self.app_containers.remove(&alloc.app);
                 }
             }
+            self.record(JournalOp::Release { container: id.0 });
         }
         Ok(alloc)
     }

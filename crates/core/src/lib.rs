@@ -50,7 +50,9 @@ pub use ilp::{
 };
 pub use jkube::JKubeScheduler;
 pub use lra::{LraAlgorithm, LraScheduler};
-pub use medea::{InflightSolve, LraDeployment, MedeaScheduler, MedeaStats};
+pub use medea::{
+    InflightSolve, LraDeployment, MedeaScheduler, MedeaStats, NodeReport, RestartReport,
+};
 pub use migration::{Migration, MigrationConfig, MigrationController};
 pub use objective::{ObjectiveWeights, Scorer};
 pub use obs_bridge::SolverMetricsBridge;

@@ -18,15 +18,16 @@
 //! scheduling to the node-candidates heuristic after repeated solver
 //! deadline/stall outcomes.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use medea_cluster::{
-    ApplicationId, ClusterSnapshot, ClusterState, ContainerId, ExecutionKind, NodeGroupId, NodeId,
-    ShardConfig, ShardPlan,
+    ApplicationId, ClusterSnapshot, ClusterState, ContainerId, ExecutionKind, IndexConfig,
+    NodeGroupId, NodeId, RestoreError, ShardConfig, ShardPlan,
 };
 use medea_constraints::{ConstraintError, ConstraintManager, PlacementConstraint, TagExpr};
+use medea_journal::{JournalError, Wal};
 use medea_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::ilp::{IlpBasisCache, IlpSolveStatus};
@@ -63,6 +64,16 @@ struct CoreMetrics {
     index_update_ops: Arc<Gauge>,
     index_distinct_tags: Arc<Gauge>,
     index_rebuilds: Arc<Gauge>,
+    restarts: Arc<Counter>,
+    restart_restore_us: Arc<Histogram>,
+    restart_replayed_ops: Arc<Histogram>,
+    restart_phantom_released: Arc<Counter>,
+    restart_inflight_requeued: Arc<Counter>,
+    audit_runs: Arc<Counter>,
+    audit_failures: Arc<Counter>,
+    journal_appends: Arc<Gauge>,
+    journal_bytes: Arc<Gauge>,
+    journal_checkpoints: Arc<Gauge>,
 }
 
 impl CoreMetrics {
@@ -92,6 +103,16 @@ impl CoreMetrics {
             index_update_ops: registry.gauge("cluster.index_update_ops"),
             index_distinct_tags: registry.gauge("cluster.index_distinct_tags"),
             index_rebuilds: registry.gauge("cluster.index_rebuilds"),
+            restarts: registry.counter("core.restart_total"),
+            restart_restore_us: registry.histogram("core.restart_restore_us"),
+            restart_replayed_ops: registry.histogram("core.restart_replayed_ops"),
+            restart_phantom_released: registry.counter("core.restart_phantom_released_total"),
+            restart_inflight_requeued: registry.counter("core.restart_inflight_requeued_total"),
+            audit_runs: registry.counter("core.audit_runs_total"),
+            audit_failures: registry.counter("core.audit_failures_total"),
+            journal_appends: registry.gauge("journal.appends"),
+            journal_bytes: registry.gauge("journal.bytes"),
+            journal_checkpoints: registry.gauge("journal.checkpoints"),
         }
     }
 }
@@ -106,6 +127,59 @@ struct PendingLra {
     not_before: u64,
     /// Whether this request re-places containers lost to a node crash.
     is_recovery: bool,
+}
+
+/// A node's view of its own allocations, gathered when nodes re-register
+/// with a restarted resource manager (the anti-entropy input of
+/// [`MedeaScheduler::restart`]). Mirrors YARN's NM re-registration: the
+/// node reports which containers it is actually running, and the RM
+/// reconciles journal-derived state against that ground truth.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// The reporting node.
+    pub node: NodeId,
+    /// Whether the node is up. An unavailable node still re-registers
+    /// (e.g. draining) but its containers are treated as lost.
+    pub available: bool,
+    /// Containers the node is actually hosting.
+    pub containers: Vec<ContainerId>,
+}
+
+/// What one work-preserving restart did: how state was rebuilt, what the
+/// anti-entropy pass repaired, and whether the post-restart invariant
+/// audit passed. Returned by [`MedeaScheduler::restart`].
+#[derive(Debug, Clone, Default)]
+pub struct RestartReport {
+    /// Whether cluster state was rebuilt from checkpoint + journal tail
+    /// (`false`: no journal attached, the in-memory state was kept and
+    /// only reconciled against node reports).
+    pub restored_from_journal: bool,
+    /// Journal records replayed on top of the checkpoint.
+    pub replayed_ops: usize,
+    /// Wall-clock microseconds spent loading + replaying the journal.
+    pub restore_us: u64,
+    /// In-flight solves discarded (their results never commit).
+    pub inflight_solves_dropped: usize,
+    /// LRA batch entries from dropped solves re-entered into the pending
+    /// queue as §5.4 resubmissions.
+    pub inflight_lras_requeued: usize,
+    /// Containers present in journal-derived state but absent from the
+    /// owning node's report (lost during the outage): released.
+    pub phantom_containers_released: usize,
+    /// Phantom LRA containers routed through the recovery pipeline.
+    pub lost_lra_containers: usize,
+    /// Phantom task containers returned to their queues' accounting.
+    pub lost_task_containers: usize,
+    /// Containers reported by nodes that journal-derived state does not
+    /// know (should not happen when the journal is intact; counted, not
+    /// adopted).
+    pub unknown_containers_reported: usize,
+    /// Nodes that failed to re-register (absent from `reports`) or
+    /// re-registered unavailable: routed through
+    /// [`MedeaScheduler::node_lost`].
+    pub nodes_marked_lost: usize,
+    /// Error from the post-reconciliation invariant audit, if it failed.
+    pub audit_error: Option<String>,
 }
 
 /// Where a batch entry's constraint footprint routes it during a sharded
@@ -157,6 +231,10 @@ pub struct LraDeployment {
 /// loses the batch; always hand it back via [`MedeaScheduler::commit`].
 #[derive(Debug)]
 pub struct InflightSolve {
+    /// Round-unique solve id; keys the scheduler-side copy of the batch
+    /// so [`MedeaScheduler::restart`] can requeue batches whose solves
+    /// were lost with the process.
+    id: u64,
     batch: Vec<PendingLra>,
     outcomes: Vec<PlacementOutcome>,
     /// Violated-check count per batch entry on the snapshot right after
@@ -181,6 +259,11 @@ pub struct InflightSolve {
 }
 
 impl InflightSolve {
+    /// Round-unique identifier of this solve.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Tick the batch was proposed at.
     pub fn proposed_at(&self) -> u64 {
         self.proposed_at
@@ -296,6 +379,25 @@ pub struct MedeaScheduler {
     /// by [`MedeaScheduler::recovery_report`] so the lost = replaced +
     /// unplaceable + pending invariant holds mid-solve.
     inflight_recovery_containers: usize,
+    /// Monotonic solve-id source for [`InflightSolve::id`].
+    solve_seq: u64,
+    /// Scheduler-side copies of in-flight batches, keyed by solve id
+    /// (ordered so restart requeues deterministically). An entry lives
+    /// from propose to commit; [`MedeaScheduler::restart`] drains
+    /// whatever is left — those solves died with the process and their
+    /// LRAs re-enter the queue as §5.4 resubmissions.
+    inflight_batches: BTreeMap<u64, Vec<PendingLra>>,
+    /// Durability: the write-ahead journal shared with the cluster state
+    /// (`None` until [`MedeaScheduler::attach_journal`]).
+    journal: Option<Arc<Mutex<Wal>>>,
+    /// Ticks between periodic checkpoints (0 disables the cadence; the
+    /// initial checkpoint at attach time still happens).
+    checkpoint_interval: u64,
+    next_checkpoint: u64,
+    /// Scheduling cycles between periodic invariant audits (0 disables;
+    /// restart always audits).
+    pub audit_interval: u64,
+    cycles_since_audit: u64,
     stats: MedeaStats,
     metrics: Option<CoreMetrics>,
 }
@@ -328,6 +430,13 @@ impl MedeaScheduler {
             shard_caches: Vec::new(),
             inflight: 0,
             inflight_recovery_containers: 0,
+            solve_seq: 0,
+            inflight_batches: BTreeMap::new(),
+            journal: None,
+            checkpoint_interval: 0,
+            next_checkpoint: 0,
+            audit_interval: 0,
+            cycles_since_audit: 0,
             stats: MedeaStats::default(),
             metrics: None,
         }
@@ -580,6 +689,304 @@ impl MedeaScheduler {
         }
     }
 
+    /// Attaches a write-ahead journal: installs an initial checkpoint of
+    /// the current cluster state, then hooks the WAL into the state's
+    /// mutation path so every subsequent place/release/retag/crash/
+    /// recover is logged. `checkpoint_interval` is the tick cadence of
+    /// periodic re-checkpoints (0: only the initial one).
+    ///
+    /// The checkpoint is installed *before* the hook goes live, so the
+    /// log tail strictly follows the checkpoint epoch — restore never
+    /// sees a record it cannot order.
+    pub fn attach_journal(
+        &mut self,
+        mut wal: Wal,
+        checkpoint_interval: u64,
+    ) -> Result<(), JournalError> {
+        wal.install_checkpoint(&self.state.checkpoint_doc())?;
+        let wal = Arc::new(Mutex::new(wal));
+        self.state.attach_wal(Arc::clone(&wal));
+        self.journal = Some(wal);
+        self.checkpoint_interval = checkpoint_interval;
+        self.next_checkpoint = checkpoint_interval;
+        self.publish_journal_gauges();
+        Ok(())
+    }
+
+    /// Whether a journal is attached.
+    pub fn journal_attached(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Cumulative journal I/O statistics (zeros when no journal is
+    /// attached).
+    pub fn journal_stats(&self) -> medea_journal::JournalStats {
+        self.journal
+            .as_ref()
+            .map(|w| Self::lock_wal(w).stats())
+            .unwrap_or_default()
+    }
+
+    fn lock_wal(wal: &Arc<Mutex<Wal>>) -> std::sync::MutexGuard<'_, Wal> {
+        // A poisoned journal mutex means a panic mid-append; the WAL's
+        // own framing makes a torn line detectable at restore, so
+        // continuing here is safe.
+        wal.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Installs a checkpoint of the current cluster state, truncating
+    /// the replay tail. The document is serialized from a
+    /// [`ClusterSnapshot`] — the same frozen view the solve pipeline
+    /// uses — so checkpointing composes with in-flight solves. No-op
+    /// without a journal.
+    pub fn checkpoint(&mut self, now: u64) -> Result<(), JournalError> {
+        let Some(wal) = self.journal.as_ref().map(Arc::clone) else {
+            return Ok(());
+        };
+        let snap = self.state.snapshot();
+        let doc = snap.state().checkpoint_doc();
+        Self::lock_wal(&wal).install_checkpoint(&doc)?;
+        self.next_checkpoint = now.saturating_add(self.checkpoint_interval.max(1));
+        self.publish_journal_gauges();
+        Ok(())
+    }
+
+    fn maybe_checkpoint(&mut self, now: u64) {
+        if self.journal.is_some() && self.checkpoint_interval > 0 && now >= self.next_checkpoint {
+            // Best effort on the periodic path: a failed checkpoint
+            // leaves the longer replay tail in place, which restore
+            // handles; the failure is visible in the journal stats.
+            let _ = self.checkpoint(now);
+        }
+    }
+
+    fn publish_journal_gauges(&self) {
+        if let (Some(m), Some(wal)) = (&self.metrics, &self.journal) {
+            let s = Self::lock_wal(wal).stats();
+            m.journal_appends.set(s.records_appended as i64);
+            m.journal_bytes.set(s.bytes_appended as i64);
+            m.journal_checkpoints.set(s.checkpoints_installed as i64);
+        }
+    }
+
+    /// Cross-checks scheduler-visible invariants: the tag index and γ
+    /// caches agree with ground-truth state, and allocation bookkeeping
+    /// (node container lists, per-app lists, free-capacity arithmetic)
+    /// is internally consistent.
+    pub fn audit(&self) -> Result<(), String> {
+        self.state.check_index_consistency()?;
+        self.state.check_allocation_consistency()
+    }
+
+    fn run_audit(&mut self) -> Option<String> {
+        let err = self.audit().err();
+        if let Some(m) = &self.metrics {
+            m.audit_runs.inc();
+            if err.is_some() {
+                m.audit_failures.inc();
+            }
+        }
+        err
+    }
+
+    /// Work-preserving restart after a resource-manager crash (the RM
+    /// failover path; YARN's work-preserving recovery, adapted to the
+    /// two-scheduler design):
+    ///
+    /// 1. **Drop volatile state.** Every in-flight solve died with the
+    ///    process; their batches re-enter the pending queue through the
+    ///    §5.4 resubmission path (attempt budgets still apply).
+    /// 2. **Rebuild durable state.** With a journal attached, the live
+    ///    [`ClusterState`] is discarded and rebuilt from the latest
+    ///    checkpoint plus the journal tail; the tag index and γ caches
+    ///    are rebuilt from scratch, never copied.
+    /// 3. **Anti-entropy reconciliation.** Journal-derived state is
+    ///    diffed against what re-registering nodes actually report:
+    ///    phantom containers (in state, not on the node — lost during
+    ///    the outage) are released and, for LRAs, routed through the
+    ///    recovery pipeline with the usual fault-domain anti-affinity;
+    ///    nodes that do not re-register (or report unavailable) go
+    ///    through [`MedeaScheduler::node_lost`]; nodes that report
+    ///    healthy after a journaled crash are brought back.
+    /// 4. **Audit.** The state↔index↔γ invariants are verified; a
+    ///    failure is reported (and counted) rather than panicking.
+    ///
+    /// The recovery ledger survives the restart: every container lost
+    /// across the boundary stays accounted as
+    /// `lost = replaced + unplaceable + pending`.
+    ///
+    /// In-memory submission-side state (pending queue, registered
+    /// constraints, fault-domain marks) deliberately survives in memory:
+    /// Medea models the YARN pattern where application masters re-submit
+    /// outstanding asks on re-registration, so only *cluster* state is
+    /// journal-derived.
+    pub fn restart(
+        &mut self,
+        now: u64,
+        reports: &[NodeReport],
+    ) -> Result<RestartReport, RestoreError> {
+        // Phase 1: volatile state. Any solve still out there belongs to
+        // the previous incarnation; results handed to `commit` later
+        // would double-count, so the inflight gate is cleared and the
+        // batches are requeued.
+        let mut report = RestartReport {
+            inflight_solves_dropped: self.inflight,
+            ..RestartReport::default()
+        };
+        self.inflight = 0;
+        self.inflight_recovery_containers = 0;
+        let dropped: Vec<Vec<PendingLra>> = std::mem::take(&mut self.inflight_batches)
+            .into_values()
+            .collect();
+        for batch in dropped {
+            for entry in batch {
+                report.inflight_lras_requeued += 1;
+                self.resubmit(entry, now);
+            }
+        }
+
+        // Phase 2: durable state.
+        if let Some(wal) = self.journal.as_ref().map(Arc::clone) {
+            let t0 = Instant::now();
+            let (mut restored, replayed) = {
+                let guard = Self::lock_wal(&wal);
+                ClusterState::restore_from_wal(&guard)?
+            };
+            report.restore_us = t0.elapsed().as_micros() as u64;
+            report.replayed_ops = replayed;
+            report.restored_from_journal = true;
+            // The index configuration is operator state, not cluster
+            // state: carry the live setting over to the rebuilt state.
+            if restored.index_enabled() != self.state.index_enabled() {
+                restored.set_index_config(if self.state.index_enabled() {
+                    IndexConfig::enabled()
+                } else {
+                    IndexConfig::disabled()
+                });
+            }
+            restored.attach_wal(wal);
+            self.state = restored;
+        }
+
+        // Phase 3: anti-entropy against node reports.
+        let reported: HashMap<NodeId, &NodeReport> = reports.iter().map(|r| (r.node, r)).collect();
+        let all_nodes: Vec<NodeId> = self.state.node_ids().collect();
+        let mut lost_by_app: HashMap<ApplicationId, Vec<medea_cluster::ContainerRequest>> =
+            HashMap::new();
+        for node in all_nodes {
+            match reported.get(&node) {
+                Some(r) if r.available => {
+                    if !self.state.is_available(node) {
+                        // Crashed before the outage, healthy now: same
+                        // path as a live recovery heartbeat (also clears
+                        // the fault-domain marks placed on its behalf).
+                        self.node_recovered(node);
+                    }
+                    let actual: HashSet<ContainerId> = r.containers.iter().copied().collect();
+                    let believed: Vec<ContainerId> = self
+                        .state
+                        .containers_on(node)
+                        .map(|c| c.to_vec())
+                        .unwrap_or_default();
+                    for id in &r.containers {
+                        let known = self
+                            .state
+                            .allocation(*id)
+                            .map(|a| a.node == node)
+                            .unwrap_or(false);
+                        if !known {
+                            report.unknown_containers_reported += 1;
+                        }
+                    }
+                    for id in believed {
+                        if actual.contains(&id) {
+                            continue;
+                        }
+                        // Phantom: the journal says it exists, the node
+                        // says it does not. The node wins.
+                        let Ok(alloc) = self.state.allocation(id).cloned() else {
+                            continue;
+                        };
+                        if self.state.release(id).is_err() {
+                            continue;
+                        }
+                        report.phantom_containers_released += 1;
+                        match alloc.kind {
+                            ExecutionKind::Task => {
+                                report.lost_task_containers += 1;
+                                self.task_scheduler.on_container_lost(&alloc);
+                            }
+                            ExecutionKind::LongRunning => {
+                                report.lost_lra_containers += 1;
+                                lost_by_app.entry(alloc.app).or_default().push(
+                                    medea_cluster::ContainerRequest::new(
+                                        alloc.resources,
+                                        alloc.tags.iter().filter(|t| !t.is_app_id()).cloned(),
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // Silent (no re-registration) or explicitly down:
+                    // full node-loss semantics, idempotent if the
+                    // journal already recorded the crash.
+                    if self.state.is_available(node) {
+                        report.nodes_marked_lost += 1;
+                        self.node_lost(node, now);
+                    }
+                }
+            }
+        }
+        // Route phantom LRA losses through the recovery pipeline. Unlike
+        // node_lost, the hosting node is *up* — the containers just died
+        // with the outage — so no fault-domain marking; the soft
+        // anti-affinity still steers replacements off marked domains.
+        let mut apps: Vec<ApplicationId> = lost_by_app.keys().copied().collect();
+        apps.sort();
+        for app in apps {
+            let containers = lost_by_app.remove(&app).unwrap_or_default();
+            let n = containers.len();
+            let mut constraints = self.constraint_manager.app_constraints(app);
+            constraints.push(
+                PlacementConstraint::anti_affinity(
+                    TagExpr::and([medea_cluster::Tag::app_id(app)]),
+                    FAULT_DOMAIN_TAG,
+                    NodeGroupId::node(),
+                )
+                .with_weight(2.0),
+            );
+            self.pending.push_back(PendingLra {
+                request: LraRequest::new(app, containers, constraints),
+                submitted_at: now,
+                attempts: 0,
+                not_before: now,
+                is_recovery: true,
+            });
+            self.recovery_lost += n;
+            if let Some(m) = &self.metrics {
+                m.recovery_lost.add(n as u64);
+            }
+        }
+
+        // Phase 4: invariants + metrics.
+        report.audit_error = self.run_audit();
+        if let Some(m) = &self.metrics {
+            m.restarts.inc();
+            m.restart_restore_us.record(report.restore_us);
+            m.restart_replayed_ops.record(report.replayed_ops as u64);
+            m.restart_phantom_released
+                .add(report.phantom_containers_released as u64);
+            m.restart_inflight_requeued
+                .add(report.inflight_lras_requeued as u64);
+            m.solve_inflight.set(0);
+            m.queue_depth.set(self.pending.len() as i64);
+        }
+        self.publish_journal_gauges();
+        Ok(report)
+    }
+
     /// Injects a solver stall: for the next `cycles` scheduling cycles
     /// the ILP path is treated as degraded (counts against the circuit
     /// breaker, placements fall back to the heuristic).
@@ -686,11 +1093,21 @@ impl MedeaScheduler {
     }
 
     fn propose_round(&mut self, now: u64, sharded: bool) -> Vec<InflightSolve> {
+        // Durability cadence runs ahead of the scheduling gates: a quiet
+        // queue must not starve checkpoints.
+        self.maybe_checkpoint(now);
         if self.inflight > 0 {
             return Vec::new();
         }
         if now < self.next_run || self.pending.is_empty() {
             return Vec::new();
+        }
+        if self.audit_interval > 0 {
+            self.cycles_since_audit += 1;
+            if self.cycles_since_audit >= self.audit_interval {
+                self.cycles_since_audit = 0;
+                self.run_audit();
+            }
         }
         // Recovery retries back off between attempts: only entries whose
         // backoff has elapsed join this batch; the rest stay queued. If
@@ -767,10 +1184,26 @@ impl MedeaScheduler {
                 let mut rr = 0usize;
                 for p in batch {
                     match Self::route_entry(&self.state, &plan, &p.request) {
-                        EntryRoute::Pinned(s) => sub[s].push(p),
+                        // A pinned shard outside the plan (or an empty
+                        // round-robin order) means the plan and the
+                        // routing disagree — degrade that entry to the
+                        // cross-shard residual instead of panicking
+                        // mid-round.
+                        EntryRoute::Pinned(s) => match sub.get_mut(s) {
+                            Some(bucket) => bucket.push(p),
+                            None => residual.push(p),
+                        },
                         EntryRoute::Any => {
-                            sub[order[rr % order.len()]].push(p);
-                            rr += 1;
+                            let slot = order
+                                .get(rr % order.len().max(1))
+                                .and_then(|&s| sub.get_mut(s));
+                            match slot {
+                                Some(bucket) => {
+                                    bucket.push(p);
+                                    rr += 1;
+                                }
+                                None => residual.push(p),
+                            }
                         }
                         EntryRoute::Residual => residual.push(p),
                     }
@@ -946,7 +1379,13 @@ impl MedeaScheduler {
             .filter(|p| p.is_recovery)
             .map(|p| p.request.num_containers())
             .sum();
+        // Keep a scheduler-side copy keyed by solve id: if the process
+        // restarts before commit, restart() requeues it.
+        let id = self.solve_seq;
+        self.solve_seq += 1;
+        self.inflight_batches.insert(id, batch.clone());
         InflightSolve {
+            id,
             batch,
             outcomes,
             baselines,
@@ -1006,6 +1445,7 @@ impl MedeaScheduler {
     /// Returns the LRAs deployed.
     pub fn commit(&mut self, now: u64, solve: InflightSolve) -> Vec<LraDeployment> {
         let InflightSolve {
+            id,
             batch,
             outcomes,
             baselines,
@@ -1016,6 +1456,11 @@ impl MedeaScheduler {
             sharded,
             ..
         } = solve;
+        // A solve from before the last restart was already requeued by
+        // restart(); committing it would double-place the batch.
+        if self.inflight_batches.remove(&id).is_none() {
+            return Vec::new();
+        }
         self.inflight = self.inflight.saturating_sub(1);
         self.inflight_recovery_containers = self
             .inflight_recovery_containers

@@ -65,8 +65,15 @@ impl Default for RecoveryConfig {
 impl RecoveryConfig {
     /// Backoff delay in ticks before retry number `attempt` (1-based):
     /// exponential with the configured base, saturating at `max_backoff`.
+    ///
+    /// Saturation semantics: the doubling shift is clamped to 63 (the
+    /// width of `u64` minus one, so `1 << shift` itself cannot
+    /// overflow), the multiply saturates at `u64::MAX`, and the result
+    /// is capped at `max_backoff`. The sequence is therefore
+    /// non-decreasing in `attempt` for every configuration — it grows
+    /// exponentially, then plateaus, never wraps.
     pub fn backoff(&self, attempt: u32) -> u64 {
-        let shift = attempt.saturating_sub(1).min(32);
+        let shift = attempt.saturating_sub(1).min(63);
         self.base_backoff
             .saturating_mul(1u64 << shift)
             .min(self.max_backoff)
@@ -260,6 +267,39 @@ mod tests {
         assert_eq!(cfg.backoff(4), 80);
         assert_eq!(cfg.backoff(5), 100, "capped");
         assert_eq!(cfg.backoff(60), 100, "huge attempts never overflow");
+    }
+
+    #[test]
+    fn backoff_is_monotonic_under_extreme_attempts() {
+        // An effectively uncapped config: the only protection against
+        // wrap-around is the shift clamp + saturating multiply. The
+        // former cap of 32 made the curve plateau at base * 2^32 — far
+        // below max_backoff — so attempts 34..64 stopped growing; worse,
+        // a clamp above 63 would make `1 << shift` wrap to a *smaller*
+        // delay. Both regressions show up as a monotonicity violation.
+        let cfg = RecoveryConfig {
+            base_backoff: 3,
+            max_backoff: u64::MAX,
+            ..RecoveryConfig::default()
+        };
+        let mut prev = 0u64;
+        for attempt in 1..=80 {
+            let b = cfg.backoff(attempt);
+            assert!(b >= prev, "backoff({attempt}) = {b} < {prev}");
+            prev = b;
+        }
+        // The curve must keep growing past the old 2^32 plateau...
+        assert!(cfg.backoff(40) > cfg.backoff(33), "plateaued at 2^32");
+        // ...and saturate (not wrap) once the shift clamp engages.
+        assert_eq!(cfg.backoff(70), cfg.backoff(65));
+        assert_eq!(cfg.backoff(70), u64::MAX, "3 * 2^63 saturates");
+        // With a finite cap the cap still wins.
+        let capped = RecoveryConfig {
+            base_backoff: 3,
+            max_backoff: 1_000,
+            ..RecoveryConfig::default()
+        };
+        assert_eq!(capped.backoff(70), 1_000);
     }
 
     #[test]

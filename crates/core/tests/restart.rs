@@ -1,0 +1,260 @@
+//! Work-preserving restart suite: RM failover with journal restore,
+//! in-flight solve requeueing, and anti-entropy reconciliation against
+//! node reports.
+
+use medea_cluster::{ApplicationId, ClusterState, ContainerId, NodeId, Resources, Tag};
+use medea_core::{LraAlgorithm, LraRequest, MedeaScheduler, NodeReport, TaskJobRequest};
+use medea_journal::{MemoryStorage, Wal};
+
+fn cluster() -> ClusterState {
+    ClusterState::homogeneous(4, Resources::new(8192, 8), 2)
+}
+
+fn lra(app: u64, count: usize, mem: u64, tag: &str) -> LraRequest {
+    LraRequest::uniform(
+        ApplicationId(app),
+        count,
+        Resources::new(mem, 1),
+        vec![Tag::new(tag)],
+        vec![],
+    )
+}
+
+/// Ground-truth node reports: every node re-registers with exactly what
+/// the scheduler believes it hosts (the zero-divergence baseline).
+fn faithful_reports(m: &MedeaScheduler) -> Vec<NodeReport> {
+    m.state()
+        .node_ids()
+        .map(|n| NodeReport {
+            node: n,
+            available: m.state().is_available(n),
+            containers: m
+                .state()
+                .containers_on(n)
+                .map(|c| c.to_vec())
+                .unwrap_or_default(),
+        })
+        .collect()
+}
+
+#[test]
+fn restart_requeues_inflight_solves_and_refuses_stale_commits() {
+    let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+    m.submit_lra(lra(1, 2, 1024, "a"), 0).unwrap();
+    m.submit_lra(lra(2, 1, 1024, "b"), 0).unwrap();
+    let solve = m.propose(0).expect("solve should start");
+    assert!(m.solve_inflight());
+
+    let report = m.restart(5, &faithful_reports(&m)).unwrap();
+    assert!(!report.restored_from_journal, "no journal attached");
+    assert_eq!(report.inflight_solves_dropped, 1);
+    assert_eq!(report.inflight_lras_requeued, 2);
+    assert!(!m.solve_inflight(), "restart clears the inflight gate");
+    assert!(report.audit_error.is_none());
+
+    // The pre-restart solve is from a dead incarnation: committing it
+    // must be a no-op, not a double placement.
+    assert!(m.commit(5, solve).is_empty());
+    assert_eq!(m.state().num_containers(), 0);
+
+    // The requeued entries deploy at the next interval.
+    let deployed = m.tick(10);
+    assert_eq!(deployed.len(), 2);
+    assert_eq!(m.state().num_containers(), 3);
+}
+
+#[test]
+fn journaled_restart_rebuilds_identical_state() {
+    let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::NodeCandidates, 10);
+    m.attach_journal(Wal::new(MemoryStorage::new()), 0).unwrap();
+    m.submit_lra(lra(1, 3, 1024, "svc"), 0).unwrap();
+    assert_eq!(m.tick(0).len(), 1);
+    m.submit_tasks(
+        TaskJobRequest::new(ApplicationId(9), Resources::new(512, 1), 2),
+        1,
+    )
+    .unwrap();
+    m.heartbeat(NodeId(0), 1);
+    let before = m.state().digest();
+
+    let report = m.restart(5, &faithful_reports(&m)).unwrap();
+    assert!(report.restored_from_journal);
+    assert!(report.replayed_ops > 0, "tail must have been replayed");
+    assert_eq!(report.phantom_containers_released, 0);
+    assert_eq!(report.unknown_containers_reported, 0);
+    assert_eq!(report.nodes_marked_lost, 0);
+    assert!(report.audit_error.is_none());
+    assert_eq!(m.state().digest(), before, "zero-loss restart is exact");
+    // The rebuilt state keeps journaling: a post-restart mutation
+    // appends to the same WAL.
+    let appends = m.journal_stats().records_appended;
+    m.submit_tasks(
+        TaskJobRequest::new(ApplicationId(10), Resources::new(512, 1), 1),
+        6,
+    )
+    .unwrap();
+    m.heartbeat(NodeId(1), 6);
+    assert!(m.journal_stats().records_appended > appends);
+}
+
+#[test]
+fn phantom_containers_route_through_recovery_and_stay_accounted() {
+    let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::NodeCandidates, 10);
+    m.attach_journal(Wal::new(MemoryStorage::new()), 0).unwrap();
+    m.submit_lra(lra(1, 2, 1024, "svc"), 0).unwrap();
+    let deployed = m.tick(0);
+    assert_eq!(deployed.len(), 1);
+    let victim = deployed[0].containers[0];
+
+    // The outage killed one container: its node re-registers without it.
+    let mut reports = faithful_reports(&m);
+    for r in &mut reports {
+        r.containers.retain(|&c| c != victim);
+    }
+    let report = m.restart(5, &reports).unwrap();
+    assert_eq!(report.phantom_containers_released, 1);
+    assert_eq!(report.lost_lra_containers, 1);
+    assert_eq!(report.lost_task_containers, 0);
+    assert!(report.audit_error.is_none());
+    let r = m.recovery_report();
+    assert_eq!(r.containers_lost, 1);
+    assert_eq!(r.containers_pending, 1, "phantom enters the recovery queue");
+    assert!(r.accounted(), "lost = replaced + unplaceable + pending");
+
+    // The recovery pipeline replaces it at the next interval.
+    let redeployed = m.tick(10);
+    assert_eq!(redeployed.len(), 1);
+    assert!(redeployed[0].recovered);
+    let r = m.recovery_report();
+    assert_eq!(r.containers_replaced, 1);
+    assert!(r.accounted());
+}
+
+#[test]
+fn phantom_task_containers_repair_queue_accounting() {
+    let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+    m.attach_journal(Wal::new(MemoryStorage::new()), 0).unwrap();
+    m.submit_tasks(
+        TaskJobRequest::new(ApplicationId(7), Resources::new(1024, 1), 3),
+        0,
+    )
+    .unwrap();
+    let allocs = m.heartbeat(NodeId(2), 0);
+    assert_eq!(allocs.len(), 3);
+
+    let mut reports = faithful_reports(&m);
+    for r in &mut reports {
+        r.containers.retain(|&c| c != allocs[0].container);
+    }
+    let report = m.restart(5, &reports).unwrap();
+    assert_eq!(report.lost_task_containers, 1);
+    assert_eq!(report.lost_lra_containers, 0);
+    assert_eq!(m.state().num_containers(), 2);
+    // Task losses never enter LRA recovery accounting.
+    assert_eq!(m.recovery_report().containers_lost, 0);
+}
+
+#[test]
+fn silent_nodes_are_marked_lost() {
+    let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::NodeCandidates, 10);
+    m.attach_journal(Wal::new(MemoryStorage::new()), 0).unwrap();
+    m.submit_lra(lra(1, 2, 1024, "svc"), 0).unwrap();
+    let deployed = m.tick(0);
+    assert_eq!(deployed.len(), 1);
+    let dead = deployed[0].nodes[0];
+    let lost_here = deployed[0].nodes.iter().filter(|&&n| n == dead).count();
+
+    // One node never re-registers after the failover.
+    let reports: Vec<NodeReport> = faithful_reports(&m)
+        .into_iter()
+        .filter(|r| r.node != dead)
+        .collect();
+    let report = m.restart(5, &reports).unwrap();
+    assert_eq!(report.nodes_marked_lost, 1);
+    assert!(!m.state().is_available(dead));
+    let r = m.recovery_report();
+    assert_eq!(r.containers_lost, lost_here);
+    assert!(r.accounted());
+
+    // Replacements avoid the dead node.
+    let redeployed = m.tick(10);
+    assert_eq!(redeployed.len(), 1);
+    assert!(redeployed[0].nodes.iter().all(|&n| n != dead));
+}
+
+#[test]
+fn unknown_reported_containers_are_counted_not_adopted() {
+    let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+    m.attach_journal(Wal::new(MemoryStorage::new()), 0).unwrap();
+    let mut reports = faithful_reports(&m);
+    reports[0].containers.push(ContainerId(999));
+    let report = m.restart(5, &reports).unwrap();
+    assert_eq!(report.unknown_containers_reported, 1);
+    assert_eq!(m.state().num_containers(), 0);
+    assert!(report.audit_error.is_none());
+}
+
+#[test]
+fn recovery_invariant_survives_restart_mid_solve() {
+    // Lose a node, let the recovery batch go in flight, then crash the
+    // RM mid-solve: the lost containers must stay accounted (pending)
+    // across the restart boundary and still be replaced afterwards.
+    let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::NodeCandidates, 10);
+    m.attach_journal(Wal::new(MemoryStorage::new()), 0).unwrap();
+    m.submit_lra(lra(1, 2, 1024, "svc"), 0).unwrap();
+    let deployed = m.tick(0);
+    let victim_node = deployed[0].nodes[0];
+    let lost = m.node_lost(victim_node, 5).lra_containers_lost;
+    assert!(lost > 0);
+
+    let solve = m.propose(10).expect("recovery batch solves");
+    assert!(m.recovery_report().accounted(), "pending counts in-flight");
+    let report = m.restart(12, &faithful_reports(&m)).unwrap();
+    assert_eq!(report.inflight_lras_requeued, 1);
+    assert!(m.recovery_report().accounted(), "accounted across restart");
+    assert!(m.commit(12, solve).is_empty(), "stale solve refused");
+
+    // The requeue went through §5.4 resubmission: recovery entries back
+    // off (base 10 ticks) before their next attempt.
+    let redeployed = m.tick(30);
+    assert_eq!(redeployed.len(), 1);
+    assert!(redeployed[0].recovered);
+    let r = m.recovery_report();
+    assert_eq!(r.containers_replaced, lost);
+    assert!(r.accounted());
+}
+
+#[test]
+fn checkpoint_cadence_bounds_the_replay_tail() {
+    let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+    m.attach_journal(Wal::new(MemoryStorage::new()), 20)
+        .unwrap();
+    assert_eq!(m.journal_stats().checkpoints_installed, 1, "initial");
+
+    m.submit_lra(lra(1, 2, 1024, "a"), 0).unwrap();
+    assert_eq!(m.tick(0).len(), 1);
+    // The cadence fires inside the scheduling entry point even when the
+    // queue is empty.
+    m.tick(20);
+    assert_eq!(m.journal_stats().checkpoints_installed, 2, "periodic");
+
+    // Mutations after the checkpoint form the only replay tail.
+    m.submit_lra(lra(2, 1, 1024, "b"), 21).unwrap();
+    assert_eq!(m.tick(30).len(), 1);
+    let report = m.restart(31, &faithful_reports(&m)).unwrap();
+    assert!(report.restored_from_journal);
+    assert_eq!(report.replayed_ops, 1, "checkpoint absorbed earlier ops");
+    assert_eq!(m.state().num_containers(), 3);
+}
+
+#[test]
+fn explicit_checkpoint_truncates_tail_to_zero() {
+    let mut m = MedeaScheduler::new(cluster(), LraAlgorithm::Serial, 10);
+    m.attach_journal(Wal::new(MemoryStorage::new()), 0).unwrap();
+    m.submit_lra(lra(1, 3, 1024, "a"), 0).unwrap();
+    assert_eq!(m.tick(0).len(), 1);
+    m.checkpoint(1).unwrap();
+    let report = m.restart(2, &faithful_reports(&m)).unwrap();
+    assert_eq!(report.replayed_ops, 0);
+    assert_eq!(m.state().num_containers(), 3);
+}

@@ -160,3 +160,60 @@ fn shard_and_residual_capacity_collision_resubmits_residual() {
     assert_eq!(m.stats().commit_conflicts, 1, "no second conflict");
     assert_eq!(m.pending_lras(), 0);
 }
+
+/// Degenerate plans must never panic the propose path: sharding enabled
+/// over a cluster whose group structure cannot actually be partitioned
+/// (a single rack, or no registered groups at all) has to collapse to a
+/// correct single-solve round.
+#[test]
+fn degenerate_single_rack_plan_runs_as_one_solve() {
+    // One rack: the shard plan has a single basis set, so the round must
+    // take the monolithic path even with sharding requested.
+    let state = ClusterState::homogeneous(4, Resources::new(8192, 8), 1);
+    let mut m = MedeaScheduler::new(state, LraAlgorithm::Serial, 10)
+        .with_sharding(ShardConfig::with_shards(4));
+    for app in 1..=3u64 {
+        m.submit_lra(
+            LraRequest::uniform(
+                ApplicationId(app),
+                2,
+                Resources::new(1024, 1),
+                vec![Tag::new("svc")],
+                vec![],
+            ),
+            0,
+        )
+        .unwrap();
+    }
+    let deployed = m.tick(0);
+    assert_eq!(deployed.len(), 3);
+    assert_eq!(m.stats().shard_resubmissions, 0);
+}
+
+#[test]
+fn groupless_cluster_with_sharding_enabled_places_normally() {
+    // No registered groups at all: ShardPlan::build sees zero basis
+    // sets. The round must degrade gracefully, not index into an empty
+    // shard table.
+    use medea_cluster::NodeGroups;
+    let nodes: Vec<Node> = (0..4u32)
+        .map(|i| Node::new(NodeId(i), Resources::new(8192, 8)))
+        .collect();
+    let state = ClusterState::with_groups(nodes, NodeGroups::new(4));
+    let mut m = MedeaScheduler::new(state, LraAlgorithm::Serial, 10)
+        .with_sharding(ShardConfig::with_shards(8));
+    m.submit_lra(
+        LraRequest::uniform(
+            ApplicationId(1),
+            3,
+            Resources::new(1024, 1),
+            vec![Tag::new("svc")],
+            vec![],
+        ),
+        0,
+    )
+    .unwrap();
+    let deployed = m.tick(0);
+    assert_eq!(deployed.len(), 1);
+    assert_eq!(m.state().num_containers(), 3);
+}

@@ -1,0 +1,84 @@
+//! Checksummed line framing.
+//!
+//! Every persisted line — log records and the checkpoint document — is
+//! framed as `<payload>#<16-hex-digit FNV-1a-64 of payload>`. The
+//! payload is JSON and JSON strings escape all control characters, so
+//! the payload never contains a raw newline; `#` *can* appear inside
+//! the payload, which is why unframing splits on the **last** `#`.
+//! A frame that fails the checksum (bit rot) or is missing its trailer
+//! (torn final write) is reported as corrupt — restore rejects the
+//! journal rather than silently replaying a prefix.
+
+use crate::JournalError;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Frames a payload for storage: `payload#checksum`.
+pub fn frame(payload: &str) -> String {
+    format!("{payload}#{:016x}", fnv1a64(payload.as_bytes()))
+}
+
+/// Verifies and strips the checksum trailer of a stored line.
+pub fn unframe(line: &str, line_no: usize) -> Result<&str, JournalError> {
+    let corrupt = |reason: String| JournalError::Corrupt {
+        line: line_no,
+        reason,
+    };
+    let (payload, sum) = line
+        .rsplit_once('#')
+        .ok_or_else(|| corrupt("missing checksum trailer (torn write?)".to_string()))?;
+    if sum.len() != 16 || !sum.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(corrupt(format!("malformed checksum trailer `{sum}`")));
+    }
+    let want = u64::from_str_radix(sum, 16).expect("validated hex");
+    let got = fnv1a64(payload.as_bytes());
+    if want != got {
+        return Err(corrupt(format!(
+            "checksum mismatch: stored {want:016x}, computed {got:016x}"
+        )));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = r#"{"epoch":3,"op":{"type":"release","container":9}}"#;
+        let line = frame(payload);
+        assert_eq!(unframe(&line, 1).unwrap(), payload);
+    }
+
+    #[test]
+    fn payload_hash_char_splits_on_last() {
+        let payload = r#"{"tag":"shard#3"}"#;
+        let line = frame(payload);
+        assert_eq!(unframe(&line, 1).unwrap(), payload);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let line = frame("{\"a\":1}");
+        // Flip one payload byte.
+        let mut bad = line.clone().into_bytes();
+        bad[2] ^= 0x20;
+        let bad = String::from_utf8(bad).unwrap();
+        assert!(unframe(&bad, 7).is_err());
+        // Truncated trailer.
+        assert!(unframe(&line[..line.len() - 3], 7).is_err());
+        // No trailer at all.
+        assert!(unframe("{\"a\":1}", 7).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! Minimal JSON reader/writer for journal payloads.
+//!
+//! The workspace is hermetic (no external crates), so the journal ships
+//! its own JSON layer in the same spirit as `medea-obs`: hand-rolled
+//! writers on [`std::fmt::Write`] plus a small recursive-descent parser
+//! for the subset the journal actually emits — objects, arrays,
+//! strings, booleans, `null`, and **unsigned integers**. Floats and
+//! negative numbers are rejected on read: every numeric field in the
+//! journal format is a `u64`/`u32`, and parsing through `f64` would
+//! silently round container ids above 2^53.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (journal subset: integers only).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (the only number shape the journal emits).
+    Num(u64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<JsonValue>),
+    /// Object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// The value as `u64`, if it is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `u32`, if it is a number that fits.
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|n| u32::try_from(n).ok())
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key, if the value is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mandatory-field helpers: error out with the missing key's name so
+    /// corrupt records report *what* is wrong, not just *that*.
+    pub fn req_u64(&self, key: &str) -> Result<u64, String> {
+        self.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+    }
+
+    /// Mandatory `u32` field.
+    pub fn req_u32(&self, key: &str) -> Result<u32, String> {
+        self.get(key)
+            .and_then(JsonValue::as_u32)
+            .ok_or_else(|| format!("missing or out-of-range u32 field `{key}`"))
+    }
+
+    /// Mandatory boolean field.
+    pub fn req_bool(&self, key: &str) -> Result<bool, String> {
+        self.get(key)
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| format!("missing or non-boolean field `{key}`"))
+    }
+
+    /// Mandatory string field.
+    pub fn req_str(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("missing or non-string field `{key}`"))
+    }
+
+    /// Mandatory array field.
+    pub fn req_arr(&self, key: &str) -> Result<&[JsonValue], String> {
+        self.get(key)
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| format!("missing or non-array field `{key}`"))
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal (with quotes).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') if self.eat_lit("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_lit("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.eat_lit("null") => Ok(JsonValue::Null),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b'-') => Err(format!(
+                "negative number at byte {} (journal numbers are unsigned)",
+                self.pos
+            )),
+            other => Err(format!("unexpected input {:?} at byte {}", other, self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(format!(
+                "non-integer number at byte {start} (journal numbers are integers)"
+            ));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<u64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("number at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes up to the next quote/escape.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid utf-8 in string at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "truncated escape at end of input".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.eat_lit("\\u") {
+                                    return Err("unpaired high surrogate".to_string());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| format!("invalid code point {cp:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", char::from(other))),
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| "truncated \\u escape".to_string())?;
+        let text = std::str::from_utf8(chunk).map_err(|_| "non-ASCII \\u escape".to_string())?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape `{text}`"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_journal_shapes() {
+        let v = JsonValue::parse(r#"{"epoch":7,"op":{"type":"release","container":18446744073709551615},"ok":true,"tags":["a","b:c"],"none":null}"#).unwrap();
+        assert_eq!(v.req_u64("epoch").unwrap(), 7);
+        let op = v.get("op").unwrap();
+        assert_eq!(op.req_str("type").unwrap(), "release");
+        // u64::MAX survives exactly (an f64 round-trip would corrupt it).
+        assert_eq!(op.req_u64("container").unwrap(), u64::MAX);
+        assert!(v.req_bool("ok").unwrap());
+        assert_eq!(v.req_arr("tags").unwrap().len(), 2);
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let nasty = "quote\" back\\slash \n tab\t unicode\u{1F600}ctrl\u{0001}";
+        let mut doc = String::from("{\"s\":");
+        write_escaped(&mut doc, nasty);
+        doc.push('}');
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(v.req_str("s").unwrap(), nasty);
+    }
+
+    #[test]
+    fn rejects_floats_negatives_and_garbage() {
+        assert!(JsonValue::parse("1.5").is_err());
+        assert!(JsonValue::parse("1e3").is_err());
+        assert!(JsonValue::parse("-2").is_err());
+        assert!(JsonValue::parse("{}x").is_err());
+        assert!(JsonValue::parse("{\"a\":}").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("18446744073709551616").is_err()); // u64::MAX + 1
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let escaped = "\"\\ud83d\\ude00\"";
+        let v = JsonValue::parse(escaped).unwrap();
+        assert_eq!(v.as_str().unwrap(), "\u{1F600}");
+        assert!(JsonValue::parse(r#""\ud83d""#).is_err());
+    }
+}

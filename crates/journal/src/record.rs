@@ -1,0 +1,283 @@
+//! Log records: one epoch-stamped state mutation per line.
+//!
+//! The journal speaks primitives (`u64` ids, strings) rather than
+//! `medea-cluster` types so the crate stays dependency-free and the
+//! on-disk format is decoupled from in-memory representations; the
+//! cluster layer owns the conversion in both directions.
+
+use std::fmt::Write as _;
+
+use crate::json::{write_escaped, JsonValue};
+
+/// A single durable state mutation.
+///
+/// Each variant corresponds to exactly one epoch bump of the cluster
+/// state's mutation clock, which is what makes `replay` exact: the
+/// restorer pins the clock to `epoch - 1` before applying an op and the
+/// op's own touch lands it on `epoch`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalOp {
+    /// A container was placed (covers both LRA and task containers).
+    Place {
+        /// Assigned container id.
+        container: u64,
+        /// Owning application.
+        app: u64,
+        /// Host node.
+        node: u32,
+        /// Requested memory, MB.
+        memory_mb: u64,
+        /// Requested vcores.
+        vcores: u32,
+        /// Long-running (true) or task (false) execution kind.
+        long_running: bool,
+        /// Full tag list as stored on the allocation (includes the
+        /// `appid:` auto-tag).
+        tags: Vec<String>,
+    },
+    /// A container was released (crash, completion, or migration).
+    Release {
+        /// Released container id.
+        container: u64,
+    },
+    /// A tag occurrence was added to a node.
+    NodeTagAdd {
+        /// Target node.
+        node: u32,
+        /// Tag text.
+        tag: String,
+    },
+    /// A tag occurrence was removed from a node.
+    NodeTagRemove {
+        /// Target node.
+        node: u32,
+        /// Tag text.
+        tag: String,
+    },
+    /// Node availability flipped (crash / recover).
+    SetAvailable {
+        /// Target node.
+        node: u32,
+        /// New availability.
+        available: bool,
+    },
+    /// A node group was (re-)registered.
+    RegisterGroup {
+        /// Group name.
+        group: String,
+        /// Node-id sets of the group.
+        sets: Vec<Vec<u32>>,
+    },
+}
+
+/// An epoch-stamped [`JournalOp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Value of the cluster mutation epoch *after* this op applied.
+    pub epoch: u64,
+    /// The mutation.
+    pub op: JournalOp,
+}
+
+impl JournalRecord {
+    /// Encodes the record as a single-line JSON payload (unframed).
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"epoch\":{},\"op\":{{", self.epoch);
+        match &self.op {
+            JournalOp::Place {
+                container,
+                app,
+                node,
+                memory_mb,
+                vcores,
+                long_running,
+                tags,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"place\",\"container\":{container},\"app\":{app},\"node\":{node},\
+                     \"mem\":{memory_mb},\"vcores\":{vcores},\"lr\":{long_running},\"tags\":["
+                );
+                for (i, t) in tags.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(&mut out, t);
+                }
+                out.push(']');
+            }
+            JournalOp::Release { container } => {
+                let _ = write!(out, "\"type\":\"release\",\"container\":{container}");
+            }
+            JournalOp::NodeTagAdd { node, tag } => {
+                let _ = write!(out, "\"type\":\"tag_add\",\"node\":{node},\"tag\":");
+                write_escaped(&mut out, tag);
+            }
+            JournalOp::NodeTagRemove { node, tag } => {
+                let _ = write!(out, "\"type\":\"tag_remove\",\"node\":{node},\"tag\":");
+                write_escaped(&mut out, tag);
+            }
+            JournalOp::SetAvailable { node, available } => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"set_available\",\"node\":{node},\"available\":{available}"
+                );
+            }
+            JournalOp::RegisterGroup { group, sets } => {
+                out.push_str("\"type\":\"register_group\",\"group\":");
+                write_escaped(&mut out, group);
+                out.push_str(",\"sets\":[");
+                for (i, set) in sets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    for (j, n) in set.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{n}");
+                    }
+                    out.push(']');
+                }
+                out.push(']');
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Decodes a record from an unframed JSON payload.
+    pub fn decode(payload: &str) -> Result<JournalRecord, String> {
+        let doc = JsonValue::parse(payload)?;
+        let epoch = doc.req_u64("epoch")?;
+        let op = doc
+            .get("op")
+            .ok_or_else(|| "missing field `op`".to_string())?;
+        let kind = op.req_str("type")?;
+        let op = match kind {
+            "place" => JournalOp::Place {
+                container: op.req_u64("container")?,
+                app: op.req_u64("app")?,
+                node: op.req_u32("node")?,
+                memory_mb: op.req_u64("mem")?,
+                vcores: op.req_u32("vcores")?,
+                long_running: op.req_bool("lr")?,
+                tags: decode_string_arr(op.req_arr("tags")?)?,
+            },
+            "release" => JournalOp::Release {
+                container: op.req_u64("container")?,
+            },
+            "tag_add" => JournalOp::NodeTagAdd {
+                node: op.req_u32("node")?,
+                tag: op.req_str("tag")?.to_string(),
+            },
+            "tag_remove" => JournalOp::NodeTagRemove {
+                node: op.req_u32("node")?,
+                tag: op.req_str("tag")?.to_string(),
+            },
+            "set_available" => JournalOp::SetAvailable {
+                node: op.req_u32("node")?,
+                available: op.req_bool("available")?,
+            },
+            "register_group" => JournalOp::RegisterGroup {
+                group: op.req_str("group")?.to_string(),
+                sets: op
+                    .req_arr("sets")?
+                    .iter()
+                    .map(|s| {
+                        s.as_arr()
+                            .ok_or_else(|| "non-array group set".to_string())?
+                            .iter()
+                            .map(|n| n.as_u32().ok_or_else(|| "non-u32 node id".to_string()))
+                            .collect()
+                    })
+                    .collect::<Result<Vec<Vec<u32>>, String>>()?,
+            },
+            other => return Err(format!("unknown op type `{other}`")),
+        };
+        Ok(JournalRecord { epoch, op })
+    }
+}
+
+pub(crate) fn decode_string_arr(items: &[JsonValue]) -> Result<Vec<String>, String> {
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "non-string array element".to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(rec: JournalRecord) {
+        let enc = rec.encode();
+        let dec = JournalRecord::decode(&enc).unwrap();
+        assert_eq!(dec, rec, "payload: {enc}");
+    }
+
+    #[test]
+    fn all_ops_round_trip() {
+        round_trip(JournalRecord {
+            epoch: 12,
+            op: JournalOp::Place {
+                container: u64::MAX,
+                app: 3,
+                node: 17,
+                memory_mb: 2048,
+                vcores: 4,
+                long_running: true,
+                tags: vec!["hbase".into(), "appid:3".into(), "we\"ird\\tag".into()],
+            },
+        });
+        round_trip(JournalRecord {
+            epoch: 0,
+            op: JournalOp::Release { container: 5 },
+        });
+        round_trip(JournalRecord {
+            epoch: 9,
+            op: JournalOp::NodeTagAdd {
+                node: 0,
+                tag: "fault-domain".into(),
+            },
+        });
+        round_trip(JournalRecord {
+            epoch: 10,
+            op: JournalOp::NodeTagRemove {
+                node: 4,
+                tag: "fault-domain".into(),
+            },
+        });
+        round_trip(JournalRecord {
+            epoch: 11,
+            op: JournalOp::SetAvailable {
+                node: 7,
+                available: false,
+            },
+        });
+        round_trip(JournalRecord {
+            epoch: 13,
+            op: JournalOp::RegisterGroup {
+                group: "service-unit".into(),
+                sets: vec![vec![0, 1], vec![2, 3], vec![]],
+            },
+        });
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(JournalRecord::decode("{}").is_err());
+        assert!(JournalRecord::decode(r#"{"epoch":1}"#).is_err());
+        assert!(JournalRecord::decode(r#"{"epoch":1,"op":{"type":"nope"}}"#).is_err());
+        assert!(
+            JournalRecord::decode(r#"{"epoch":1,"op":{"type":"release"}}"#).is_err(),
+            "release without container id"
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Pluggable journal sinks.
+//!
+//! The WAL is written through a narrow [`JournalStorage`] trait so the
+//! simulator can journal into memory (fast, corruptible by tests) while
+//! real runs and benches journal into a directory. Both sinks share the
+//! same framing and the same atomic-checkpoint discipline: the
+//! checkpoint is replaced *before* the log is truncated, so a crash
+//! between the two steps leaves a checkpoint plus a log whose records
+//! are all at or below the checkpoint epoch — replay skips them.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::JournalError;
+
+/// A sink for framed journal lines and checkpoint documents.
+pub trait JournalStorage: Send {
+    /// Appends one framed line to the log and flushes it.
+    fn append_line(&mut self, line: &str) -> Result<(), JournalError>;
+    /// Reads back every log line, in append order.
+    fn read_log(&self) -> Result<Vec<String>, JournalError>;
+    /// Atomically replaces the checkpoint document (framed body).
+    fn write_checkpoint(&mut self, body: &str) -> Result<(), JournalError>;
+    /// Reads the checkpoint document, if one was ever written.
+    fn read_checkpoint(&self) -> Result<Option<String>, JournalError>;
+    /// Drops all log lines (called after a checkpoint install).
+    fn truncate_log(&mut self) -> Result<(), JournalError>;
+}
+
+#[derive(Debug, Default)]
+struct MemoryBacking {
+    log: Vec<String>,
+    checkpoint: Option<String>,
+}
+
+/// In-memory storage for tests and the simulator.
+///
+/// Clones share the same backing store, so a test can keep one handle
+/// to corrupt or truncate the log while the scheduler writes through
+/// another — the moral equivalent of pulling the disk out from under
+/// the RM.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStorage {
+    inner: Arc<Mutex<MemoryBacking>>,
+}
+
+impl MemoryStorage {
+    /// New empty storage.
+    pub fn new() -> MemoryStorage {
+        MemoryStorage::default()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut MemoryBacking) -> R) -> R {
+        let mut guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut guard)
+    }
+
+    /// Test hook: the raw log lines as stored.
+    pub fn log_lines(&self) -> Vec<String> {
+        self.with(|b| b.log.clone())
+    }
+
+    /// Test hook: replaces the raw log lines (to inject corruption or a
+    /// torn tail).
+    pub fn set_log_lines(&self, lines: Vec<String>) {
+        self.with(|b| b.log = lines);
+    }
+
+    /// Test hook: the raw checkpoint body as stored.
+    pub fn checkpoint_body(&self) -> Option<String> {
+        self.with(|b| b.checkpoint.clone())
+    }
+
+    /// Test hook: replaces the raw checkpoint body.
+    pub fn set_checkpoint_body(&self, body: Option<String>) {
+        self.with(|b| b.checkpoint = body);
+    }
+}
+
+impl JournalStorage for MemoryStorage {
+    fn append_line(&mut self, line: &str) -> Result<(), JournalError> {
+        self.with(|b| b.log.push(line.to_string()));
+        Ok(())
+    }
+
+    fn read_log(&self) -> Result<Vec<String>, JournalError> {
+        Ok(self.log_lines())
+    }
+
+    fn write_checkpoint(&mut self, body: &str) -> Result<(), JournalError> {
+        self.with(|b| b.checkpoint = Some(body.to_string()));
+        Ok(())
+    }
+
+    fn read_checkpoint(&self) -> Result<Option<String>, JournalError> {
+        Ok(self.checkpoint_body())
+    }
+
+    fn truncate_log(&mut self) -> Result<(), JournalError> {
+        self.with(|b| b.log.clear());
+        Ok(())
+    }
+}
+
+/// Directory-backed storage: `wal.log` (append-only, one framed line
+/// per record) plus `checkpoint.json` (replaced via write-to-temp +
+/// rename so a crash mid-write never corrupts the installed
+/// checkpoint).
+///
+/// Appends are flushed to the OS on every record. A production RM
+/// would `fsync` here as well; this implementation stops at `flush`
+/// because the workspace's failure model (the simulator's `RmCrash`)
+/// kills the process state, not the kernel page cache.
+#[derive(Debug)]
+pub struct FileStorage {
+    dir: PathBuf,
+    log: Option<File>,
+}
+
+impl FileStorage {
+    /// Opens (creating if needed) a journal directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<FileStorage, JournalError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(io_err)?;
+        Ok(FileStorage { dir, log: None })
+    }
+
+    fn log_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join("checkpoint.json")
+    }
+
+    fn log_file(&mut self) -> Result<&mut File, JournalError> {
+        if self.log.is_none() {
+            let f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.log_path())
+                .map_err(io_err)?;
+            self.log = Some(f);
+        }
+        Ok(self.log.as_mut().expect("just opened"))
+    }
+}
+
+fn io_err(e: std::io::Error) -> JournalError {
+    JournalError::Io(e.to_string())
+}
+
+impl JournalStorage for FileStorage {
+    fn append_line(&mut self, line: &str) -> Result<(), JournalError> {
+        let f = self.log_file()?;
+        f.write_all(line.as_bytes()).map_err(io_err)?;
+        f.write_all(b"\n").map_err(io_err)?;
+        f.flush().map_err(io_err)
+    }
+
+    fn read_log(&self) -> Result<Vec<String>, JournalError> {
+        let path = self.log_path();
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let mut text = String::new();
+        File::open(path)
+            .map_err(io_err)?
+            .read_to_string(&mut text)
+            .map_err(io_err)?;
+        Ok(text.lines().map(str::to_string).collect())
+    }
+
+    fn write_checkpoint(&mut self, body: &str) -> Result<(), JournalError> {
+        let tmp = self.dir.join("checkpoint.json.tmp");
+        std::fs::write(&tmp, body).map_err(io_err)?;
+        std::fs::rename(&tmp, self.checkpoint_path()).map_err(io_err)
+    }
+
+    fn read_checkpoint(&self) -> Result<Option<String>, JournalError> {
+        let path = self.checkpoint_path();
+        if !path.exists() {
+            return Ok(None);
+        }
+        let mut text = String::new();
+        File::open(path)
+            .map_err(io_err)?
+            .read_to_string(&mut text)
+            .map_err(io_err)?;
+        Ok(Some(text.trim_end().to_string()))
+    }
+
+    fn truncate_log(&mut self) -> Result<(), JournalError> {
+        // Drop the append handle, then recreate the file empty.
+        self.log = None;
+        File::create(self.log_path()).map_err(io_err)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,241 @@
+//! The write-ahead log proper: frames records into storage, installs
+//! checkpoints, and loads `(checkpoint, log tail)` for restore.
+
+use std::fmt;
+
+use crate::checkpoint::CheckpointDoc;
+use crate::frame::{frame, unframe};
+use crate::record::JournalRecord;
+use crate::storage::JournalStorage;
+use crate::JournalError;
+
+/// Cumulative counters for one [`Wal`] (feeds the `journal.*` gauges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records successfully appended.
+    pub records_appended: u64,
+    /// Bytes appended (framed lines, excluding the newline).
+    pub bytes_appended: u64,
+    /// Checkpoints installed.
+    pub checkpoints_installed: u64,
+    /// Appends that failed at the storage layer and were dropped by
+    /// [`Wal::append_best_effort`]. Non-zero means the journal is no
+    /// longer a faithful mutation history.
+    pub append_errors: u64,
+}
+
+/// An append-only write-ahead journal over pluggable storage.
+pub struct Wal {
+    storage: Box<dyn JournalStorage>,
+    stats: JournalStats,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal").field("stats", &self.stats).finish()
+    }
+}
+
+impl Wal {
+    /// Wraps a storage sink.
+    pub fn new(storage: impl JournalStorage + 'static) -> Wal {
+        Wal {
+            storage: Box::new(storage),
+            stats: JournalStats::default(),
+        }
+    }
+
+    /// Appends one record, framed and flushed.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        let line = frame(&record.encode());
+        self.storage.append_line(&line)?;
+        self.stats.records_appended += 1;
+        self.stats.bytes_appended += line.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one record, counting (instead of propagating) storage
+    /// failures. This is the hook the cluster's mutation path uses:
+    /// placement must not start panicking because a disk filled up, but
+    /// the failure is recorded in [`JournalStats::append_errors`] so
+    /// operators (and the invariant auditor) can see the journal went
+    /// lossy.
+    pub fn append_best_effort(&mut self, record: &JournalRecord) {
+        if self.append(record).is_err() {
+            self.stats.append_errors += 1;
+        }
+    }
+
+    /// Installs a checkpoint: writes the document, then truncates the
+    /// log. Records with `epoch <= doc.epoch` that survive in the log
+    /// (crash between the two steps) are skipped by replay.
+    pub fn install_checkpoint(&mut self, doc: &CheckpointDoc) -> Result<(), JournalError> {
+        let body = frame(&doc.encode());
+        self.storage.write_checkpoint(&body)?;
+        self.storage.truncate_log()?;
+        self.stats.checkpoints_installed += 1;
+        Ok(())
+    }
+
+    /// Loads the installed checkpoint (if any) and the decoded log
+    /// tail, in append order. Any corrupt or truncated line — including
+    /// a torn final write — fails the whole load: a journal that cannot
+    /// be read exactly is not replayed partially.
+    #[allow(clippy::type_complexity)]
+    pub fn load(&self) -> Result<(Option<CheckpointDoc>, Vec<JournalRecord>), JournalError> {
+        let checkpoint = match self.storage.read_checkpoint()? {
+            Some(body) => {
+                let payload = unframe(&body, 0)?;
+                Some(
+                    CheckpointDoc::decode(payload).map_err(|reason| JournalError::Corrupt {
+                        line: 0,
+                        reason: format!("checkpoint: {reason}"),
+                    })?,
+                )
+            }
+            None => None,
+        };
+        let mut records = Vec::new();
+        for (i, line) in self.storage.read_log()?.iter().enumerate() {
+            let line_no = i + 1;
+            let payload = unframe(line, line_no)?;
+            let rec = JournalRecord::decode(payload).map_err(|reason| JournalError::Corrupt {
+                line: line_no,
+                reason,
+            })?;
+            records.push(rec);
+        }
+        Ok((checkpoint, records))
+    }
+
+    /// Cumulative journal counters.
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::JournalOp;
+    use crate::storage::MemoryStorage;
+
+    fn rec(epoch: u64, container: u64) -> JournalRecord {
+        JournalRecord {
+            epoch,
+            op: JournalOp::Release { container },
+        }
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let storage = MemoryStorage::new();
+        let mut wal = Wal::new(storage.clone());
+        wal.append(&rec(1, 10)).unwrap();
+        wal.append(&rec(2, 11)).unwrap();
+        let (ckpt, log) = wal.load().unwrap();
+        assert!(ckpt.is_none());
+        assert_eq!(log, vec![rec(1, 10), rec(2, 11)]);
+        assert_eq!(wal.stats().records_appended, 2);
+        assert!(wal.stats().bytes_appended > 0);
+    }
+
+    #[test]
+    fn checkpoint_truncates_log() {
+        let storage = MemoryStorage::new();
+        let mut wal = Wal::new(storage.clone());
+        wal.append(&rec(1, 10)).unwrap();
+        let doc = CheckpointDoc {
+            epoch: 1,
+            ..CheckpointDoc::default()
+        };
+        wal.install_checkpoint(&doc).unwrap();
+        wal.append(&rec(2, 11)).unwrap();
+        let (ckpt, log) = wal.load().unwrap();
+        assert_eq!(ckpt.unwrap().epoch, 1);
+        assert_eq!(log, vec![rec(2, 11)]);
+        assert_eq!(wal.stats().checkpoints_installed, 1);
+    }
+
+    #[test]
+    fn corrupt_tail_fails_load() {
+        let storage = MemoryStorage::new();
+        let mut wal = Wal::new(storage.clone());
+        wal.append(&rec(1, 10)).unwrap();
+        wal.append(&rec(2, 11)).unwrap();
+        // Truncate the final line mid-frame (torn write).
+        let mut lines = storage.log_lines();
+        let last = lines.last_mut().unwrap();
+        last.truncate(last.len() / 2);
+        storage.set_log_lines(lines);
+        let err = wal.load().unwrap_err();
+        assert!(
+            matches!(err, JournalError::Corrupt { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_checkpoint_fails_load() {
+        let storage = MemoryStorage::new();
+        let mut wal = Wal::new(storage.clone());
+        wal.install_checkpoint(&CheckpointDoc::default()).unwrap();
+        let mut body = storage.checkpoint_body().unwrap();
+        body.replace_range(3..4, "X");
+        storage.set_checkpoint_body(Some(body));
+        assert!(wal.load().is_err());
+    }
+
+    #[test]
+    fn best_effort_append_counts_failures() {
+        struct FailingSink;
+        impl JournalStorage for FailingSink {
+            fn append_line(&mut self, _: &str) -> Result<(), JournalError> {
+                Err(JournalError::Io("disk full".into()))
+            }
+            fn read_log(&self) -> Result<Vec<String>, JournalError> {
+                Ok(Vec::new())
+            }
+            fn write_checkpoint(&mut self, _: &str) -> Result<(), JournalError> {
+                Ok(())
+            }
+            fn read_checkpoint(&self) -> Result<Option<String>, JournalError> {
+                Ok(None)
+            }
+            fn truncate_log(&mut self) -> Result<(), JournalError> {
+                Ok(())
+            }
+        }
+        let mut wal = Wal::new(FailingSink);
+        wal.append_best_effort(&rec(1, 1));
+        assert_eq!(wal.stats().append_errors, 1);
+        assert_eq!(wal.stats().records_appended, 0);
+    }
+
+    #[test]
+    fn file_storage_round_trips() {
+        // Stay inside the workspace: scratch under target/, not /tmp.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp")
+            .join(format!("medea-journal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let storage = crate::storage::FileStorage::open(&dir).unwrap();
+            let mut wal = Wal::new(storage);
+            wal.install_checkpoint(&CheckpointDoc {
+                epoch: 3,
+                ..CheckpointDoc::default()
+            })
+            .unwrap();
+            wal.append(&rec(4, 9)).unwrap();
+        }
+        {
+            let storage = crate::storage::FileStorage::open(&dir).unwrap();
+            let wal = Wal::new(storage);
+            let (ckpt, log) = wal.load().unwrap();
+            assert_eq!(ckpt.unwrap().epoch, 3);
+            assert_eq!(log, vec![rec(4, 9)]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -41,6 +41,14 @@ pub struct ChaosConfig {
     pub solver_stall_probability: f64,
     /// Scheduling cycles each injected stall lasts.
     pub stall_cycles: u32,
+    /// Per-hour probability of a resource-manager crash (RM failover
+    /// chaos; 0 disables).
+    pub rm_crash_probability: f64,
+    /// Ticks the RM stays down per crash before restarting.
+    pub rm_outage_ticks: u64,
+    /// Per-container probability of dying during each RM outage (the
+    /// divergence the anti-entropy reconciliation must repair).
+    pub rm_loss_rate: f64,
 }
 
 impl Default for ChaosConfig {
@@ -57,6 +65,9 @@ impl Default for ChaosConfig {
             flap_cycles: 4,
             solver_stall_probability: 0.0,
             stall_cycles: 3,
+            rm_crash_probability: 0.0,
+            rm_outage_ticks: 5_000,
+            rm_loss_rate: 0.0,
         }
     }
 }
@@ -92,6 +103,14 @@ impl ChaosSchedule {
         self.events
             .iter()
             .filter(|(_, e)| matches!(e, SimEvent::SolverStall { .. }))
+            .count()
+    }
+
+    /// Number of resource-manager crashes in the schedule.
+    pub fn rm_crashes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, SimEvent::RmCrash { .. }))
             .count()
     }
 
@@ -189,6 +208,18 @@ impl ChaosSchedule {
                     t,
                     SimEvent::SolverStall {
                         cycles: cfg.stall_cycles,
+                    },
+                ));
+            }
+            if cfg.rm_crash_probability > 0.0
+                && rng.random_range(0.0..1.0) < cfg.rm_crash_probability
+            {
+                let t = start + rng.random_range(0..cfg.ticks_per_hour);
+                events.push((
+                    t,
+                    SimEvent::RmCrash {
+                        outage_ticks: cfg.rm_outage_ticks,
+                        loss_rate: cfg.rm_loss_rate,
                     },
                 ));
             }

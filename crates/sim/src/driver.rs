@@ -11,8 +11,13 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use medea_cluster::{ApplicationId, ContainerId, NodeId};
-use medea_core::{LraDeployment, LraRequest, MedeaScheduler, TaskJobRequest};
+use medea_core::{
+    LraDeployment, LraRequest, MedeaScheduler, NodeReport, RestartReport, TaskJobRequest,
+};
+use medea_journal::{MemoryStorage, Wal};
 use medea_obs::{Counter, Gauge, MetricsRegistry};
+use medea_rand::rngs::StdRng;
+use medea_rand::{RngExt, SeedableRng};
 
 /// A scheduled simulation event.
 #[derive(Debug, Clone)]
@@ -66,6 +71,25 @@ pub enum SimEvent {
         /// Driver-assigned handle of the solve that completed.
         solve: u64,
     },
+    /// The resource manager crashes (RM failover chaos): node ground
+    /// truth is frozen at this instant, every in-flight solve dies with
+    /// the process, and no event reaches the scheduler until the outage
+    /// elapses and [`SimEvent::RmRestart`] re-registers the nodes and
+    /// runs [`MedeaScheduler::restart`].
+    RmCrash {
+        /// Ticks the RM stays down before the restart completes.
+        outage_ticks: u64,
+        /// Per-container probability of dying during the outage (the
+        /// node's re-registration then omits it — the anti-entropy
+        /// divergence the restart must repair).
+        loss_rate: f64,
+    },
+    /// The restarted resource manager comes back: nodes re-register
+    /// with the ground truth captured at crash time (minus containers
+    /// lost during the outage) and the scheduler runs its
+    /// work-preserving recovery. Scheduled internally by
+    /// [`SimEvent::RmCrash`].
+    RmRestart,
 }
 
 /// How the LRA solve relates to the simulation clock (§5.3).
@@ -141,6 +165,10 @@ struct SimObs {
     chaos_solver_stalls: Arc<Counter>,
     chaos_containers_killed: Arc<Counter>,
     placement_readies: Arc<Counter>,
+    rm_crashes: Arc<Counter>,
+    rm_restarts: Arc<Counter>,
+    rm_containers_lost: Arc<Counter>,
+    rm_events_deferred: Arc<Counter>,
     clock: Arc<Gauge>,
 }
 
@@ -160,6 +188,10 @@ impl SimObs {
             chaos_solver_stalls: registry.counter("sim.chaos_solver_stalls_total"),
             chaos_containers_killed: registry.counter("sim.chaos_containers_killed_total"),
             placement_readies: registry.counter("sim.placement_ready_total"),
+            rm_crashes: registry.counter("sim.rm_crashes_total"),
+            rm_restarts: registry.counter("sim.rm_restarts_total"),
+            rm_containers_lost: registry.counter("sim.rm_containers_lost_total"),
+            rm_events_deferred: registry.counter("sim.rm_events_deferred_total"),
             clock: registry.gauge("sim.clock_ticks"),
         }
     }
@@ -200,13 +232,29 @@ pub struct SimDriver {
     /// Proposals awaiting their [`SimEvent::LraPlacementReady`] (async),
     /// keyed by the driver-assigned solve handle. Sharded rounds put
     /// several solves in flight at once; a new round starts only when the
-    /// map has drained (the scheduler enforces the same gate).
-    inflight: std::collections::HashMap<u64, medea_core::InflightSolve>,
+    /// map has drained (the scheduler enforces the same gate). An ordered
+    /// map: iteration feeds the determinism audit, and a hash map would
+    /// make drain/debug order depend on hasher state.
+    inflight: std::collections::BTreeMap<u64, medea_core::InflightSolve>,
     next_solve_id: u64,
     /// In [`PipelineMode::Sync`], the time the simulated resource manager
     /// is blocked until by the last synchronous solve; events due earlier
     /// are handled at this time instead.
     busy_until: u64,
+    /// RM failover: tick until which the resource manager is down. While
+    /// the RM is down every event except [`SimEvent::RmRestart`] is
+    /// deferred to this tick (heartbeats queue up exactly as they would
+    /// against a dead RM endpoint).
+    rm_down_until: u64,
+    /// Seed for sampling container loss during an RM outage (xor'd with
+    /// the crash tick, so each outage draws a distinct but reproducible
+    /// sequence).
+    pub rm_loss_seed: u64,
+    /// Node ground truth captured at RM crash time, delivered to
+    /// [`MedeaScheduler::restart`] as the nodes' re-registration.
+    rm_reports: Option<Vec<NodeReport>>,
+    /// Report of the most recent RM restart (test/bench introspection).
+    last_restart: Option<RestartReport>,
     obs: Option<SimObs>,
 }
 
@@ -231,9 +279,13 @@ impl SimDriver {
             default_task_duration: 1_000,
             pipeline: PipelineMode::default(),
             solve_latency: crate::SolveLatencyModel::instant(),
-            inflight: std::collections::HashMap::new(),
+            inflight: std::collections::BTreeMap::new(),
             next_solve_id: 0,
             busy_until: 0,
+            rm_down_until: 0,
+            rm_loss_seed: 0x4D45444541, // "MEDEA" in ASCII
+            rm_reports: None,
+            last_restart: None,
             obs: None,
         };
         sim.schedule(0, SimEvent::SchedulerTick);
@@ -290,6 +342,36 @@ impl SimDriver {
     /// Whether any LRA solve is currently in flight (async pipeline).
     pub fn solve_inflight(&self) -> bool {
         !self.inflight.is_empty()
+    }
+
+    /// Number of LRA solves currently in flight (a sharded round keeps
+    /// several concurrent solves).
+    pub fn inflight_solves(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Attaches an in-memory write-ahead journal to the scheduler (with
+    /// the given periodic checkpoint cadence in ticks; 0 = only the
+    /// initial checkpoint) and returns the backing storage so tests can
+    /// inspect or corrupt it. [`SimEvent::RmCrash`] works without a
+    /// journal too — the restart then reconciles the surviving in-memory
+    /// state — but only a journaled run exercises the restore path.
+    pub fn enable_journal(&mut self, checkpoint_interval: u64) -> MemoryStorage {
+        let storage = MemoryStorage::new();
+        self.medea
+            .attach_journal(Wal::new(storage.clone()), checkpoint_interval)
+            .expect("in-memory journal attach cannot fail");
+        storage
+    }
+
+    /// Report of the most recent RM restart, if any.
+    pub fn last_restart(&self) -> Option<&RestartReport> {
+        self.last_restart.as_ref()
+    }
+
+    /// Whether the simulated resource manager is currently down.
+    pub fn rm_down(&self) -> bool {
+        self.now < self.rm_down_until
     }
 
     /// The scheduler under simulation.
@@ -378,6 +460,18 @@ impl SimDriver {
     }
 
     fn handle(&mut self, event: SimEvent) {
+        // RM outage: the resource manager's endpoint is dead, so every
+        // event that would reach it is redelivered once the restart
+        // completes — before observability counting, because a deferred
+        // event has not happened yet. RmRestart itself must get through.
+        if self.now < self.rm_down_until && !matches!(event, SimEvent::RmRestart) {
+            if let Some(obs) = &self.obs {
+                obs.rm_events_deferred.inc();
+            }
+            let at = self.rm_down_until;
+            self.schedule(at, event);
+            return;
+        }
         if let Some(obs) = &self.obs {
             obs.events.inc();
             obs.clock.set(self.now as i64);
@@ -393,6 +487,8 @@ impl SimDriver {
                 SimEvent::SolverStall { .. } => obs.chaos_solver_stalls.inc(),
                 SimEvent::SchedulerTick => obs.scheduler_ticks.inc(),
                 SimEvent::LraPlacementReady { .. } => obs.placement_readies.inc(),
+                SimEvent::RmCrash { .. } => obs.rm_crashes.inc(),
+                SimEvent::RmRestart => obs.rm_restarts.inc(),
             }
         }
         match event {
@@ -500,6 +596,84 @@ impl SimDriver {
                     let deployed = self.medea.commit(self.now, solve);
                     self.record_deployments(deployed);
                 }
+            }
+            SimEvent::RmCrash {
+                outage_ticks,
+                loss_rate,
+            } => {
+                // Freeze node ground truth at the instant of the crash.
+                // Nothing mutates cluster state during the outage (every
+                // event is deferred), so this is also what nodes report
+                // when they re-register — minus the containers that die
+                // while the RM is down, sampled here with a seed derived
+                // from the crash tick for reproducibility.
+                let mut rng = StdRng::seed_from_u64(self.rm_loss_seed ^ self.now);
+                let mut lost = 0u64;
+                let state = self.medea.state();
+                let mut reports = Vec::new();
+                for node in state.node_ids() {
+                    let mut containers: Vec<ContainerId> = state
+                        .containers_on(node)
+                        .map(|c| c.to_vec())
+                        .unwrap_or_default();
+                    if loss_rate > 0.0 {
+                        containers.retain(|_| {
+                            if rng.random_range(0.0..1.0) < loss_rate {
+                                lost += 1;
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                    reports.push(NodeReport {
+                        node,
+                        available: state.is_available(node),
+                        containers,
+                    });
+                }
+                self.rm_reports = Some(reports);
+                // In-flight solves die with the RM process; their stale
+                // LraPlacementReady events no-op against the empty map
+                // (and the scheduler refuses stale solve ids anyway).
+                self.inflight.clear();
+                self.rm_down_until = self.now + outage_ticks.max(1);
+                if let Some(obs) = &self.obs {
+                    obs.rm_containers_lost.add(lost);
+                }
+                let at = self.rm_down_until;
+                self.schedule(at, SimEvent::RmRestart);
+            }
+            SimEvent::RmRestart => {
+                self.rm_down_until = 0;
+                // A restart with no preceding crash (manually scheduled)
+                // re-registers nodes with exactly what the scheduler
+                // believes — zero divergence — rather than treating the
+                // whole cluster as silent.
+                let reports = self.rm_reports.take().unwrap_or_else(|| {
+                    let state = self.medea.state();
+                    state
+                        .node_ids()
+                        .map(|node| NodeReport {
+                            node,
+                            available: state.is_available(node),
+                            containers: state
+                                .containers_on(node)
+                                .map(|c| c.to_vec())
+                                .unwrap_or_default(),
+                        })
+                        .collect()
+                });
+                let report = self
+                    .medea
+                    .restart(self.now, &reports)
+                    .expect("journal restore failed at RM restart");
+                assert!(
+                    report.audit_error.is_none(),
+                    "post-restart invariant audit failed: {:?}",
+                    report.audit_error
+                );
+                self.last_restart = Some(report);
             }
         }
     }

@@ -40,6 +40,11 @@ echo "==> sharded solving gate (sharded-vs-unsharded differential + cross-shard 
 cargo test --release --offline -p medea-core -q --test shard_differential
 cargo test --release --offline -p medea-core -q --test shard_conflicts
 
+echo "==> failover gate (journal round-trips + work-preserving restart + crash differential + determinism)"
+cargo test --release --offline -p medea-cluster -q --test checkpoint_restore
+cargo test --release --offline -p medea-core -q --test restart
+cargo test --release --offline -p medea-sim -q --test failover --test determinism
+
 echo "==> solver benchmark smoke (writes BENCH_solver.json, mode=smoke)"
 cargo run --release --offline -p medea-bench --bin solver_bench -- --smoke
 
@@ -48,6 +53,9 @@ cargo run --release --offline -p medea-bench --bin scale_bench -- --smoke
 
 echo "==> pipeline benchmark smoke (writes BENCH_pipeline.json, mode=smoke)"
 cargo run --release --offline -p medea-bench --bin pipeline_bench -- --smoke
+
+echo "==> recovery benchmark smoke (writes BENCH_recovery.json, mode=smoke)"
+cargo run --release --offline -p medea-bench --bin recovery_bench -- --smoke
 
 echo "==> chaos smoke (fixed-seed fault injection + recovery)"
 cargo run --release --offline -p medea-bench --bin fig8_resilience -- --smoke
